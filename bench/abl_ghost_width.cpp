@@ -1,0 +1,115 @@
+// Ablation (beyond the paper's 7-point kernel): wider stencils need wider
+// ghost layers, and the per-step exchange volume grows with the radius —
+// the cost side of the tiling model the paper's heat kernel barely
+// exercises. Sweeps box-stencil radius 1..3 (ghost = radius) on the tiled
+// solver and reports how much of each step the ghost machinery takes.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/tidacc.hpp"
+#include "kernels/stencil27.hpp"
+
+namespace {
+
+using namespace tidacc;
+
+struct GhostRun {
+  SimTime per_step;
+  std::uint64_t ghost_kernels;
+  double exchange_fraction;  // ghost traffic / total kernel traffic
+};
+
+GhostRun run_radius(int n, int regions, int steps, int radius) {
+  using namespace tidacc::core;
+  bench::fresh_platform(sim::DeviceConfig::k40m());
+  const int slab = (n + regions - 1) / regions;
+  AccTileArray<double> u(tida::Box::cube(n), tida::Index3{n, n, slab},
+                         radius);
+  AccTileArray<double> un(tida::Box::cube(n), tida::Index3{n, n, slab},
+                          radius);
+  u.assume_host_initialized();
+  const oacc::LoopCost cost = kernels::box_stencil_cost(radius);
+
+  AccTileIterator<double> it(u);
+  AccTileArray<double>* src = &u;
+  AccTileArray<double>* dst = &un;
+  // Warm placement step.
+  src->fill_boundary(tida::Boundary::kPeriodic);
+  for (it.reset(true); it.isValid(); it.next()) {
+    compute(it.tile_in(*src), it.tile_in(*dst), cost,
+            [](DeviceView<double>, DeviceView<double>, int, int, int) {});
+  }
+  std::swap(src, dst);
+  oacc::wait_all();
+
+  const SimTime t0 = cuem::platform().now();
+  for (int s = 0; s < steps; ++s) {
+    src->fill_boundary(tida::Boundary::kPeriodic);
+    for (it.reset(true); it.isValid(); it.next()) {
+      compute(it.tile_in(*src), it.tile_in(*dst), cost,
+              [](DeviceView<double>, DeviceView<double>, int, int, int) {});
+    }
+    std::swap(src, dst);
+  }
+  oacc::wait_all();
+
+  GhostRun out;
+  out.per_step = (cuem::platform().now() - t0) / steps;
+  out.ghost_kernels = u.device_ghost_updates() + un.device_ghost_updates();
+  // Exchange volume per step per array: ghosts of every region.
+  std::uint64_t ghost_cells = 0;
+  for (int r = 0; r < u.num_regions(); ++r) {
+    const tida::Box valid = u.partition().region_box(r);
+    ghost_cells += valid.grow(radius).volume() - valid.volume();
+  }
+  out.exchange_fraction =
+      static_cast<double>(ghost_cells) /
+      static_cast<double>(tida::Box::cube(n).volume());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tidacc;
+
+  const Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 256));
+  const int regions = static_cast<int>(cli.get_int("regions", 16));
+  const int steps = static_cast<int>(cli.get_int("steps", 5));
+
+  bench::banner("abl_ghost_width",
+                "extension ablation — box-stencil radius (= ghost width) "
+                "sweep, " +
+                    std::to_string(n) + "^3, " + std::to_string(regions) +
+                    " slab regions",
+                sim::DeviceConfig::k40m());
+
+  Table table({"radius", "ghost cells / domain", "time/step",
+               "vs radius 1"});
+  std::vector<SimTime> per_step;
+  for (const int radius : {1, 2, 3}) {
+    const GhostRun r = run_radius(n, regions, steps, radius);
+    per_step.push_back(r.per_step);
+    table.add_row({std::to_string(radius),
+                   fmt(100.0 * r.exchange_fraction, 1) + "%",
+                   bench::ms(r.per_step),
+                   fmt(static_cast<double>(r.per_step) /
+                           static_cast<double>(per_step.front()),
+                       3) +
+                       "x"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::ShapeChecks checks;
+  checks.expect("wider ghosts cost more per step (monotone)",
+                per_step[0] < per_step[1] && per_step[1] < per_step[2]);
+  checks.expect("radius-3 exchange overhead stays under 3x of radius-1 "
+                "(the model scales, it does not explode)",
+                static_cast<double>(per_step[2]) /
+                        static_cast<double>(per_step[0]) <
+                    3.0);
+  return checks.report();
+}

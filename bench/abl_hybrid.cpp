@@ -1,0 +1,95 @@
+// Ablation (paper §III: "overlapping computation in CPU with computation
+// in GPU"): hybrid traversal sweep — the last K regions of a memory-bound
+// kernel execute on the CPU while the device works the rest. The optimum
+// balances the shares (host ~40 GB/s vs device ~205 GB/s here, so a small
+// CPU share wins; too large a share makes the CPU the critical path).
+//
+// Measured in steady state (regions keep their side, no transfers).
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/tidacc.hpp"
+
+namespace {
+
+using namespace tidacc;
+
+SimTime steady_hybrid_time(int n, int regions, int cpu_regions, int steps) {
+  using namespace tidacc::core;
+  AccTileArray<double> arr(tida::Box::cube(n),
+                           tida::Index3{n, n, (n + regions - 1) / regions},
+                           0);
+  arr.assume_host_initialized();
+  oacc::LoopCost membound;
+  membound.dev_bytes_per_iter = 16;
+  AccTileIterator<double> it(arr);
+  const auto pass = [&] {
+    compute_hybrid(it, cpu_regions, membound,
+                   [](DeviceView<double>, int, int, int) {});
+  };
+  pass();  // placement pass (transfers happen here)
+  oacc::wait_all();
+  const SimTime t0 = cuem::platform().now();
+  for (int s = 0; s < steps; ++s) {
+    pass();
+  }
+  oacc::wait_all();
+  return cuem::platform().now() - t0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tidacc;
+
+  const Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 512));
+  const int regions = static_cast<int>(cli.get_int("regions", 32));
+  const int steps = static_cast<int>(cli.get_int("steps", 10));
+
+  bench::banner("abl_hybrid",
+                "§III ablation — CPU/GPU hybrid traversal sweep, "
+                "memory-bound kernel, " +
+                    std::to_string(n) + "^3, " + std::to_string(regions) +
+                    " regions, steady state",
+                sim::DeviceConfig::k40m());
+
+  Table table({"CPU regions", "CPU share", "time/step", "vs all-GPU"});
+  std::vector<SimTime> times;
+  const std::vector<int> shares{0, 1, 2, 4, 6, 8, 12, 16};
+  for (const int cpu : shares) {
+    bench::fresh_platform(sim::DeviceConfig::k40m());
+    times.push_back(steady_hybrid_time(n, regions, cpu, steps));
+    table.add_row(
+        {std::to_string(cpu),
+         fmt(100.0 * cpu / regions, 1) + "%",
+         bench::ms(times.back() / steps),
+         fmt(static_cast<double>(times.back()) /
+                 static_cast<double>(times.front()),
+             3) +
+             "x"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  SimTime best = times[0];
+  int best_share = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] < best) {
+      best = times[i];
+      best_share = shares[i];
+    }
+  }
+  std::printf("\nbest CPU share: %d regions (%.1f%%)\n", best_share,
+              100.0 * best_share / regions);
+
+  bench::ShapeChecks checks;
+  checks.expect("a small CPU share beats all-GPU (host/device overlap)",
+                best_share > 0);
+  checks.expect("overloading the CPU hurts: 16/32 regions slower than none",
+                times.back() > times.front());
+  checks.expect("optimum near bandwidth ratio (~40/245 → 4-8 of 32)",
+                best_share >= 2 && best_share <= 8);
+  return checks.report();
+}

@@ -1,0 +1,68 @@
+// Ablation (paper §VI-A: "we used 16 regions which gave the best
+// performance"): region-count sweep of the TiDA-acc heat solver at 512^3.
+//
+// The tradeoff the sweep exposes:
+//   * few regions  → coarse pipeline, little transfer/compute overlap;
+//   * many regions → more kernel launches, more ghost cells (slab surface
+//     grows linearly with the region count) and more exchange kernels.
+// The optimum sits in between; the paper found 16 on the K40m.
+#include <cstdio>
+#include <vector>
+
+#include "baselines/heat_baselines.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tidacc;
+  using namespace tidacc::baselines;
+
+  const Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 512));
+  const int steps = static_cast<int>(cli.get_int("steps", 10));
+
+  const sim::DeviceConfig cfg = sim::DeviceConfig::k40m();
+  bench::banner("abl_region_count",
+                "§VI-A ablation — TiDA-acc heat, region-count sweep, " +
+                    std::to_string(n) + "^3, " + std::to_string(steps) +
+                    " steps",
+                cfg);
+
+  const std::vector<int> counts{1, 2, 4, 8, 16, 32, 64};
+  std::vector<SimTime> times;
+  Table table({"regions", "time", "vs best"});
+  SimTime best = ~SimTime{0};
+  int best_count = 0;
+  for (const int regions : counts) {
+    bench::fresh_platform(cfg);
+    HeatTidaParams p;
+    p.n = n;
+    p.steps = steps;
+    p.regions = regions;
+    const SimTime t = run_heat_tidacc(p).elapsed;
+    times.push_back(t);
+    if (t < best) {
+      best = t;
+      best_count = regions;
+    }
+  }
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    table.add_row({std::to_string(counts[i]), bench::sec(times[i]),
+                   fmt(static_cast<double>(times[i]) /
+                           static_cast<double>(best),
+                       3) +
+                       "x"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nbest region count: %d\n", best_count);
+
+  bench::ShapeChecks checks;
+  checks.expect("decomposition helps: best > 1 region",
+                best_count > 1);
+  checks.expect("too many regions hurt: best < 64",
+                best_count < 64);
+  checks.expect("16 regions within 10% of the optimum (paper's choice)",
+                static_cast<double>(times[4]) / static_cast<double>(best) <
+                    1.10);
+  return checks.report();
+}

@@ -1,0 +1,90 @@
+// Ablation (paper §V): tile size below region size on the GPU means
+// multiple kernel launches per region, which degrades performance — the
+// paper recommends tile == region for GPU traversals. This sweep splits
+// each region into 1/2/4/8 logical tiles and measures the launch-overhead
+// penalty on the compute-intensive kernel.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/tidacc.hpp"
+#include "kernels/sincos.hpp"
+
+namespace {
+
+using namespace tidacc;
+
+SimTime run_with_tiles(int n, int steps, int iterations, int regions,
+                       int tiles_per_region) {
+  using namespace tidacc::core;
+  using tida::Box;
+  using tida::Index3;
+
+  const int slab = (n + regions - 1) / regions;
+  const int tile_k = (slab + tiles_per_region - 1) / tiles_per_region;
+  AccTileArray<double> arr(Box::cube(n), Index3{n, n, slab}, 0);
+  arr.assume_host_initialized();
+
+  const oacc::LoopCost cost =
+      kernels::sincos_cost(iterations, sim::MathClass::kPgiDefault);
+  AccTileIterator<double> it(arr, Index3{n, n, tile_k});
+
+  const SimTime t0 = cuem::platform().now();
+  for (int s = 0; s < steps; ++s) {
+    for (it.reset(/*gpu=*/true); it.isValid(); it.next()) {
+      compute(it.tile(), cost,
+              [](DeviceView<double>, int, int, int) {});
+    }
+  }
+  arr.release_all_to_host();
+  (void)cuemDeviceSynchronize();
+  return cuem::platform().now() - t0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tidacc;
+
+  const Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 256));
+  const int steps = static_cast<int>(cli.get_int("steps", 50));
+  const int iterations = static_cast<int>(cli.get_int("iterations", 4));
+  const int regions = static_cast<int>(cli.get_int("regions", 16));
+
+  const sim::DeviceConfig cfg = sim::DeviceConfig::k40m();
+  bench::banner("abl_tile_size",
+                "§V ablation — tiles per region on GPU (kernel-launch "
+                "overhead), sincos " +
+                    std::to_string(n) + "^3, " + std::to_string(steps) +
+                    " steps",
+                cfg);
+
+  const std::vector<int> splits{1, 2, 4, 8};
+  std::vector<SimTime> times;
+  Table table({"tiles/region", "kernel launches", "time", "vs 1 tile"});
+  for (const int t : splits) {
+    bench::fresh_platform(cfg);
+    times.push_back(run_with_tiles(n, steps, iterations, regions, t));
+    const auto kernels_launched =
+        cuem::platform().trace().stats().num_kernels;
+    table.add_row({std::to_string(t), std::to_string(kernels_launched),
+                   bench::ms(times.back()),
+                   fmt(static_cast<double>(times.back()) /
+                           static_cast<double>(times.front()),
+                       3) +
+                       "x"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  bench::ShapeChecks checks;
+  checks.expect("monotone: more tiles per region is never faster",
+                times[0] <= times[1] && times[1] <= times[2] &&
+                    times[2] <= times[3]);
+  checks.expect("8 tiles per region measurably slower than 1 (>1%)",
+                static_cast<double>(times[3]) /
+                        static_cast<double>(times[0]) >
+                    1.01);
+  return checks.report();
+}

@@ -1,0 +1,108 @@
+// Shared helpers for the figure-reproduction benches: standard header
+// output, shape-check reporting (each bench asserts the paper's qualitative
+// claims about its own results), and common CLI handling.
+//
+// Benches run the platform in timing-only mode: the cost model is a pure
+// function of sizes, so results are identical to functional runs but take
+// milliseconds instead of hours at paper scale (512^3 doubles).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "cuem/cuem.hpp"
+#include "oacc/oacc.hpp"
+#include "sim/device_config.hpp"
+
+namespace tidacc::bench {
+
+/// Prints the standard bench banner.
+inline void banner(const std::string& name, const std::string& paper_ref,
+                   const sim::DeviceConfig& cfg) {
+  std::printf("== %s ==\n", name.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("platform:   %s\n\n", cfg.summary().c_str());
+}
+
+/// Rebuilds the platform for one measured variant (fresh virtual clock).
+inline void fresh_platform(const sim::DeviceConfig& cfg,
+                           bool record_trace = false) {
+  cuem::configure(cfg, /*functional=*/false);
+  oacc::reset();
+  cuem::platform().trace().set_recording(record_trace);
+}
+
+/// Collects named qualitative checks ("who wins, where the crossover is")
+/// and prints a PASS/FAIL summary; returns a process exit code.
+class ShapeChecks {
+ public:
+  void expect(const std::string& what, bool ok) {
+    checks_.push_back({what, ok});
+  }
+
+  int report() const {
+    std::printf("\nshape checks vs paper:\n");
+    int failures = 0;
+    for (const auto& [what, ok] : checks_) {
+      std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+      failures += !ok;
+    }
+    if (checks_.empty()) {
+      std::printf("  (none)\n");
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+ private:
+  std::vector<std::pair<std::string, bool>> checks_;
+};
+
+/// Optional CSV side-output: every bench accepts --csv=<path> and appends
+/// its rows there for external plotting.
+class CsvSink {
+ public:
+  CsvSink(const Cli& cli, const std::string& header) {
+    const std::string path = cli.get_string("csv", "");
+    if (!path.empty()) {
+      file_ = std::fopen(path.c_str(), "w");
+      if (file_ != nullptr) {
+        std::fprintf(file_, "%s\n", header.c_str());
+      }
+    }
+  }
+  ~CsvSink() {
+    if (file_ != nullptr) {
+      std::fclose(file_);
+    }
+  }
+  CsvSink(const CsvSink&) = delete;
+  CsvSink& operator=(const CsvSink&) = delete;
+
+  /// Writes one comma-joined row (no-op when --csv was not given).
+  void row(const std::vector<std::string>& cells) {
+    if (file_ == nullptr) {
+      return;
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      std::fprintf(file_, "%s%s", i ? "," : "", cells[i].c_str());
+    }
+    std::fprintf(file_, "\n");
+  }
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Seconds with 3 decimals from virtual ns.
+inline std::string sec(SimTime ns) { return fmt(to_seconds(ns), 3) + " s"; }
+
+/// Milliseconds with 1 decimal from virtual ns.
+inline std::string ms(SimTime ns) {
+  return fmt(to_milliseconds(ns), 1) + " ms";
+}
+
+}  // namespace tidacc::bench

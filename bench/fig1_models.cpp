@@ -1,0 +1,110 @@
+// Figure 1 (paper §II-C): running time of the heat solver under the three
+// programming models (CUDA-only, OpenACC-only, CUDA-memory + OpenACC
+// kernels) crossed with the three host-memory managements (pageable,
+// pinned, unified/managed). 384^3 doubles, 100 time steps, K40m-class
+// device. Timing includes transfers and kernels.
+//
+// Paper claims reproduced here:
+//   * CUDA-only with pinned memory is fastest;
+//   * pageable and unified memory are slower than pinned in every model;
+//   * OpenACC is slower than CUDA under each memory management;
+//   * CUDA-managed-memory + OpenACC-kernels sits between OpenACC-only and
+//     CUDA-only ("gets much closer to that of CUDA").
+#include <cstdio>
+#include <map>
+
+#include "baselines/heat_baselines.hpp"
+#include "bench_util.hpp"
+#include "common/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tidacc;
+  using namespace tidacc::baselines;
+  using bench::ShapeChecks;
+
+  const Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 384));
+  const int steps = static_cast<int>(cli.get_int("steps", 100));
+
+  const sim::DeviceConfig cfg = sim::DeviceConfig::k40m();
+  bench::banner("fig1_models",
+                "Fig. 1 — heat solver, 3 models x 3 memory managements, " +
+                    std::to_string(n) + "^3, " + std::to_string(steps) +
+                    " steps",
+                cfg);
+
+  Table table({"model", "memory", "time", "vs best"});
+  std::map<std::pair<int, int>, SimTime> t;
+
+  const HeatModel models[] = {HeatModel::kCudaOnly, HeatModel::kAccOnly,
+                              HeatModel::kCudaMemAccKernels};
+  const MemoryKind memories[] = {MemoryKind::kPageable, MemoryKind::kPinned,
+                                 MemoryKind::kManaged};
+
+  SimTime best = ~SimTime{0};
+  for (const HeatModel model : models) {
+    for (const MemoryKind mem : memories) {
+      if (model == HeatModel::kCudaMemAccKernels &&
+          mem == MemoryKind::kManaged) {
+        continue;  // the combo manages memory explicitly, by definition
+      }
+      bench::fresh_platform(cfg);
+      HeatParams p;
+      p.n = n;
+      p.steps = steps;
+      p.memory = mem;
+      const SimTime elapsed = run_heat_baseline(model, p).elapsed;
+      t[{static_cast<int>(model), static_cast<int>(mem)}] = elapsed;
+      best = std::min(best, elapsed);
+    }
+  }
+
+  for (const HeatModel model : models) {
+    for (const MemoryKind mem : memories) {
+      const auto it =
+          t.find({static_cast<int>(model), static_cast<int>(mem)});
+      if (it == t.end()) {
+        table.add_row({to_string(model), to_string(mem), "n/a", "n/a"});
+        continue;
+      }
+      table.add_row({to_string(model), to_string(mem), bench::sec(it->second),
+                     fmt(static_cast<double>(it->second) /
+                             static_cast<double>(best),
+                         2) +
+                         "x"});
+    }
+    table.add_separator();
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto at = [&](HeatModel m, MemoryKind k) {
+    return t.at({static_cast<int>(m), static_cast<int>(k)});
+  };
+  ShapeChecks checks;
+  checks.expect("CUDA pinned is the fastest overall",
+                at(HeatModel::kCudaOnly, MemoryKind::kPinned) == best);
+  checks.expect("pageable slower than pinned (CUDA)",
+                at(HeatModel::kCudaOnly, MemoryKind::kPageable) >
+                    at(HeatModel::kCudaOnly, MemoryKind::kPinned));
+  checks.expect("unified slower than pinned (CUDA)",
+                at(HeatModel::kCudaOnly, MemoryKind::kManaged) >
+                    at(HeatModel::kCudaOnly, MemoryKind::kPinned));
+  checks.expect("pageable slower than pinned (OpenACC)",
+                at(HeatModel::kAccOnly, MemoryKind::kPageable) >
+                    at(HeatModel::kAccOnly, MemoryKind::kPinned));
+  bool acc_slower = true;
+  for (const MemoryKind mem :
+       {MemoryKind::kPageable, MemoryKind::kPinned, MemoryKind::kManaged}) {
+    acc_slower &= at(HeatModel::kAccOnly, mem) >
+                  at(HeatModel::kCudaOnly, mem);
+  }
+  checks.expect("OpenACC slower than CUDA for every memory kind",
+                acc_slower);
+  checks.expect(
+      "combo (CUDA mem + ACC kernels, pinned) between CUDA and OpenACC",
+      at(HeatModel::kCudaMemAccKernels, MemoryKind::kPinned) >
+              at(HeatModel::kCudaOnly, MemoryKind::kPinned) &&
+          at(HeatModel::kCudaMemAccKernels, MemoryKind::kPinned) <
+              at(HeatModel::kAccOnly, MemoryKind::kPinned));
+  return checks.report();
+}

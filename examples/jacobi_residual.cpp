@@ -1,0 +1,122 @@
+// jacobi_residual — iterative solver with device-side convergence checks.
+//
+// Solves ∇²u = f (Jacobi iteration) on a tiled domain, monitoring the
+// residual with compute_reduce(): the max-norm of the update is computed on
+// the device and reduced back to the host each `check_every` steps, and
+// iteration stops when it drops below the tolerance. Demonstrates the
+// reduction API and that the convergence loop needs no host copies of the
+// field.
+//
+// Usage:
+//   ./examples/jacobi_residual [--n=32] [--regions=4] [--tol=1e-6]
+//                              [--max-steps=2000] [--check-every=10]
+#include <cmath>
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "core/tidacc.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tidacc;
+  using core::AccTileArray;
+  using core::AccTileIterator;
+  using core::DeviceView;
+  using tida::Boundary;
+  using tida::Box;
+  using tida::Index3;
+
+  const Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 16));
+  const int regions = static_cast<int>(cli.get_int("regions", 4));
+  const double tol = cli.get_double("tol", 1e-9);
+  const int max_steps = static_cast<int>(cli.get_int("max-steps", 4000));
+  const int check_every = static_cast<int>(cli.get_int("check-every", 50));
+
+  cuem::configure(sim::DeviceConfig::k40m(), /*functional=*/true);
+  oacc::reset();
+  cuem::platform().trace().set_recording(false);
+
+  const int slab = (n + regions - 1) / regions;
+  AccTileArray<double> u(Box::cube(n), Index3{n, n, slab}, 1);
+  AccTileArray<double> un(Box::cube(n), Index3{n, n, slab}, 1);
+
+  // Source term: a dipole (+1/-1), zero-mean as a periodic Poisson problem
+  // requires; initial guess zero.
+  const Index3 pos{n / 4, n / 2, n / 2};
+  const Index3 neg{3 * n / 4, n / 2, n / 2};
+  u.fill([](const Index3&) { return 0.0; });
+  const auto f = [pos, neg](int i, int j, int k) {
+    const Index3 p{i, j, k};
+    if (p == pos) {
+      return 1.0;
+    }
+    if (p == neg) {
+      return -1.0;
+    }
+    return 0.0;
+  };
+
+  oacc::LoopCost cost;
+  cost.flops_per_iter = 10;
+  cost.dev_bytes_per_iter = 16;
+
+  AccTileIterator<double> it(u);
+  AccTileArray<double>* src = &u;
+  AccTileArray<double>* dst = &un;
+
+  int steps = 0;
+  double residual = 1.0;
+  while (steps < max_steps && residual > tol) {
+    src->fill_boundary(Boundary::kPeriodic);
+    for (it.reset(/*gpu=*/true); it.isValid(); it.next()) {
+      core::compute(it.tile_in(*src), it.tile_in(*dst), cost,
+                    [&f](DeviceView<double> us, DeviceView<double> uns,
+                         int i, int j, int k) {
+                      uns(i, j, k) =
+                          (us(i - 1, j, k) + us(i + 1, j, k) +
+                           us(i, j - 1, k) + us(i, j + 1, k) +
+                           us(i, j, k - 1) + us(i, j, k + 1) -
+                           f(i, j, k)) /
+                          6.0;
+                    });
+    }
+    std::swap(src, dst);
+    ++steps;
+
+    if (steps % check_every == 0) {
+      // Device-side residual: max |new - old| without leaving the GPU
+      // (dst holds the previous iterate after the swap).
+      residual = 0.0;
+      for (it.reset(/*gpu=*/true); it.isValid(); it.next()) {
+        residual = std::max(
+            residual,
+            core::compute_reduce(
+                it.tile_in(*src), it.tile_in(*dst), cost,
+                oacc::ReduceOp::kMax,
+                [](DeviceView<double> now, DeviceView<double> prev, int i,
+                   int j, int k) {
+                  return std::abs(now(i, j, k) - prev(i, j, k));
+                }));
+      }
+      std::printf("  step %4d  residual %.3e\n", steps, residual);
+    }
+  }
+
+  src->release_all_to_host();
+  const bool converged = residual <= tol;
+  std::printf("jacobi: %s after %d steps (residual %.3e, tol %.1e)\n",
+              converged ? "converged" : "NOT converged", steps, residual,
+              tol);
+  std::printf("  virtual time: %s\n",
+              format_time(cuem::platform().now()).c_str());
+
+  // Physical sanity: the potential is antisymmetric between the charges
+  // (u(pos) = -u(neg)) and the field points from + to -.
+  const double up = src->at(pos);
+  const double un_val = src->at(neg);
+  const bool antisymmetric = std::abs(up + un_val) < 1e-6;
+  const bool oriented = up < un_val;  // u = -potential with this sign choice
+  std::printf("  dipole check: u(+)=%.4e u(-)=%.4e -> %s\n", up, un_val,
+              antisymmetric && oriented ? "OK" : "BROKEN");
+  return (converged && antisymmetric && oriented) ? 0 : 1;
+}

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Reproduces every experiment of the paper end to end:
+# configure, build, run the full test suite, then every figure/ablation
+# bench (each bench self-checks the paper's qualitative claims and exits
+# non-zero on a shape violation).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+status=0
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  echo
+  echo "================================================================"
+  echo "running $b"
+  echo "================================================================"
+  if ! "$b"; then
+    echo "SHAPE CHECK FAILURE in $b"
+    status=1
+  fi
+done
+
+echo
+echo "examples:"
+for e in build/examples/*; do
+  [ -f "$e" ] && [ -x "$e" ] || continue
+  echo "--- $e"
+  "$e" > /dev/null && echo "    OK" || { echo "    FAILED"; status=1; }
+done
+
+exit $status

@@ -1,0 +1,60 @@
+#include "baselines/common.hpp"
+
+#include "common/error.hpp"
+
+namespace tidacc::baselines {
+
+const char* to_string(MemoryKind m) {
+  switch (m) {
+    case MemoryKind::kPageable:
+      return "pageable";
+    case MemoryKind::kPinned:
+      return "pinned";
+    case MemoryKind::kManaged:
+      return "managed";
+  }
+  return "?";
+}
+
+void check(cuemError_t err, const char* what) {
+  TIDACC_CHECK_MSG(err == cuemSuccess, std::string(what) + ": " +
+                                           cuemGetErrorString(err));
+}
+
+HostBuffer::HostBuffer(std::size_t count, MemoryKind kind)
+    : count_(count), kind_(kind) {
+  const std::size_t bytes = count * sizeof(double);
+  switch (kind) {
+    case MemoryKind::kPageable:
+      data_ = static_cast<double*>(cuem::host_alloc(bytes, /*pinned=*/false));
+      break;
+    case MemoryKind::kPinned: {
+      void* p = nullptr;
+      check(cuemMallocHost(&p, bytes), "cuemMallocHost");
+      data_ = static_cast<double*>(p);
+      break;
+    }
+    case MemoryKind::kManaged: {
+      void* p = nullptr;
+      check(cuemMallocManaged(&p, bytes), "cuemMallocManaged");
+      data_ = static_cast<double*>(p);
+      break;
+    }
+  }
+}
+
+HostBuffer::~HostBuffer() {
+  switch (kind_) {
+    case MemoryKind::kPageable:
+      cuem::host_free(data_);
+      break;
+    case MemoryKind::kPinned:
+      (void)cuemFreeHost(data_);
+      break;
+    case MemoryKind::kManaged:
+      (void)cuemFree(data_);
+      break;
+  }
+}
+
+}  // namespace tidacc::baselines

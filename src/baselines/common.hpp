@@ -1,0 +1,62 @@
+// Shared helpers for baseline implementations: host memory kinds (the
+// paper's pageable / pinned / unified axis), an RAII host buffer, and run
+// results carrying virtual elapsed time plus (in functional mode) the final
+// field for cross-validation.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "cuem/cuem.hpp"
+
+namespace tidacc::baselines {
+
+/// Host-memory management flavour of a baseline run (paper §II-B).
+enum class MemoryKind : int { kPageable = 0, kPinned = 1, kManaged = 2 };
+
+const char* to_string(MemoryKind m);
+
+/// RAII host allocation of `count` doubles in the requested kind.
+class HostBuffer {
+ public:
+  HostBuffer(std::size_t count, MemoryKind kind);
+  ~HostBuffer();
+
+  HostBuffer(const HostBuffer&) = delete;
+  HostBuffer& operator=(const HostBuffer&) = delete;
+
+  double* data() const { return data_; }
+  std::size_t count() const { return count_; }
+  std::size_t bytes() const { return count_ * sizeof(double); }
+  MemoryKind kind() const { return kind_; }
+
+ private:
+  double* data_ = nullptr;
+  std::size_t count_ = 0;
+  MemoryKind kind_;
+};
+
+/// Outcome of one baseline run.
+struct RunResult {
+  SimTime elapsed = 0;  ///< virtual time of transfers + kernels (paper's
+                        ///< "execution times include both memory transfer
+                        ///< time and computation time")
+  std::vector<double> data;  ///< final field when requested (functional)
+};
+
+/// Measures virtual elapsed time on the global platform.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(cuem::platform().now()) {}
+  SimTime elapsed() const { return cuem::platform().now() - start_; }
+
+ private:
+  SimTime start_;
+};
+
+/// Throws with context if a cuem call failed.
+void check(cuemError_t err, const char* what);
+
+}  // namespace tidacc::baselines

@@ -1,0 +1,52 @@
+// Heat-solver baselines (paper §II-C and §VI-A):
+//   * CUDA-only        — explicit memory management, one hand-tuned kernel
+//                        per step that also updates the periodic boundary;
+//   * OpenACC-only     — structured data region, one interior kernel plus
+//                        six boundary-face kernels per step, compiler-chosen
+//                        geometry;
+//   * CUDA-mem + ACC-kernels — explicit (typically pinned) CUDA memory
+//                        management with OpenACC-generated kernels, the
+//                        combination the paper selects for TiDA-acc;
+//   * TiDA-acc         — the tiled library version with transfer/compute
+//                        overlap.
+// Each supports pageable / pinned / managed host memory where applicable.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace tidacc::baselines {
+
+/// Which programming model implements the baseline.
+enum class HeatModel : int {
+  kCudaOnly = 0,
+  kAccOnly = 1,
+  kCudaMemAccKernels = 2
+};
+
+const char* to_string(HeatModel m);
+
+struct HeatParams {
+  int n = 64;           ///< domain is n^3 cells of double
+  int steps = 10;       ///< time steps
+  MemoryKind memory = MemoryKind::kPinned;
+  bool keep_result = false;  ///< return the final field (functional mode)
+};
+
+/// Runs one heat baseline; elapsed covers transfers + kernels (not setup).
+RunResult run_heat_baseline(HeatModel model, const HeatParams& p);
+
+/// TiDA-acc parameters: the domain is decomposed into `regions` slabs along
+/// k; `max_slots` caps device slots per array (limited-memory experiments).
+struct HeatTidaParams {
+  int n = 64;
+  int steps = 10;
+  int regions = 16;
+  int max_slots = 1 << 20;
+  bool keep_result = false;
+};
+
+/// Runs the TiDA-acc tiled heat solver (pinned memory, GPU-enabled
+/// traversal, device-side ghost updates when everything fits).
+RunResult run_heat_tidacc(const HeatTidaParams& p);
+
+}  // namespace tidacc::baselines

@@ -1,0 +1,43 @@
+// Compute-intensive (sin/cos) kernel baselines (paper §VI-B):
+//   * CUDA (pageable), CUDA pinned, CUDA pinned + fast math — nvcc codegen;
+//   * OpenACC (pageable) — PGI math codegen, data region;
+//   * TiDA-acc — tiled, PGI math codegen, overlapped transfers; the Fig. 8
+//     limited-memory and one-region variants come from its parameters.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace tidacc::baselines {
+
+enum class SinCosVariant : int {
+  kCuda = 0,            ///< pageable host memory, nvcc precise math
+  kCudaPinned,          ///< pinned host memory, nvcc precise math
+  kCudaPinnedFastMath,  ///< pinned + --use_fast_math
+  kAccPageable          ///< OpenACC data region, PGI math
+};
+
+const char* to_string(SinCosVariant v);
+
+struct SinCosParams {
+  int n = 64;            ///< domain is n^3 cells of double
+  int steps = 10;        ///< outer time-step loop (paper §VI-B)
+  int iterations = 8;    ///< kernel_iteration (inner repeat)
+  bool keep_result = false;
+};
+
+RunResult run_sincos_baseline(SinCosVariant v, const SinCosParams& p);
+
+struct SinCosTidaParams {
+  int n = 64;
+  int steps = 10;
+  int iterations = 8;
+  int regions = 16;        ///< slab decomposition along k
+  int max_slots = 1 << 20; ///< cap for the limited-memory experiment
+  bool disable_caching = false;  ///< ablation: round-trip every acquire
+  bool keep_result = false;
+};
+
+/// TiDA-acc version (pinned memory, per-region streams, PGI math class).
+RunResult run_sincos_tidacc(const SinCosTidaParams& p);
+
+}  // namespace tidacc::baselines

@@ -1,0 +1,64 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace tidacc {
+
+Cli::Cli(int argc, const char* const* argv) {
+  TIDACC_CHECK(argc >= 1);
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.emplace_back(arg);
+      continue;
+    }
+    const std::string_view body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string_view::npos) {
+      flags_[std::string(body.substr(0, eq))] = std::string(body.substr(eq + 1));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[std::string(body)] = argv[++i];
+    } else {
+      flags_[std::string(body)] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace tidacc

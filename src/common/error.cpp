@@ -1,0 +1,31 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace tidacc::detail {
+
+std::string format_location(std::string_view file, int line) {
+  // Trim the path down to the last two components for readable messages.
+  const auto pos = file.rfind('/');
+  std::string_view tail = file;
+  if (pos != std::string_view::npos) {
+    const auto pos2 = file.rfind('/', pos == 0 ? 0 : pos - 1);
+    tail = (pos2 == std::string_view::npos) ? file : file.substr(pos2 + 1);
+  }
+  std::ostringstream os;
+  os << tail << ':' << line;
+  return os.str();
+}
+
+void throw_error(std::string_view file, int line, std::string_view expr,
+                 std::string_view msg) {
+  std::ostringstream os;
+  os << "[tidacc] check failed at " << format_location(file, line) << ": "
+     << expr;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace tidacc::detail

@@ -1,0 +1,52 @@
+// Error handling primitives shared by every tidacc module.
+//
+// Policy (follows C++ Core Guidelines E.2/E.3): programming errors and broken
+// invariants throw `tidacc::Error`; recoverable runtime-API failures are
+// reported through status codes at the `cuem` C-style boundary instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tidacc {
+
+/// Exception type thrown on violated preconditions and internal invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_error(std::string_view file, int line,
+                              std::string_view expr, std::string_view msg);
+
+std::string format_location(std::string_view file, int line);
+
+}  // namespace detail
+
+}  // namespace tidacc
+
+/// Checks a precondition/invariant; throws tidacc::Error with location info.
+/// Always on (not compiled out in release builds): this library is a research
+/// artifact where fail-fast beats speed, and the hot paths never CHECK.
+#define TIDACC_CHECK(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      ::tidacc::detail::throw_error(__FILE__, __LINE__, #expr, "");       \
+    }                                                                     \
+  } while (false)
+
+/// Same as TIDACC_CHECK but with an explanatory message.
+#define TIDACC_CHECK_MSG(expr, msg)                                       \
+  do {                                                                    \
+    if (!(expr)) [[unlikely]] {                                           \
+      ::tidacc::detail::throw_error(__FILE__, __LINE__, #expr, (msg));    \
+    }                                                                     \
+  } while (false)
+
+/// Unconditional failure for unreachable branches.
+#define TIDACC_FAIL(msg) \
+  ::tidacc::detail::throw_error(__FILE__, __LINE__, "failure", (msg))

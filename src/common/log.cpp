@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace tidacc {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
+
+void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace detail {
+
+void log_line(LogLevel level, std::string_view msg) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::fprintf(stderr, "[tidacc %s] %.*s\n", level_tag(level),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace detail
+
+}  // namespace tidacc

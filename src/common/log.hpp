@@ -1,0 +1,55 @@
+// Minimal leveled logger. Thread-safe enough for our single-threaded
+// discrete-event core plus the tida thread pool (each log call is a single
+// atomic write of one formatted line to stderr).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tidacc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns the process-wide minimum level that is emitted.
+LogLevel log_level();
+
+/// Sets the process-wide minimum level (default: kWarn so tests stay quiet).
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view msg);
+}
+
+/// Streams a log message at the given level, e.g.
+///   TIDACC_LOG(kInfo) << "allocated " << n << " slots";
+#define TIDACC_LOG(level_name)                                             \
+  for (bool tidacc_log_once =                                              \
+           ::tidacc::LogLevel::level_name >= ::tidacc::log_level();        \
+       tidacc_log_once; tidacc_log_once = false)                           \
+  ::tidacc::detail::LogCapture(::tidacc::LogLevel::level_name)
+
+namespace detail {
+
+/// Collects one log line and emits it on destruction.
+class LogCapture {
+ public:
+  explicit LogCapture(LogLevel level) : level_(level) {}
+  LogCapture(const LogCapture&) = delete;
+  LogCapture& operator=(const LogCapture&) = delete;
+  ~LogCapture() { log_line(level_, os_.str()); }
+
+  template <typename T>
+  LogCapture& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace tidacc

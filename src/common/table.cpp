@@ -1,0 +1,75 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tidacc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  TIDACC_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TIDACC_CHECK_MSG(cells.size() == header_.size(),
+                   "row width must match header width");
+  Row row;
+  row.cells = std::move(cells);
+  row.separator_before = pending_separator_;
+  pending_separator_ = false;
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_separator() { pending_separator_ = true; }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  const auto emit_line = [&](std::ostringstream& os) {
+    os << '+';
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  const auto emit_row = [&](std::ostringstream& os,
+                            const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  std::ostringstream os;
+  emit_line(os);
+  emit_row(os, header_);
+  emit_line(os);
+  for (const Row& row : rows_) {
+    if (row.separator_before) {
+      emit_line(os);
+    }
+    emit_row(os, row.cells);
+  }
+  emit_line(os);
+  return os.str();
+}
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace tidacc

@@ -1,0 +1,49 @@
+// Fixed-size thread pool used by the tida tile iterator for host-parallel
+// tile traversal (the paper's CPU execution path). Tasks are fire-and-wait:
+// the caller submits a batch and blocks until all complete.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tidacc {
+
+/// Simple FIFO thread pool with a blocking barrier (`wait_idle`).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs `fn(i)` for i in [0, n) across the pool and waits for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tidacc

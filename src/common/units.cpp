@@ -1,0 +1,57 @@
+#include "common/units.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace tidacc {
+
+SimTime transfer_time_ns(std::uint64_t bytes, double gb_per_s) {
+  TIDACC_CHECK_MSG(gb_per_s > 0.0, "bandwidth must be positive");
+  // gb_per_s GB/s == gb_per_s bytes/ns (1 GB = 1e9 bytes, 1 s = 1e9 ns).
+  const double ns = static_cast<double>(bytes) / gb_per_s;
+  return static_cast<SimTime>(std::llround(ns));
+}
+
+SimTime compute_time_ns(double flops, double tflops) {
+  TIDACC_CHECK_MSG(tflops > 0.0, "throughput must be positive");
+  TIDACC_CHECK_MSG(flops >= 0.0, "flops must be non-negative");
+  // tflops TF/s == tflops * 1e3 flops/ns.
+  const double ns = flops / (tflops * 1e3);
+  return static_cast<SimTime>(std::llround(ns));
+}
+
+std::string format_bytes(std::uint64_t bytes) {
+  char buf[64];
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", b / static_cast<double>(kGiB));
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof buf, "%.2f MiB", b / static_cast<double>(kMiB));
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof buf, "%.2f KiB", b / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_time(SimTime ns) {
+  char buf[64];
+  const double t = static_cast<double>(ns);
+  if (ns >= kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3f s", t / 1e9);
+  } else if (ns >= kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", t / 1e6);
+  } else if (ns >= kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.3f us", t / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu ns",
+                  static_cast<unsigned long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace tidacc

@@ -1,0 +1,44 @@
+// Byte- and time-unit helpers. All simulator time is integral nanoseconds
+// (deterministic arithmetic, no FP drift in event ordering); bandwidths are
+// double GB/s at the API boundary and converted once.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tidacc {
+
+using SimTime = std::uint64_t;  ///< virtual time in nanoseconds
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// Time to move `bytes` at `gb_per_s` (decimal GB/s, as vendors quote links).
+SimTime transfer_time_ns(std::uint64_t bytes, double gb_per_s);
+
+/// Time to execute `flops` at `tflops` teraflop/s.
+SimTime compute_time_ns(double flops, double tflops);
+
+/// Converts nanoseconds to seconds as double (for reporting only).
+constexpr double to_seconds(SimTime ns) {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+/// Converts nanoseconds to milliseconds as double (for reporting only).
+constexpr double to_milliseconds(SimTime ns) {
+  return static_cast<double>(ns) * 1e-6;
+}
+
+/// Human-readable byte count, e.g. "1.07 GB".
+std::string format_bytes(std::uint64_t bytes);
+
+/// Human-readable duration, e.g. "12.3 ms".
+std::string format_time(SimTime ns);
+
+}  // namespace tidacc

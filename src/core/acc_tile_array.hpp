@@ -1,0 +1,351 @@
+// AccTileArray — the paper's GPU-extended tileArray (TiDA-acc).
+//
+// Extends tida::TileArray<T> with a device slot pool, the caching protocol
+// of §IV-B4 (on-demand transfers, eviction through shared slots), per-slot
+// streams, and the dual-path ghost exchange of §IV-B6 (host-side exchange
+// when data lives on the host; device-side kernels with CPU index
+// computation when data lives on the device).
+//
+// Access protocol (paper §III "caching"):
+//   * acquire_on_device(r): makes region r usable by kernels; queues the
+//     needed async transfers on r's slot stream and returns the device
+//     pointer. Never blocks the host.
+//   * acquire_on_host(r): makes region r readable/writable on the host;
+//     blocks (cuemStreamSynchronize) if a device→host transfer is needed,
+//     because the caller touches the data immediately (§IV-B3).
+#pragma once
+
+#include <cstring>
+#include <limits>
+
+#include "common/error.hpp"
+#include "core/device_pool.hpp"
+#include "oacc/oacc.hpp"
+#include "tida/tile_array.hpp"
+#include "tida/tile_iterator.hpp"
+
+namespace tidacc::core {
+
+/// Construction options for AccTileArray.
+struct AccOptions {
+  tida::HostAlloc host_alloc = tida::HostAlloc::kPinned;
+  /// Cap on device slots; used by the limited-memory experiments (Fig. 8)
+  /// to emulate a device that only holds N regions.
+  int max_slots = std::numeric_limits<int>::max();
+  /// Disables the paper's caching (§IV-B4): every device acquire re-uploads
+  /// even when the region is already resident. Ablation-only switch — shows
+  /// what the cache table is worth.
+  bool disable_caching = false;
+  /// Components per cell (BoxLib-style multi-component arrays).
+  int ncomp = 1;
+};
+
+template <typename T>
+class AccTileArray : public tida::TileArray<T> {
+ public:
+  using Base = tida::TileArray<T>;
+
+  AccTileArray(const tida::Box& domain, const tida::Index3& region_size,
+               int ghost, AccOptions opts = {})
+      : Base(domain, region_size, ghost, opts.host_alloc, opts.ncomp),
+        pool_(this->partition().max_region_volume(ghost) * opts.ncomp *
+                  sizeof(T),
+              this->num_regions(), opts.max_slots),
+        loc_(this->num_regions()),
+        disable_caching_(opts.disable_caching) {}
+
+  // --- device topology ---
+
+  int num_slots() const { return pool_.num_slots(); }
+  bool all_regions_fit() const { return pool_.one_to_one(); }
+  int slot_of_region(int region) const { return pool_.slot_of_region(region); }
+  cuemStream_t stream_of_region(int region) const {
+    return pool_.stream_of_slot(pool_.slot_of_region(region));
+  }
+  const CacheTable& cache() const { return pool_.cache(); }
+
+  /// Last-access location of a region.
+  Loc location(int region) const { return loc_.location(region); }
+
+  /// Fills valid cells on the host (hides Base::fill to record that every
+  /// region now has authoritative host data).
+  template <typename Fn>
+  void fill(Fn&& fn) {
+    Base::fill(std::forward<Fn>(fn));
+    assume_host_initialized();
+  }
+
+  /// Per-component fill; same host-ownership bookkeeping as fill().
+  template <typename Fn>
+  void fill_components(Fn&& fn) {
+    Base::fill_components(std::forward<Fn>(fn));
+    assume_host_initialized();
+  }
+
+  /// Declares that host buffers hold meaningful data without writing them —
+  /// the timing-only-mode stand-in for fill(), so transfer shapes match
+  /// functional runs.
+  void assume_host_initialized() {
+    for (int r = 0; r < this->num_regions(); ++r) {
+      loc_.set(r, Loc::kHost);
+    }
+  }
+
+  /// Host cell access (hides Base::at to enforce the access protocol: the
+  /// region must not be device-current — call acquire_on_host first). The
+  /// returned reference may be written, so the host becomes the
+  /// authoritative side.
+  T& at(const tida::Index3& cell) {
+    const int id = this->partition().region_of_cell(cell);
+    TIDACC_CHECK_MSG(id >= 0, "cell outside the domain");
+    TIDACC_CHECK_MSG(loc_.location(id) != Loc::kDevice,
+                     "host access to a device-current region — call "
+                     "acquire_on_host first (paper §IV-B3)");
+    loc_.set(id, Loc::kHost);
+    return Base::at(cell);
+  }
+
+  /// Device-side view of region `region` laid out in its slot buffer
+  /// (valid whether or not the region is currently resident).
+  tida::Region<T> device_region(int region) const {
+    tida::Region<T> r = this->region(region);
+    r.data = static_cast<T*>(pool_.slot_ptr(pool_.slot_of_region(region)));
+    return r;
+  }
+
+  // --- the caching protocol ---
+
+  /// Ensures region `region` is resident and current on the device; returns
+  /// its device pointer. Transfers (and the eviction of a slot-sharing
+  /// victim) are queued asynchronously on the slot's stream.
+  T* acquire_on_device(int region) {
+    const int slot = pool_.slot_of_region(region);
+    const cuemStream_t stream = pool_.stream_of_slot(slot);
+    CacheTable& cache = pool_.cache();
+    T* dev = static_cast<T*>(pool_.slot_ptr(slot));
+
+    if (cache.resident(slot) == region) {
+      // Cache hit; if the host touched it since, refresh the device copy.
+      // With caching disabled (ablation) the data round-trips on every
+      // acquire — D2H then H2D, the per-kernel-clause behaviour a runtime
+      // without the cache table would exhibit.
+      if (disable_caching_ && loc_.location(region) == Loc::kDevice) {
+        copy_region(this->region(region).data, dev, region,
+                    cuemMemcpyDeviceToHost, stream);
+        loc_.set(region, Loc::kHost);
+      }
+      if (loc_.location(region) == Loc::kHost) {
+        copy_region(dev, this->region(region).data, region,
+                    cuemMemcpyHostToDevice, stream);
+      }
+      loc_.set(region, Loc::kDevice);
+      return dev;
+    }
+
+    const bool needs_upload = loc_.location(region) == Loc::kHost;
+
+    if (cache.resident(slot) != -1) {
+      // Paper's eviction: queue the victim's D2H on the *same* stream
+      // before the newcomer's H2D — stream order guarantees correctness
+      // with no global synchronization. The D2H is skipped when the
+      // victim's newest data already lives on the host (e.g. it was pulled
+      // back for a host-side ghost exchange): writing the stale device
+      // copy over it would clobber fresher host data.
+      const int victim = cache.resident(slot);
+      if (loc_.location(victim) == Loc::kDevice) {
+        copy_region(this->region(victim).data, dev, victim,
+                    cuemMemcpyDeviceToHost, stream);
+        loc_.set(victim, Loc::kHost);
+      }
+      cache.evict(slot);
+    }
+
+    // No H2D for a region whose host side never produced data (kUninit):
+    // there is nothing meaningful to upload. Output arrays of Jacobi-style
+    // solvers hit this path and save half the upload traffic.
+    if (needs_upload) {
+      copy_region(dev, this->region(region).data, region,
+                  cuemMemcpyHostToDevice, stream);
+    }
+    cache.set(slot, region);
+    loc_.set(region, Loc::kDevice);
+    return dev;
+  }
+
+  /// Ensures the host copy of `region` is current. Blocks until the
+  /// transfer completes when one is needed (§IV-B3: the caller may touch
+  /// the data right after the request).
+  void acquire_on_host(int region) {
+    if (loc_.location(region) != Loc::kDevice) {
+      // The caller is about to read or write host data; either way the host
+      // now holds the authoritative copy.
+      loc_.set(region, Loc::kHost);
+      return;
+    }
+    const int slot = pool_.slot_of_region(region);
+    const cuemStream_t stream = pool_.stream_of_slot(slot);
+    TIDACC_CHECK_MSG(pool_.cache().resident(slot) == region,
+                     "region marked on-device but not resident");
+    copy_region(this->region(region).data,
+                static_cast<T*>(pool_.slot_ptr(slot)), region,
+                cuemMemcpyDeviceToHost, stream);
+    TIDACC_CHECK(cuemStreamSynchronize(stream) == cuemSuccess);
+    loc_.set(region, Loc::kHost);
+  }
+
+  /// Brings every device-held region home and waits (end-of-run helper).
+  void release_all_to_host() {
+    for (int r = 0; r < this->num_regions(); ++r) {
+      acquire_on_host(r);
+    }
+  }
+
+  // --- ghost exchange (paper §IV-B6) ---
+
+  /// Refreshes all ghost cells. Dispatches by data location: pure host
+  /// exchange when everything was last touched on the host; device-side
+  /// update kernels (with pipelined CPU index computation) when the data
+  /// lives on the device and every region fits; otherwise falls back to
+  /// host exchange after draining the device.
+  void fill_boundary(tida::Boundary bc) {
+    if (!loc_.any_on_device()) {
+      this->fill_boundary_host(bc);
+      return;
+    }
+    if (all_regions_fit()) {
+      fill_boundary_device(bc);
+      return;
+    }
+    // Mixed/limited-memory: drain to host and exchange there.
+    release_all_to_host();
+    this->fill_boundary_host(bc);
+  }
+
+  /// Device-side exchange: `acc wait`, then per destination region the CPU
+  /// computes the index lists (this is the exchange plan) while the GPU
+  /// applies the previous region's updates — the overlap of Fig. 4.
+  void fill_boundary_device(tida::Boundary bc) {
+    for (int r = 0; r < this->num_regions(); ++r) {
+      acquire_on_device(r);
+    }
+    oacc::wait_all();
+
+    sim::Platform& p = sim::Platform::instance();
+    const auto& plan = this->exchange_plan(bc);
+    std::size_t begin = 0;
+    while (begin < plan.size()) {
+      // The plan is grouped by destination region.
+      const int dst = plan[begin].dst_region;
+      std::size_t end = begin;
+      std::uint64_t cells = 0;
+      while (end < plan.size() && plan[end].dst_region == dst) {
+        cells += plan[end].dst_box.volume();
+        ++end;
+      }
+
+      // CPU computes the source/destination index descriptors for this
+      // region's ghost copies (host time advances while previously
+      // launched update kernels run on the device — the Fig. 4 overlap).
+      p.host_advance(static_cast<SimTime>(end - begin) *
+                     p.config().host_index_calc_ns_per_copy);
+
+      // GPU applies the copies: one update kernel per destination region,
+      // queued on that region's stream (async clause). The kernel reads the
+      // source cells and writes the ghost cells: 2 * sizeof(T) traffic.
+      sim::KernelProfile prof;
+      prof.elements = cells * this->ncomp();
+      prof.dev_bytes_per_element = 2.0 * sizeof(T);
+      prof.flops_per_element = 0.0;
+      prof.tuned_geometry = false;  // OpenACC-generated update kernel
+
+      auto action = [this, bc, dst, begin, end]() {
+        const auto& pl = this->exchange_plan(bc);
+        for (std::size_t c = begin; c < end; ++c) {
+          apply_copy_device(pl[c]);
+        }
+      };
+      p.enqueue_kernel(stream_of_region(dst), prof,
+                       p.config().oacc_dispatch_extra_ns, std::move(action),
+                       "ghost:R" + std::to_string(dst));
+      ++device_ghost_updates_;
+      begin = end;
+    }
+    // No synchronization needed afterwards: each region's stream orders the
+    // update kernel before later kernels on that region (paper §IV-B6).
+  }
+
+  /// Number of device-side ghost-update kernels launched so far.
+  std::uint64_t device_ghost_updates() const { return device_ghost_updates_; }
+
+ private:
+  /// Queues one whole-region transfer on `stream`.
+  void copy_region(T* dst, const T* src, int region, cuemMemcpyKind kind,
+                   cuemStream_t stream) {
+    const std::size_t bytes = this->region_bytes(region);
+    TIDACC_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream) ==
+                 cuemSuccess);
+  }
+
+  /// Applies one planned ghost copy between device slot buffers, all
+  /// components (functional part of the device update kernel).
+  void apply_copy_device(const tida::GhostCopy& c) {
+    const tida::Region<T> src = device_region(c.src_region);
+    const tida::Region<T> dst = device_region(c.dst_region);
+    const tida::Index3 e = c.dst_box.extent();
+    for (int comp = 0; comp < this->ncomp(); ++comp) {
+      for (int k = 0; k < e.k; ++k) {
+        for (int j = 0; j < e.j; ++j) {
+          const tida::Index3 d0 = c.dst_box.lo + tida::Index3{0, j, k};
+          const tida::Index3 s0 = c.src_box.lo + tida::Index3{0, j, k};
+          std::memcpy(&dst.at(d0, comp), &src.at(s0, comp),
+                      static_cast<std::size_t>(e.i) * sizeof(T));
+        }
+      }
+    }
+  }
+
+  DevicePool pool_;
+  LocationTracker loc_;
+  std::uint64_t device_ghost_updates_ = 0;
+  bool disable_caching_ = false;
+};
+
+/// A tile bound to its AccTileArray plus the traversal's GPU flag — what
+/// compute() consumes.
+template <typename T>
+struct AccTile {
+  AccTileArray<T>* array = nullptr;
+  tida::Tile<T> tile;
+  bool gpu = false;
+};
+
+/// Tile iterator over an AccTileArray; tile() yields AccTiles carrying the
+/// GPU flag set by reset(GPU=true) (paper §V).
+template <typename T>
+class AccTileIterator : public tida::TileIterator<T> {
+ public:
+  explicit AccTileIterator(AccTileArray<T>& array,
+                           const tida::Index3& tile_size = {0, 0, 0})
+      : tida::TileIterator<T>(array, tile_size), array_(&array) {}
+
+  AccTile<T> tile() const {
+    return AccTile<T>{array_, tida::TileIterator<T>::tile(), this->gpu()};
+  }
+
+  /// Binds the same traversal position to a sibling array (same geometry):
+  /// the paper's multi-tile compute passes tiles of several arrays at the
+  /// same iterator position.
+  AccTile<T> tile_in(AccTileArray<T>& other) const {
+    const tida::Tile<T> t = tida::TileIterator<T>::tile();
+    TIDACC_CHECK_MSG(other.partition() == array_->partition(),
+                     "sibling array must share the partition geometry");
+    return AccTile<T>{&other,
+                      tida::Tile<T>{other.region(t.region.id), t.box},
+                      this->gpu()};
+  }
+
+ private:
+  AccTileArray<T>* array_;
+};
+
+}  // namespace tidacc::core

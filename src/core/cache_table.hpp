@@ -1,0 +1,67 @@
+// The paper's caching structure (§IV-B4): one entry per device memory
+// pointer (slot); the value is the id of the region whose data currently
+// occupies that slot, or -1 when the slot is empty. Together with the
+// per-region last-access location this eliminates redundant transfers and
+// drives the eviction protocol when device memory holds fewer slots than
+// the application has regions.
+#pragma once
+
+#include <vector>
+
+namespace tidacc::core {
+
+/// slot → resident region id (-1 = empty), exactly the paper's cache list.
+class CacheTable {
+ public:
+  explicit CacheTable(int slots);
+
+  int num_slots() const { return static_cast<int>(resident_.size()); }
+
+  /// Region occupying `slot`, or -1.
+  int resident(int slot) const;
+
+  /// Marks `region` resident in `slot`.
+  void set(int slot, int region);
+
+  /// Empties `slot`.
+  void evict(int slot);
+
+  /// Slot currently holding `region`, or -1 (linear scan; slot counts are
+  /// small — one per device buffer).
+  int slot_holding(int region) const;
+
+  /// Number of occupied slots.
+  int occupied() const;
+
+ private:
+  void check_slot(int slot) const;
+
+  std::vector<int> resident_;
+};
+
+/// Where a region's most recent data lives (paper: "where each region is
+/// accessed last time"). kUninit means no side has produced data yet — a
+/// region in that state needs no H2D when first requested on the device
+/// (typical for output arrays of Jacobi-style solvers).
+enum class Loc : int { kUninit = 0, kHost = 1, kDevice = 2 };
+
+const char* to_string(Loc l);
+
+/// Per-region last-access location, all kUninit initially.
+class LocationTracker {
+ public:
+  explicit LocationTracker(int regions);
+
+  Loc location(int region) const;
+  void set(int region, Loc loc);
+
+  /// True if any region was last accessed on the device.
+  bool any_on_device() const;
+
+ private:
+  void check_region(int region) const;
+
+  std::vector<Loc> loc_;
+};
+
+}  // namespace tidacc::core

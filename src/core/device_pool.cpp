@@ -1,0 +1,77 @@
+#include "core/device_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "oacc/oacc.hpp"
+
+namespace tidacc::core {
+
+namespace {
+
+int discover_slot_count(std::size_t slot_bytes, int num_regions,
+                        int max_slots) {
+  TIDACC_CHECK_MSG(slot_bytes > 0, "slot size must be positive");
+  TIDACC_CHECK_MSG(num_regions > 0, "need at least one region");
+  TIDACC_CHECK_MSG(max_slots > 0, "max_slots must be positive");
+  std::size_t free_bytes = 0;
+  std::size_t total_bytes = 0;
+  TIDACC_CHECK(cuemMemGetInfo(&free_bytes, &total_bytes) == cuemSuccess);
+  const int fits = static_cast<int>(
+      std::min<std::size_t>(free_bytes / slot_bytes, 1u << 20));
+  const int slots = std::min({num_regions, fits, max_slots});
+  TIDACC_CHECK_MSG(
+      slots >= 1,
+      "device memory cannot hold even one region buffer — choose a smaller "
+      "region size");
+  return slots;
+}
+
+}  // namespace
+
+DevicePool::DevicePool(std::size_t slot_bytes, int num_regions, int max_slots)
+    : slot_bytes_(slot_bytes),
+      num_regions_(num_regions),
+      cache_(discover_slot_count(slot_bytes, num_regions, max_slots)) {
+  slots_.reserve(static_cast<size_t>(cache_.num_slots()));
+  for (int s = 0; s < cache_.num_slots(); ++s) {
+    void* ptr = nullptr;
+    const cuemError_t err = cuemMalloc(&ptr, slot_bytes_);
+    TIDACC_CHECK_MSG(err == cuemSuccess,
+                     "device allocation failed after capacity discovery");
+    slots_.push_back(ptr);
+    // Materialize the slot's stream eagerly (paper: each device memory
+    // pointer has a CUDA stream assigned to it at setup).
+    (void)oacc::get_cuem_stream(s);
+  }
+  TIDACC_LOG(kInfo) << "DevicePool: " << num_slots() << " slot(s) of "
+                    << slot_bytes_ << " B for " << num_regions_
+                    << " region(s)";
+}
+
+DevicePool::~DevicePool() {
+  for (void* ptr : slots_) {
+    // Best effort: the platform may have been rebuilt underneath us during
+    // test reconfiguration, in which case the pointers are already gone.
+    (void)cuemFree(ptr);
+  }
+}
+
+void* DevicePool::slot_ptr(int slot) const {
+  TIDACC_CHECK_MSG(slot >= 0 && slot < num_slots(), "slot out of range");
+  return slots_[static_cast<size_t>(slot)];
+}
+
+int DevicePool::slot_of_region(int region) const {
+  TIDACC_CHECK_MSG(region >= 0 && region < num_regions_,
+                   "region id out of range");
+  return region % num_slots();
+}
+
+cuemStream_t DevicePool::stream_of_slot(int slot) const {
+  TIDACC_CHECK_MSG(slot >= 0 && slot < num_slots(), "slot out of range");
+  return oacc::get_cuem_stream(slot);
+}
+
+}  // namespace tidacc::core

@@ -1,0 +1,56 @@
+// Device memory slot pool (paper §IV-B1/2): discovers how many uniform
+// region buffers fit in free device memory (cuemMemGetInfo), allocates that
+// many with cuemMalloc, and assigns one stream per slot through the OpenACC
+// queue interop (acc_get_cuda_stream analogue), exactly as TileAcc does.
+//
+// The region→slot mapping is region_id % num_slots: one-to-one when
+// everything fits, shared otherwise (out-of-core execution).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/cache_table.hpp"
+#include "cuem/cuem.hpp"
+
+namespace tidacc::core {
+
+class DevicePool {
+ public:
+  /// Allocates up to min(num_regions, fits-in-free-memory, max_slots) slots
+  /// of `slot_bytes` each. Throws if not even one slot fits (the
+  /// application cannot run on this device at all).
+  DevicePool(std::size_t slot_bytes, int num_regions, int max_slots);
+  ~DevicePool();
+
+  DevicePool(const DevicePool&) = delete;
+  DevicePool& operator=(const DevicePool&) = delete;
+
+  int num_slots() const { return static_cast<int>(slots_.size()); }
+  int num_regions() const { return num_regions_; }
+  std::size_t slot_bytes() const { return slot_bytes_; }
+
+  /// True when every region has its own slot (no sharing/eviction needed).
+  bool one_to_one() const { return num_slots() == num_regions_; }
+
+  /// Device base pointer of a slot.
+  void* slot_ptr(int slot) const;
+
+  /// The paper's static region→device-pointer mapping.
+  int slot_of_region(int region) const;
+
+  /// Stream serving a slot (shared process-wide per slot index via the
+  /// OpenACC queue map, so sibling arrays pipeline on the same streams).
+  cuemStream_t stream_of_slot(int slot) const;
+
+  CacheTable& cache() { return cache_; }
+  const CacheTable& cache() const { return cache_; }
+
+ private:
+  std::size_t slot_bytes_;
+  int num_regions_;
+  std::vector<void*> slots_;
+  CacheTable cache_;
+};
+
+}  // namespace tidacc::core

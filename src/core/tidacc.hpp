@@ -1,0 +1,26 @@
+// Umbrella public header for the TiDA-acc library.
+//
+// Typical use (cf. paper §V):
+//
+//   using namespace tidacc;
+//   core::AccTileArray<double> u(tida::Box::cube(512),
+//                                tida::Index3::uniform(128), /*ghost=*/1);
+//   core::AccTileIterator<double> it(u);
+//   oacc::LoopCost cost{.flops_per_iter = 8, .dev_bytes_per_iter = 16};
+//   for (it.reset(/*GPU=*/true); it.isValid(); it.next()) {
+//     core::compute(it.tile(), cost,
+//                   [](core::DeviceView<double> v, int i, int j, int k) {
+//                     v(i, j, k) *= 2.0;
+//                   });
+//   }
+//   u.release_all_to_host();
+#pragma once
+
+#include "core/acc_tile_array.hpp"   // IWYU pragma: export
+#include "core/cache_table.hpp"      // IWYU pragma: export
+#include "core/compute.hpp"          // IWYU pragma: export
+#include "core/device_pool.hpp"      // IWYU pragma: export
+#include "cuem/cuem.hpp"             // IWYU pragma: export
+#include "oacc/oacc.hpp"             // IWYU pragma: export
+#include "tida/tile_array.hpp"       // IWYU pragma: export
+#include "tida/tile_iterator.hpp"    // IWYU pragma: export

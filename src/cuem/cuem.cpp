@@ -1,0 +1,681 @@
+#include "cuem/cuem.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "cuem/registry.hpp"
+
+namespace tidacc::cuem {
+namespace {
+
+using sim::CopyRequest;
+using sim::DeviceConfig;
+using sim::HostMemKind;
+using sim::OpKind;
+using sim::Platform;
+
+/// Process-wide runtime state behind the C API.
+struct Runtime {
+  PointerRegistry registry;
+  std::size_t device_used = 0;
+  /// Synthetic address cursor for timing-only allocations (never
+  /// dereferenced; spaced so interior-pointer arithmetic stays in range).
+  std::uintptr_t synthetic_next = 0x7000'0000'0000ull;
+  /// Event handle → recorded sim event (-1 while unrecorded).
+  std::map<cuemEvent_t, sim::EventId> events;
+  cuemEvent_t next_event = 1;
+
+  ~Runtime() { release_backings(); }
+
+  void release_backings() {
+    // Walk the registry via managed+find API: we keep our own list instead.
+    for (void* p : backings) {
+      ::operator delete(p, std::align_val_t(64));
+    }
+    backings.clear();
+  }
+
+  std::vector<void*> backings;
+};
+
+Runtime& rt() {
+  static std::unique_ptr<Runtime> g = std::make_unique<Runtime>();
+  return *g;
+}
+
+/// Resets all runtime state (allocations, events).
+void reset_runtime() {
+  rt().release_backings();
+  rt() = Runtime{};
+}
+
+/// Allocates backing memory (real in functional mode, synthetic otherwise)
+/// and registers it. Returns nullptr on device-capacity exhaustion.
+void* allocate(std::size_t size, MemSpace space) {
+  Platform& p = Platform::instance();
+  if (space == MemSpace::kDevice || space == MemSpace::kManaged) {
+    if (rt().device_used + size > p.config().usable_memory()) {
+      return nullptr;
+    }
+  }
+
+  Allocation alloc;
+  alloc.size = size;
+  alloc.space = space;
+  alloc.device_resident = false;
+  if (p.functional()) {
+    alloc.backing = ::operator new(size, std::align_val_t(64));
+    rt().backings.push_back(alloc.backing);
+    alloc.base = reinterpret_cast<std::uintptr_t>(alloc.backing);
+  } else {
+    alloc.backing = nullptr;
+    alloc.base = rt().synthetic_next;
+    rt().synthetic_next += (size + 4095) & ~std::uintptr_t{4095};
+    rt().synthetic_next += 4096;  // guard gap
+  }
+  rt().registry.add(alloc);
+  if (space == MemSpace::kDevice || space == MemSpace::kManaged) {
+    rt().device_used += size;
+  }
+  return reinterpret_cast<void*>(alloc.base);
+}
+
+cuemError_t release(void* ptr, MemSpace expected) {
+  const Allocation* found = rt().registry.find(ptr);
+  if (found == nullptr || found->base != reinterpret_cast<std::uintptr_t>(ptr)) {
+    return cuemErrorInvalidValue;
+  }
+  // cudaFree releases managed allocations too.
+  const bool ok = found->space == expected ||
+                  (expected == MemSpace::kDevice &&
+                   found->space == MemSpace::kManaged);
+  if (!ok) {
+    return expected == MemSpace::kDevice ? cuemErrorInvalidDevicePointer
+                                         : cuemErrorInvalidValue;
+  }
+  const Allocation removed = rt().registry.remove(ptr);
+  if (removed.space == MemSpace::kDevice ||
+      removed.space == MemSpace::kManaged) {
+    rt().device_used -= removed.size;
+  }
+  if (removed.backing != nullptr) {
+    ::operator delete(removed.backing, std::align_val_t(64));
+    std::erase(rt().backings, removed.backing);
+  }
+  return cuemSuccess;
+}
+
+/// Address-space classification; unregistered pointers are user host memory
+/// (plain new/stack), i.e. pageable.
+MemSpace space_of(const void* p) {
+  const Allocation* a = rt().registry.find(p);
+  return a == nullptr ? MemSpace::kHostPageable : a->space;
+}
+
+bool is_host_space(MemSpace s) {
+  return s == MemSpace::kHostPageable || s == MemSpace::kHostPinned ||
+         s == MemSpace::kManaged;
+}
+bool is_device_space(MemSpace s) {
+  return s == MemSpace::kDevice || s == MemSpace::kManaged;
+}
+
+HostMemKind host_kind_of(MemSpace s) {
+  switch (s) {
+    case MemSpace::kHostPinned:
+      return HostMemKind::kPinned;
+    case MemSpace::kManaged:
+      return HostMemKind::kManaged;
+    default:
+      return HostMemKind::kPageable;
+  }
+}
+
+/// Infers the direction for cuemMemcpyDefault from pointer spaces.
+cuemMemcpyKind infer_kind(MemSpace dst, MemSpace src) {
+  const bool dst_dev = dst == MemSpace::kDevice;
+  const bool src_dev = src == MemSpace::kDevice;
+  if (dst_dev && src_dev) {
+    return cuemMemcpyDeviceToDevice;
+  }
+  if (dst_dev) {
+    return cuemMemcpyHostToDevice;
+  }
+  if (src_dev) {
+    return cuemMemcpyDeviceToHost;
+  }
+  return cuemMemcpyHostToHost;
+}
+
+cuemError_t do_memcpy(void* dst, const void* src, std::size_t count,
+                      cuemMemcpyKind kind, cuemStream_t stream,
+                      bool blocking) {
+  if (dst == nullptr || src == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  Platform& p = Platform::instance();
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  if (count == 0) {
+    return cuemSuccess;
+  }
+  const MemSpace dst_space = space_of(dst);
+  const MemSpace src_space = space_of(src);
+  if (kind == cuemMemcpyDefault) {
+    kind = infer_kind(dst_space, src_space);
+  }
+
+  std::function<void()> action;
+  if (p.functional()) {
+    action = [dst, src, count] { std::memcpy(dst, src, count); };
+  }
+
+  CopyRequest req;
+  req.bytes = count;
+  req.blocking = blocking;
+  switch (kind) {
+    case cuemMemcpyHostToHost:
+      if (!is_host_space(dst_space) || !is_host_space(src_space)) {
+        return cuemErrorInvalidMemcpyDirection;
+      }
+      // Host-local copy: no engine involved; charge host time at a
+      // DRAM-copy-class bandwidth and perform the move.
+      if (action) {
+        action();
+      }
+      p.host_advance(transfer_time_ns(count, p.config().host_copy_gbps));
+      return cuemSuccess;
+    case cuemMemcpyHostToDevice:
+      if (!is_device_space(dst_space) || !is_host_space(src_space)) {
+        return cuemErrorInvalidMemcpyDirection;
+      }
+      req.kind = OpKind::kCopyH2D;
+      req.host_mem = host_kind_of(src_space);
+      req.label = "H2D";
+      break;
+    case cuemMemcpyDeviceToHost:
+      if (!is_host_space(dst_space) || !is_device_space(src_space)) {
+        return cuemErrorInvalidMemcpyDirection;
+      }
+      req.kind = OpKind::kCopyD2H;
+      req.host_mem = host_kind_of(dst_space);
+      req.label = "D2H";
+      break;
+    case cuemMemcpyDeviceToDevice:
+      if (!is_device_space(dst_space) || !is_device_space(src_space)) {
+        return cuemErrorInvalidMemcpyDirection;
+      }
+      req.kind = OpKind::kCopyD2D;
+      req.label = "D2D";
+      break;
+    default:
+      return cuemErrorInvalidMemcpyDirection;
+  }
+  p.enqueue_copy(stream, req, std::move(action));
+  return cuemSuccess;
+}
+
+}  // namespace
+
+// --- C++ extensions ---
+
+sim::Platform& platform() { return Platform::instance(); }
+
+bool functional() { return Platform::instance().functional(); }
+
+void configure(const DeviceConfig& cfg, bool functional_mode) {
+  reset_runtime();
+  Platform::reset_instance(cfg, functional_mode);
+}
+
+bool is_device_ptr(const void* p) {
+  return rt().registry.is_space(p, MemSpace::kDevice);
+}
+
+bool is_pinned_host_ptr(const void* p) {
+  return rt().registry.is_space(p, MemSpace::kHostPinned);
+}
+
+bool is_managed_ptr(const void* p) {
+  return rt().registry.is_space(p, MemSpace::kManaged);
+}
+
+void* host_alloc(std::size_t bytes, bool pinned) {
+  TIDACC_CHECK_MSG(bytes > 0, "host_alloc of zero bytes");
+  void* p = allocate(bytes, pinned ? MemSpace::kHostPinned
+                                   : MemSpace::kHostPageable);
+  TIDACC_CHECK_MSG(p != nullptr, "host allocation failed");
+  return p;
+}
+
+void host_free(void* ptr) {
+  if (ptr == nullptr) {
+    return;
+  }
+  const Allocation* a = rt().registry.find(ptr);
+  TIDACC_CHECK_MSG(a != nullptr &&
+                       a->base == reinterpret_cast<std::uintptr_t>(ptr),
+                   "host_free of unknown pointer");
+  const MemSpace space = a->space;
+  TIDACC_CHECK_MSG(space == MemSpace::kHostPinned ||
+                       space == MemSpace::kHostPageable,
+                   "host_free of non-host pointer");
+  TIDACC_CHECK(release(ptr, space) == cuemSuccess);
+}
+
+std::size_t device_bytes_in_use() { return rt().device_used; }
+
+std::size_t live_allocation_count() { return rt().registry.live_count(); }
+
+cuemError_t launch(cuemStream_t stream, const LaunchGeometry& geom,
+                   const sim::KernelProfile& profile, std::string label,
+                   std::function<void()> body) {
+  Platform& p = Platform::instance();
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+
+  // UVM: make host-resident managed allocations device-usable.
+  const DeviceConfig& cfg = p.config();
+  for (Allocation* alloc : rt().registry.managed_allocations()) {
+    if (cfg.uvm_mode == DeviceConfig::UvmMode::kKepler) {
+      // Kepler (CUDA 6): bulk migrate-on-launch of every attached
+      // allocation, plus a per-allocation residency check each launch.
+      p.host_advance(cfg.uvm_launch_check_ns);
+      if (!alloc->device_resident) {
+        CopyRequest req;
+        req.kind = OpKind::kUvmMigration;
+        req.bytes = alloc->size;
+        req.host_mem = HostMemKind::kManaged;
+        req.label = "uvm-migrate-h2d";
+        p.enqueue_copy(stream, req, nullptr);
+        alloc->device_resident = true;
+      }
+    } else if (!alloc->device_resident) {
+      // Pascal: demand paging — the kernel's first touches fault each page
+      // in. Modeled as a stream-ordered migration whose duration includes
+      // the per-page fault cost (this is what cuemMemPrefetchAsync avoids).
+      const std::uint64_t pages =
+          (alloc->size + cfg.uvm_page_bytes - 1) / cfg.uvm_page_bytes;
+      CopyRequest req;
+      req.kind = OpKind::kUvmMigration;
+      req.bytes = alloc->size;
+      req.host_mem = HostMemKind::kManaged;
+      req.extra_ns = pages * cfg.uvm_page_fault_ns;
+      req.label = "uvm-demand-fault";
+      p.enqueue_copy(stream, req, nullptr);
+      alloc->device_resident = true;
+    }
+  }
+
+  sim::KernelProfile priced = profile;
+  priced.tuned_geometry = geom.tuned;
+  p.enqueue_kernel(stream, priced, /*dispatch_extra_ns=*/0, std::move(body),
+                   std::move(label));
+  return cuemSuccess;
+}
+
+cuemError_t host_touch(void* ptr, std::size_t bytes) {
+  Allocation* alloc = rt().registry.find(ptr);
+  if (alloc == nullptr || alloc->space != MemSpace::kManaged) {
+    return cuemSuccess;  // non-managed memory: no-op
+  }
+  if (!alloc->device_resident) {
+    return cuemSuccess;
+  }
+  Platform& p = Platform::instance();
+  const DeviceConfig& cfg = p.config();
+  if (cfg.uvm_mode == DeviceConfig::UvmMode::kKepler) {
+    // Kepler UVM requires device synchronization before CPU access.
+    p.sync_all();
+  }
+  const std::uint64_t pages =
+      (bytes + cfg.uvm_page_bytes - 1) / cfg.uvm_page_bytes;
+  p.host_advance(pages * cfg.uvm_page_fault_ns +
+                 transfer_time_ns(bytes, cfg.uvm_migrate_gbps));
+  alloc->device_resident = false;
+  return cuemSuccess;
+}
+
+}  // namespace tidacc::cuem
+
+// --- C-shaped API ---
+
+using namespace tidacc;         // NOLINT
+using namespace tidacc::cuem;   // NOLINT
+using tidacc::sim::Platform;
+
+const char* cuemGetErrorString(cuemError_t err) {
+  switch (err) {
+    case cuemSuccess:
+      return "no error";
+    case cuemErrorMemoryAllocation:
+      return "out of memory";
+    case cuemErrorInvalidValue:
+      return "invalid argument";
+    case cuemErrorInvalidDevicePointer:
+      return "invalid device pointer";
+    case cuemErrorInvalidMemcpyDirection:
+      return "invalid copy direction for memcpy";
+    case cuemErrorInvalidResourceHandle:
+      return "invalid resource handle";
+    case cuemErrorNotReady:
+      return "device not ready";
+  }
+  return "unknown error";
+}
+
+cuemError_t cuemMalloc(void** dev_ptr, std::size_t size) {
+  if (dev_ptr == nullptr || size == 0) {
+    return cuemErrorInvalidValue;
+  }
+  *dev_ptr = allocate(size, MemSpace::kDevice);
+  return *dev_ptr == nullptr ? cuemErrorMemoryAllocation : cuemSuccess;
+}
+
+cuemError_t cuemFree(void* dev_ptr) {
+  if (dev_ptr == nullptr) {
+    return cuemSuccess;  // CUDA: freeing nullptr is a no-op
+  }
+  return release(dev_ptr, MemSpace::kDevice);
+}
+
+cuemError_t cuemMallocHost(void** host_ptr, std::size_t size) {
+  if (host_ptr == nullptr || size == 0) {
+    return cuemErrorInvalidValue;
+  }
+  *host_ptr = allocate(size, MemSpace::kHostPinned);
+  return *host_ptr == nullptr ? cuemErrorMemoryAllocation : cuemSuccess;
+}
+
+cuemError_t cuemFreeHost(void* host_ptr) {
+  if (host_ptr == nullptr) {
+    return cuemSuccess;
+  }
+  return release(host_ptr, MemSpace::kHostPinned);
+}
+
+cuemError_t cuemMallocManaged(void** ptr, std::size_t size) {
+  if (ptr == nullptr || size == 0) {
+    return cuemErrorInvalidValue;
+  }
+  *ptr = allocate(size, MemSpace::kManaged);
+  return *ptr == nullptr ? cuemErrorMemoryAllocation : cuemSuccess;
+}
+
+cuemError_t cuemMemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes) {
+  if (free_bytes == nullptr || total_bytes == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  const std::size_t usable = Platform::instance().config().usable_memory();
+  *total_bytes = Platform::instance().config().memory_bytes;
+  *free_bytes = usable - device_bytes_in_use();
+  return cuemSuccess;
+}
+
+cuemError_t cuemHostRegister(void* ptr, std::size_t size, unsigned flags) {
+  if (ptr == nullptr || size == 0 || flags != 0) {
+    return cuemErrorInvalidValue;
+  }
+  Allocation* a = rt().registry.find(ptr);
+  if (a == nullptr || a->base != reinterpret_cast<std::uintptr_t>(ptr) ||
+      a->size != size || a->space != MemSpace::kHostPageable) {
+    return cuemErrorInvalidValue;
+  }
+  // Page-locking takes real driver time proportional to the range.
+  Platform::instance().host_advance(
+      50 * tidacc::kMicrosecond +
+      transfer_time_ns(size, Platform::instance().config().host_copy_gbps));
+  a->space = MemSpace::kHostPinned;
+  return cuemSuccess;
+}
+
+cuemError_t cuemHostUnregister(void* ptr) {
+  Allocation* a = rt().registry.find(ptr);
+  if (a == nullptr || a->base != reinterpret_cast<std::uintptr_t>(ptr) ||
+      a->space != MemSpace::kHostPinned) {
+    return cuemErrorInvalidValue;
+  }
+  a->space = MemSpace::kHostPageable;
+  return cuemSuccess;
+}
+
+cuemError_t cuemMemcpy(void* dst, const void* src, std::size_t count,
+                       cuemMemcpyKind kind) {
+  return do_memcpy(dst, src, count, kind, /*stream=*/0, /*blocking=*/true);
+}
+
+namespace {
+
+cuemError_t do_memset(void* dev_ptr, int value, std::size_t count,
+                      cuemStream_t stream, bool blocking) {
+  if (dev_ptr == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  Platform& p = Platform::instance();
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  if (count == 0) {
+    return cuemSuccess;
+  }
+  if (!tidacc::cuem::is_device_ptr(dev_ptr) &&
+      !tidacc::cuem::is_managed_ptr(dev_ptr)) {
+    return cuemErrorInvalidDevicePointer;
+  }
+  sim::CopyRequest req;
+  req.kind = sim::OpKind::kCopyD2D;  // device-local fill, device bandwidth
+  req.bytes = count;
+  req.blocking = blocking;
+  req.label = "memset";
+  std::function<void()> action;
+  if (p.functional()) {
+    action = [dev_ptr, value, count] { std::memset(dev_ptr, value, count); };
+  }
+  p.enqueue_copy(stream, req, std::move(action));
+  return cuemSuccess;
+}
+
+}  // namespace
+
+cuemError_t cuemMemset(void* dev_ptr, int value, std::size_t count) {
+  return do_memset(dev_ptr, value, count, 0, /*blocking=*/true);
+}
+
+cuemError_t cuemMemsetAsync(void* dev_ptr, int value, std::size_t count,
+                            cuemStream_t stream) {
+  return do_memset(dev_ptr, value, count, stream, /*blocking=*/false);
+}
+
+cuemError_t cuemMemcpyAsync(void* dst, const void* src, std::size_t count,
+                            cuemMemcpyKind kind, cuemStream_t stream) {
+  return do_memcpy(dst, src, count, kind, stream, /*blocking=*/false);
+}
+
+cuemError_t cuemMemPrefetchAsync(const void* ptr, std::size_t count,
+                                 int device, cuemStream_t stream) {
+  if (ptr == nullptr || device != 0) {
+    return cuemErrorInvalidValue;
+  }
+  Platform& p = Platform::instance();
+  const sim::DeviceConfig& cfg = p.config();
+  if (cfg.uvm_mode != sim::DeviceConfig::UvmMode::kPascal) {
+    return cuemErrorInvalidValue;  // pre-Pascal drivers lack prefetch
+  }
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  Allocation* alloc = rt().registry.find(ptr);
+  if (alloc == nullptr || alloc->space != MemSpace::kManaged) {
+    return cuemErrorInvalidValue;
+  }
+  if (alloc->device_resident || count == 0) {
+    return cuemSuccess;
+  }
+  // Bulk migration at prefetch bandwidth, no fault storms.
+  sim::CopyRequest req;
+  req.kind = sim::OpKind::kUvmMigration;
+  req.bytes = alloc->size;
+  req.host_mem = sim::HostMemKind::kManaged;
+  req.label = "uvm-prefetch";
+  // Prefetch moves at near-pinned bandwidth, no fault storms.
+  req.gbps_override = cfg.uvm_prefetch_gbps;
+  p.enqueue_copy(stream, req, nullptr);
+  alloc->device_resident = true;
+  return cuemSuccess;
+}
+
+cuemError_t cuemStreamCreate(cuemStream_t* stream) {
+  if (stream == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  *stream = Platform::instance().create_stream();
+  return cuemSuccess;
+}
+
+cuemError_t cuemStreamDestroy(cuemStream_t stream) {
+  Platform& p = Platform::instance();
+  if (!p.stream_valid(stream) || stream == 0) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  p.destroy_stream(stream);
+  return cuemSuccess;
+}
+
+cuemError_t cuemStreamSynchronize(cuemStream_t stream) {
+  Platform& p = Platform::instance();
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  p.sync_stream(stream);
+  return cuemSuccess;
+}
+
+cuemError_t cuemStreamQuery(cuemStream_t stream) {
+  Platform& p = Platform::instance();
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  return p.stream_idle(stream) ? cuemSuccess : cuemErrorNotReady;
+}
+
+cuemError_t cuemStreamWaitEvent(cuemStream_t stream, cuemEvent_t event,
+                                unsigned flags) {
+  if (flags != 0) {
+    return cuemErrorInvalidValue;
+  }
+  Platform& p = Platform::instance();
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  const auto it = rt().events.find(event);
+  if (it == rt().events.end()) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  if (it->second < 0) {
+    return cuemSuccess;  // CUDA: waiting on an unrecorded event is a no-op
+  }
+  p.stream_wait_event(stream, it->second);
+  return cuemSuccess;
+}
+
+cuemError_t cuemEventCreate(cuemEvent_t* event) {
+  if (event == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  *event = rt().next_event++;
+  rt().events[*event] = -1;
+  return cuemSuccess;
+}
+
+cuemError_t cuemEventQuery(cuemEvent_t event) {
+  const auto it = rt().events.find(event);
+  if (it == rt().events.end()) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  if (it->second < 0) {
+    return cuemSuccess;  // CUDA: unrecorded events report complete
+  }
+  Platform& p = Platform::instance();
+  return p.event_finish(it->second) <= p.now() ? cuemSuccess
+                                               : cuemErrorNotReady;
+}
+
+cuemError_t cuemEventDestroy(cuemEvent_t event) {
+  return rt().events.erase(event) == 1 ? cuemSuccess
+                                       : cuemErrorInvalidResourceHandle;
+}
+
+cuemError_t cuemEventRecord(cuemEvent_t event, cuemStream_t stream) {
+  Platform& p = Platform::instance();
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  const auto it = rt().events.find(event);
+  if (it == rt().events.end()) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  it->second = p.record_event(stream);
+  return cuemSuccess;
+}
+
+cuemError_t cuemEventSynchronize(cuemEvent_t event) {
+  const auto it = rt().events.find(event);
+  if (it == rt().events.end() || it->second < 0) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  Platform::instance().sync_event(it->second);
+  return cuemSuccess;
+}
+
+cuemError_t cuemEventElapsedTime(float* ms, cuemEvent_t start,
+                                 cuemEvent_t end) {
+  if (ms == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  const auto its = rt().events.find(start);
+  const auto ite = rt().events.find(end);
+  if (its == rt().events.end() || ite == rt().events.end() ||
+      its->second < 0 || ite->second < 0) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  Platform& p = Platform::instance();
+  const double ns = static_cast<double>(p.event_finish(ite->second)) -
+                    static_cast<double>(p.event_finish(its->second));
+  *ms = static_cast<float>(ns * 1e-6);
+  return cuemSuccess;
+}
+
+cuemError_t cuemGetDeviceProperties(cuemDeviceProp* prop, int device) {
+  if (prop == nullptr || device != 0) {
+    return cuemErrorInvalidValue;
+  }
+  const sim::DeviceConfig& cfg = Platform::instance().config();
+  std::snprintf(prop->name, sizeof prop->name, "%s", cfg.name.c_str());
+  prop->totalGlobalMem = cfg.memory_bytes;
+  prop->asyncEngineCount = cfg.copy_engines;
+  prop->concurrentKernels = 0;
+  prop->managedMemory = 1;
+  prop->memoryBandwidthGBs = cfg.device_mem_gbps;
+  prop->doublePrecisionTFlops = cfg.dp_tflops;
+  return cuemSuccess;
+}
+
+cuemError_t cuemDeviceSynchronize() {
+  Platform::instance().sync_all();
+  return cuemSuccess;
+}
+
+cuemError_t cuemDeviceReset() {
+  const sim::DeviceConfig cfg = Platform::instance().config();
+  const bool functional_mode = Platform::instance().functional();
+  tidacc::cuem::configure(cfg, functional_mode);
+  return cuemSuccess;
+}

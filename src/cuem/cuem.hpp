@@ -1,0 +1,181 @@
+// cuem — "CUDA emulation" runtime API.
+//
+// A C-style runtime mirroring the subset of the CUDA runtime API the paper's
+// library and baselines use (cudaMalloc/cudaMallocHost/cudaMallocManaged,
+// cudaMemcpy{,Async}, streams, events, cudaMemGetInfo, device sync), backed
+// by the sim::Platform discrete-event model instead of real hardware.
+//
+// Beyond the CUDA-shaped surface there are three C++ extensions, needed
+// because we have neither a device compiler nor an MMU:
+//   * cuem::launch        — launches a kernel given a cost profile and a
+//                           functional closure (stands in for <<<...>>>).
+//   * cuem::host_touch    — notifies the runtime the host is about to access
+//                           a managed allocation (stands in for the CPU page
+//                           fault that triggers UVM migration back).
+//   * cuem::configure     — rebuilds the simulated device with a chosen
+//                           DeviceConfig (stands in for picking the GPU).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "sim/device_config.hpp"
+#include "sim/kernel_profile.hpp"
+#include "sim/platform.hpp"
+
+// ---------------------------------------------------------------------------
+// C-shaped API (global scope, like the CUDA runtime)
+// ---------------------------------------------------------------------------
+
+enum cuemError_t {
+  cuemSuccess = 0,
+  cuemErrorMemoryAllocation,
+  cuemErrorInvalidValue,
+  cuemErrorInvalidDevicePointer,
+  cuemErrorInvalidMemcpyDirection,
+  cuemErrorInvalidResourceHandle,
+  cuemErrorNotReady
+};
+
+enum cuemMemcpyKind {
+  cuemMemcpyHostToHost = 0,
+  cuemMemcpyHostToDevice = 1,
+  cuemMemcpyDeviceToHost = 2,
+  cuemMemcpyDeviceToDevice = 3,
+  cuemMemcpyDefault = 4
+};
+
+/// Stream handle; 0 is the default stream.
+using cuemStream_t = int;
+/// Event handle.
+using cuemEvent_t = int;
+
+const char* cuemGetErrorString(cuemError_t err);
+
+// --- memory management ---
+cuemError_t cuemMalloc(void** dev_ptr, std::size_t size);
+cuemError_t cuemFree(void* dev_ptr);
+cuemError_t cuemMallocHost(void** host_ptr, std::size_t size);  // pinned
+cuemError_t cuemFreeHost(void* host_ptr);
+cuemError_t cuemMallocManaged(void** ptr, std::size_t size);
+cuemError_t cuemMemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes);
+
+/// Pins an existing pageable host range so transfers run at pinned
+/// bandwidth (cudaHostRegister). The range must lie inside one allocation
+/// the runtime knows (from cuem::host_alloc) and cover it exactly.
+cuemError_t cuemHostRegister(void* ptr, std::size_t size, unsigned flags);
+cuemError_t cuemHostUnregister(void* ptr);
+
+// --- transfers ---
+cuemError_t cuemMemcpy(void* dst, const void* src, std::size_t count,
+                       cuemMemcpyKind kind);
+cuemError_t cuemMemcpyAsync(void* dst, const void* src, std::size_t count,
+                            cuemMemcpyKind kind, cuemStream_t stream);
+
+/// Fills device memory (cudaMemset): synchronous and stream-ordered async.
+cuemError_t cuemMemset(void* dev_ptr, int value, std::size_t count);
+cuemError_t cuemMemsetAsync(void* dev_ptr, int value, std::size_t count,
+                            cuemStream_t stream);
+
+/// Migrates a managed range to the device ahead of the page faults
+/// (cudaMemPrefetchAsync). Pascal-mode UVM only (DeviceConfig::uvm_mode);
+/// the Kepler-era driver returns cuemErrorInvalidValue. `device` must be 0.
+cuemError_t cuemMemPrefetchAsync(const void* ptr, std::size_t count,
+                                 int device, cuemStream_t stream);
+
+// --- streams ---
+cuemError_t cuemStreamCreate(cuemStream_t* stream);
+cuemError_t cuemStreamDestroy(cuemStream_t stream);
+cuemError_t cuemStreamSynchronize(cuemStream_t stream);
+/// cuemSuccess when the stream has drained, cuemErrorNotReady otherwise.
+cuemError_t cuemStreamQuery(cuemStream_t stream);
+cuemError_t cuemStreamWaitEvent(cuemStream_t stream, cuemEvent_t event,
+                                unsigned flags);
+
+// --- events ---
+cuemError_t cuemEventCreate(cuemEvent_t* event);
+/// cuemSuccess when the event has completed, cuemErrorNotReady otherwise.
+cuemError_t cuemEventQuery(cuemEvent_t event);
+cuemError_t cuemEventDestroy(cuemEvent_t event);
+cuemError_t cuemEventRecord(cuemEvent_t event, cuemStream_t stream);
+cuemError_t cuemEventSynchronize(cuemEvent_t event);
+cuemError_t cuemEventElapsedTime(float* ms, cuemEvent_t start,
+                                 cuemEvent_t end);
+
+/// Subset of cudaDeviceProp the library and applications consult.
+struct cuemDeviceProp {
+  char name[64];
+  std::size_t totalGlobalMem;
+  int asyncEngineCount;   ///< number of DMA copy engines
+  int concurrentKernels;  ///< 0 on this Kepler-era model (kernels serialize)
+  int managedMemory;      ///< UVM supported
+  double memoryBandwidthGBs;
+  double doublePrecisionTFlops;
+};
+
+cuemError_t cuemGetDeviceProperties(cuemDeviceProp* prop, int device);
+
+// --- device ---
+cuemError_t cuemDeviceSynchronize();
+/// Frees every allocation and rebuilds the device with the same config.
+cuemError_t cuemDeviceReset();
+
+// ---------------------------------------------------------------------------
+// C++ extensions
+// ---------------------------------------------------------------------------
+
+namespace tidacc::cuem {
+
+/// Launch geometry, the analogue of <<<grid, block>>>. `tuned` records
+/// whether the geometry was hand-tuned (paper §II-C tunes CUDA kernels and
+/// lets the compiler choose for OpenACC); untuned launches run slower by
+/// DeviceConfig::untuned_geometry_factor.
+struct LaunchGeometry {
+  unsigned grid_x = 1, grid_y = 1, grid_z = 1;
+  unsigned block_x = 256, block_y = 1, block_z = 1;
+  bool tuned = true;
+};
+
+/// Launches a kernel on `stream`: the profile prices it, `body` performs the
+/// real computation in functional mode. Managed allocations that are
+/// host-resident migrate to the device first (Kepler UVM semantics).
+cuemError_t launch(cuemStream_t stream, const LaunchGeometry& geom,
+                   const sim::KernelProfile& profile, std::string label,
+                   std::function<void()> body);
+
+/// Declares that host code is about to read/write `bytes` at `ptr` inside a
+/// managed allocation. Stands in for the CPU-side page fault: blocks until
+/// outstanding device work finishes and charges page-granular migration.
+/// No-op for non-managed pointers.
+cuemError_t host_touch(void* ptr, std::size_t bytes);
+
+/// Rebuilds the simulated device: frees everything, installs `cfg`.
+void configure(const sim::DeviceConfig& cfg, bool functional = true);
+
+/// The platform behind the runtime (timing queries, traces).
+sim::Platform& platform();
+
+/// True when kernels/copies execute functionally (real data).
+bool functional();
+
+/// Classification helpers used by the higher layers.
+bool is_device_ptr(const void* p);
+bool is_pinned_host_ptr(const void* p);
+bool is_managed_ptr(const void* p);
+
+/// Allocates registered host memory: pinned (cuemMallocHost) or pageable.
+/// Unlike plain new, pageable allocations made here work in timing-only mode
+/// (synthetic, never dereferenced) and are visible to the pointer registry.
+void* host_alloc(std::size_t bytes, bool pinned);
+
+/// Frees memory obtained from host_alloc.
+void host_free(void* ptr);
+
+/// Bytes currently allocated on the device.
+std::size_t device_bytes_in_use();
+
+/// Number of live allocations across all spaces (leak checks in tests).
+std::size_t live_allocation_count();
+
+}  // namespace tidacc::cuem

@@ -1,0 +1,129 @@
+#include "kernels/heat.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tidacc::kernels {
+
+namespace {
+
+inline int wrap(int v, int n) { return ((v % n) + n) % n; }
+
+inline std::size_t idx(int i, int j, int k, int n) {
+  return (static_cast<std::size_t>(k) * n + j) * n + i;
+}
+
+inline double stencil(const double* u, int i, int j, int k, int n) {
+  const auto at = [&](int a, int b, int c) {
+    return u[idx(wrap(a, n), wrap(b, n), wrap(c, n), n)];
+  };
+  const double center = u[idx(i, j, k, n)];
+  return center + kHeatFac * (at(i - 1, j, k) + at(i + 1, j, k) +
+                              at(i, j - 1, k) + at(i, j + 1, k) +
+                              at(i, j, k - 1) + at(i, j, k + 1) -
+                              6.0 * center);
+}
+
+}  // namespace
+
+oacc::LoopCost heat_cost() {
+  oacc::LoopCost c;
+  c.flops_per_iter = 8.0;
+  c.dev_bytes_per_iter = 16.0;
+  c.math_units_per_iter = 0.0;
+  c.math = sim::MathClass::kNone;
+  return c;
+}
+
+oacc::LoopCost heat_face_cost() {
+  oacc::LoopCost c = heat_cost();
+  c.efficiency_factor = 4.0;
+  return c;
+}
+
+double heat_initial(int i, int j, int k) {
+  return std::sin(0.05 * i) + 0.5 * std::cos(0.08 * j) + 0.002 * k;
+}
+
+void heat_init_flat(double* u, int n) {
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        u[idx(i, j, k, n)] = heat_initial(i, j, k);
+      }
+    }
+  }
+}
+
+void heat_step_flat(const double* u, double* un, int n) {
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        un[idx(i, j, k, n)] = stencil(u, i, j, k, n);
+      }
+    }
+  }
+}
+
+void heat_step_interior(const double* u, double* un, int n) {
+  for (int k = 1; k < n - 1; ++k) {
+    for (int j = 1; j < n - 1; ++j) {
+      for (int i = 1; i < n - 1; ++i) {
+        un[idx(i, j, k, n)] = stencil(u, i, j, k, n);
+      }
+    }
+  }
+}
+
+void heat_step_face(const double* u, double* un, int n, int face) {
+  TIDACC_CHECK_MSG(face >= 0 && face < 6, "face index out of range");
+  const int dim = face / 2;
+  const int fixed = (face % 2 == 0) ? 0 : n - 1;
+  for (int b = 0; b < n; ++b) {
+    for (int a = 0; a < n; ++a) {
+      int i = 0, j = 0, k = 0;
+      switch (dim) {
+        case 0:
+          i = fixed;
+          j = a;
+          k = b;
+          break;
+        case 1:
+          i = a;
+          j = fixed;
+          k = b;
+          break;
+        default:
+          i = a;
+          j = b;
+          k = fixed;
+          break;
+      }
+      un[idx(i, j, k, n)] = stencil(u, i, j, k, n);
+    }
+  }
+}
+
+std::uint64_t heat_face_cells(int n, int face) {
+  TIDACC_CHECK_MSG(face >= 0 && face < 6, "face index out of range");
+  return static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(n);
+}
+
+void heat_reference(std::vector<double>& u, int n, int steps) {
+  std::vector<double> un(u.size());
+  for (int s = 0; s < steps; ++s) {
+    heat_step_flat(u.data(), un.data(), n);
+    u.swap(un);
+  }
+}
+
+double max_abs_diff(const double* a, const double* b, std::size_t count) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+}  // namespace tidacc::kernels

@@ -1,0 +1,59 @@
+// The paper's data-transfer-intensive kernel (§VI-A): a 3D heat equation
+// solved with a 7-point stencil, periodic boundaries. This header holds the
+// pieces shared by every implementation variant — cost specs for the cost
+// model, functional bodies for flat (single-allocation) arrays, the initial
+// condition, and a plain CPU reference stepper used to validate results.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "oacc/oacc.hpp"
+
+namespace tidacc::kernels {
+
+/// Diffusion factor used everywhere (stability: fac < 1/6 in 3D).
+inline constexpr double kHeatFac = 0.1;
+
+/// Per-cell cost of the heat stencil: 8 flops (6 adds + 2 mults fused) and
+/// ~16 bytes of device-memory traffic (the 7 reads mostly hit cache; one
+/// cold read + one write dominate).
+oacc::LoopCost heat_cost();
+
+/// Per-cell cost of a boundary-face kernel: same arithmetic, but the
+/// wrap-indexed skinny-slab access pattern is branchy and uncoalesced — the
+/// divergence effect the paper cites in §III. Used by the CUDA/OpenACC
+/// baselines; TiDA-acc avoids it with CPU-computed index lists.
+oacc::LoopCost heat_face_cost();
+
+/// Initial condition, same for every variant.
+double heat_initial(int i, int j, int k);
+
+/// Fills a flat i-fastest n^3 array with the initial condition.
+void heat_init_flat(double* u, int n);
+
+/// One full periodic heat step on flat arrays: updates every cell including
+/// the wrap-around boundary (this is the "one kernel does everything"
+/// shape of the tuned CUDA baseline).
+void heat_step_flat(const double* u, double* un, int n);
+
+/// Interior-only update: cells [1, n-1)^3 (no wrap needed). The OpenACC
+/// baselines launch this plus six face kernels, the paper's "one kernel to
+/// calculate heat and multiple kernels to update data boundaries".
+void heat_step_interior(const double* u, double* un, int n);
+
+/// Face update with periodic wrap; face in [0,6): -i,+i,-j,+j,-k,+k.
+/// Each face covers the full n^2 slab (edges/corners are written by
+/// multiple faces with identical values, as real face kernels do).
+void heat_step_face(const double* u, double* un, int n, int face);
+
+/// Number of cells a face kernel visits.
+std::uint64_t heat_face_cells(int n, int face);
+
+/// CPU reference: runs `steps` periodic heat steps over a flat array.
+void heat_reference(std::vector<double>& u, int n, int steps);
+
+/// Relative max-abs difference between two flat arrays (validation).
+double max_abs_diff(const double* a, const double* b, std::size_t count);
+
+}  // namespace tidacc::kernels

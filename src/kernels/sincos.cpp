@@ -1,0 +1,49 @@
+#include "kernels/sincos.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tidacc::kernels {
+
+oacc::LoopCost sincos_cost(int iterations, sim::MathClass math) {
+  TIDACC_CHECK_MSG(iterations > 0, "iterations must be positive");
+  TIDACC_CHECK_MSG(math != sim::MathClass::kNone,
+                   "the sincos kernel is transcendental-bound; pick a math "
+                   "codegen class");
+  oacc::LoopCost c;
+  // Per iteration: sin, cos, sqrt (one math unit) plus mul/mul/add/add.
+  c.math_units_per_iter = static_cast<double>(iterations);
+  c.flops_per_iter = 4.0 * iterations;
+  // One cold read + one write per cell per kernel.
+  c.dev_bytes_per_iter = 16.0;
+  c.math = math;
+  return c;
+}
+
+double sincos_initial(std::uint64_t x) {
+  return 0.5 + 1e-6 * static_cast<double>(x % 1024);
+}
+
+void sincos_init_flat(double* data, std::uint64_t count) {
+  for (std::uint64_t x = 0; x < count; ++x) {
+    data[x] = sincos_initial(x);
+  }
+}
+
+double sincos_cell(double value, int iterations) {
+  for (int it = 0; it < iterations; ++it) {
+    const double s = std::sin(value);
+    const double c = std::cos(value);
+    value += std::sqrt(s * s + c * c);
+  }
+  return value;
+}
+
+void sincos_step_flat(double* data, std::uint64_t count, int iterations) {
+  for (std::uint64_t x = 0; x < count; ++x) {
+    data[x] = sincos_cell(data[x], iterations);
+  }
+}
+
+}  // namespace tidacc::kernels

@@ -1,0 +1,35 @@
+// The paper's compute-intensive kernel (§VI-B), adopted from NVIDIA's
+// transfer/compute overlap benchmark: each cell repeatedly adds
+// sqrt(sin^2 + cos^2) of itself to itself. The repeat count
+// (kernel_iteration) tunes the compute:transfer ratio.
+#pragma once
+
+#include <cstdint>
+
+#include "oacc/oacc.hpp"
+
+namespace tidacc::kernels {
+
+/// Default inner-repeat count, chosen (as the paper does for the K40) so a
+/// region's kernel time exceeds its transfer time and overlap fully hides
+/// the copies.
+inline constexpr int kSinCosIterations = 64;
+
+/// Per-cell cost of the kernel: `iterations` transcendental units
+/// (sin+cos+sqrt), priced by `math` codegen class, plus the add/store
+/// traffic.
+oacc::LoopCost sincos_cost(int iterations, sim::MathClass math);
+
+/// Initial value for cell index `x` (flat).
+double sincos_initial(std::uint64_t x);
+
+/// Fills a flat array of `count` cells.
+void sincos_init_flat(double* data, std::uint64_t count);
+
+/// Functional body: applies `iterations` of the update to one cell value.
+double sincos_cell(double value, int iterations);
+
+/// Applies the kernel functionally over a flat range.
+void sincos_step_flat(double* data, std::uint64_t count, int iterations);
+
+}  // namespace tidacc::kernels

@@ -1,0 +1,64 @@
+#include "kernels/stencil27.hpp"
+
+#include "common/error.hpp"
+
+namespace tidacc::kernels {
+
+namespace {
+
+inline int wrap(int v, int n) { return ((v % n) + n) % n; }
+
+inline std::size_t idx(int i, int j, int k, int n) {
+  return (static_cast<std::size_t>(k) * n + j) * n + i;
+}
+
+}  // namespace
+
+oacc::LoopCost stencil27_cost() { return box_stencil_cost(1); }
+
+oacc::LoopCost box_stencil_cost(int radius) {
+  TIDACC_CHECK_MSG(radius >= 1, "radius must be positive");
+  const int points = (2 * radius + 1) * (2 * radius + 1) * (2 * radius + 1);
+  oacc::LoopCost c;
+  c.flops_per_iter = static_cast<double>(points + 1);
+  // Wider stencils touch more cache lines per cell; approximate the cold
+  // traffic as one line per k-plane of the neighbourhood plus the write.
+  c.dev_bytes_per_iter = 8.0 * (2 * radius + 2);
+  return c;
+}
+
+void stencil27_step_flat(const double* u, double* un, int n) {
+  box_stencil_step_flat(u, un, n, 1);
+}
+
+void box_stencil_step_flat(const double* u, double* un, int n, int radius) {
+  TIDACC_CHECK_MSG(radius >= 1, "radius must be positive");
+  const int points = (2 * radius + 1) * (2 * radius + 1) * (2 * radius + 1);
+  const double weight = 1.0 / static_cast<double>(points);
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        double acc = 0.0;
+        for (int dk = -radius; dk <= radius; ++dk) {
+          for (int dj = -radius; dj <= radius; ++dj) {
+            for (int di = -radius; di <= radius; ++di) {
+              acc += u[idx(wrap(i + di, n), wrap(j + dj, n),
+                           wrap(k + dk, n), n)];
+            }
+          }
+        }
+        un[idx(i, j, k, n)] = acc * weight;
+      }
+    }
+  }
+}
+
+void stencil27_reference(std::vector<double>& u, int n, int steps) {
+  std::vector<double> un(u.size());
+  for (int s = 0; s < steps; ++s) {
+    stencil27_step_flat(u.data(), un.data(), n);
+    u.swap(un);
+  }
+}
+
+}  // namespace tidacc::kernels

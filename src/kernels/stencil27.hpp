@@ -1,0 +1,31 @@
+// 27-point (3x3x3 box) stencil — a higher-order workload beyond the
+// paper's two kernels, used by the ghost-width ablation: wider stencils
+// need ghost = radius layers, and the exchange volume grows with the
+// radius, stressing the device-side ghost update path.
+#pragma once
+
+#include <vector>
+
+#include "oacc/oacc.hpp"
+
+namespace tidacc::kernels {
+
+/// Per-cell cost: 27 reads (≈3 cold lines) + 1 write, 28 flops.
+oacc::LoopCost stencil27_cost();
+
+/// Box-filter weight of one 3x3x3 neighbourhood (uniform 1/27).
+inline constexpr double kStencil27Weight = 1.0 / 27.0;
+
+/// One periodic 27-point step on a flat n^3 array.
+void stencil27_step_flat(const double* u, double* un, int n);
+
+/// CPU reference over multiple steps.
+void stencil27_reference(std::vector<double>& u, int n, int steps);
+
+/// Generalized box stencil of radius r ((2r+1)^3 points): per-cell cost.
+oacc::LoopCost box_stencil_cost(int radius);
+
+/// One periodic box-stencil step of radius r on a flat n^3 array.
+void box_stencil_step_flat(const double* u, double* un, int n, int radius);
+
+}  // namespace tidacc::kernels

@@ -1,0 +1,64 @@
+#include "oacc/present_table.hpp"
+
+#include "common/error.hpp"
+
+namespace tidacc::oacc {
+
+PresentEntry* PresentTable::find(const void* host) {
+  return const_cast<PresentEntry*>(
+      static_cast<const PresentTable*>(this)->find(host));
+}
+
+const PresentEntry* PresentTable::find(const void* host) const {
+  const auto addr = reinterpret_cast<std::uintptr_t>(host);
+  auto it = entries_.upper_bound(addr);
+  if (it == entries_.begin()) {
+    return nullptr;
+  }
+  --it;
+  const PresentEntry& e = it->second;
+  return (addr >= e.host_base && addr < e.host_base + e.bytes) ? &e : nullptr;
+}
+
+PresentEntry& PresentTable::insert(void* host, std::size_t bytes,
+                                   void* device) {
+  TIDACC_CHECK_MSG(host != nullptr && bytes > 0, "invalid present range");
+  const auto base = reinterpret_cast<std::uintptr_t>(host);
+  const auto next = entries_.lower_bound(base);
+  if (next != entries_.end()) {
+    TIDACC_CHECK_MSG(base + bytes <= next->first,
+                     "present ranges must not overlap (partially-present "
+                     "data is an OpenACC runtime error)");
+  }
+  if (next != entries_.begin()) {
+    const PresentEntry& prev = std::prev(next)->second;
+    TIDACC_CHECK_MSG(prev.host_base + prev.bytes <= base,
+                     "present ranges must not overlap (partially-present "
+                     "data is an OpenACC runtime error)");
+  }
+  PresentEntry e;
+  e.host_base = base;
+  e.bytes = bytes;
+  e.device = device;
+  e.refcount = 1;
+  return entries_.emplace(base, e).first->second;
+}
+
+void PresentTable::erase(const void* host_base) {
+  const auto it =
+      entries_.find(reinterpret_cast<std::uintptr_t>(host_base));
+  TIDACC_CHECK_MSG(it != entries_.end(),
+                   "erasing a host range that is not present");
+  entries_.erase(it);
+}
+
+void* PresentTable::device_ptr(const void* host) const {
+  const PresentEntry* e = find(host);
+  if (e == nullptr) {
+    return nullptr;
+  }
+  const auto offset = reinterpret_cast<std::uintptr_t>(host) - e->host_base;
+  return static_cast<char*>(e->device) + offset;
+}
+
+}  // namespace tidacc::oacc

@@ -1,0 +1,62 @@
+#include "sim/device_config.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tidacc::sim {
+
+const char* to_string(MathClass m) {
+  switch (m) {
+    case MathClass::kNone:
+      return "none";
+    case MathClass::kNvccPrecise:
+      return "nvcc-precise";
+    case MathClass::kPgiDefault:
+      return "pgi";
+    case MathClass::kNvccFastMath:
+      return "nvcc-fastmath";
+  }
+  return "?";
+}
+
+double DeviceConfig::math_factor(MathClass m) const {
+  switch (m) {
+    case MathClass::kNone:
+      return 0.0;
+    case MathClass::kNvccPrecise:
+      return math_factor_nvcc_precise;
+    case MathClass::kPgiDefault:
+      return math_factor_pgi;
+    case MathClass::kNvccFastMath:
+      return math_factor_nvcc_fast;
+  }
+  return 0.0;
+}
+
+std::uint64_t DeviceConfig::usable_memory() const {
+  TIDACC_CHECK_MSG(memory_bytes > reserved_bytes,
+                   "device memory smaller than runtime reservation");
+  return memory_bytes - reserved_bytes;
+}
+
+DeviceConfig DeviceConfig::k40m() { return DeviceConfig{}; }
+
+DeviceConfig DeviceConfig::k40m_limited(std::uint64_t usable_bytes) {
+  DeviceConfig cfg;
+  cfg.name = "K40m-class (simulated, limited memory)";
+  cfg.memory_bytes = usable_bytes + cfg.reserved_bytes;
+  return cfg;
+}
+
+std::string DeviceConfig::summary() const {
+  std::ostringstream os;
+  os << name << ": mem=" << format_bytes(usable_memory())
+     << " usable, PCIe pinned " << pinned_h2d_gbps << "/" << pinned_d2h_gbps
+     << " GB/s, pageable " << pageable_h2d_gbps << "/" << pageable_d2h_gbps
+     << " GB/s, devmem " << device_mem_gbps << " GB/s, " << dp_tflops
+     << " TF/s DP, " << copy_engines << " copy engine(s)";
+  return os.str();
+}
+
+}  // namespace tidacc::sim

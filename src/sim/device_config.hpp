@@ -1,0 +1,113 @@
+// Device/platform timing model parameters.
+//
+// The simulator reproduces a K40m-class GPU attached over PCIe Gen3 — the
+// testbed of Bastem et al. (ICPP'17). Every constant here is documented in
+// DESIGN.md §6 and can be overridden per run; benches print the config used.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace tidacc::sim {
+
+/// Cost class of transcendental math codegen (paper §VI-B): nvcc's precise
+/// libdevice DP sin/cos is slowest, PGI's codegen is faster, nvcc with
+/// --use_fast_math is fastest (at lower precision).
+enum class MathClass : int {
+  kNone = 0,         ///< kernel uses no transcendental functions
+  kNvccPrecise = 1,  ///< nvcc default DP sin/cos/sqrt
+  kPgiDefault = 2,   ///< PGI (OpenACC) math codegen
+  kNvccFastMath = 3  ///< nvcc --use_fast_math
+};
+
+const char* to_string(MathClass m);
+
+/// All tunable constants of the simulated platform.
+struct DeviceConfig {
+  std::string name = "K40m-class (simulated)";
+
+  // --- device memory ---
+  std::uint64_t memory_bytes = 12ull * kGiB;  ///< physical device memory
+  std::uint64_t reserved_bytes =
+      768ull * kMiB;  ///< runtime/context reservation (not allocatable)
+
+  // --- PCIe link ---
+  double pinned_h2d_gbps = 10.5;    ///< pinned host→device bandwidth (GB/s)
+  double pinned_d2h_gbps = 10.0;    ///< pinned device→host bandwidth (GB/s)
+  double pageable_h2d_gbps = 5.8;   ///< pageable effective H2D bandwidth
+  double pageable_d2h_gbps = 5.4;   ///< pageable effective D2H bandwidth
+  double d2d_gbps = 180.0;          ///< device-to-device copy bandwidth
+  SimTime transfer_latency_ns = 8 * kMicrosecond;  ///< per-transfer setup
+  SimTime pageable_staging_ns =
+      12 * kMicrosecond;  ///< extra staging setup per pageable transfer
+  int copy_engines = 2;   ///< K40m has separate H2D and D2H DMA engines
+
+  /// Concurrent-kernel lanes on the compute engine. 1 (default) serializes
+  /// kernels — the model that matches the paper's era, where large kernels
+  /// fill the device. >1 models Hyper-Q style concurrent kernels.
+  int compute_lanes = 1;
+
+  // --- compute ---
+  double device_mem_gbps = 205.0;  ///< effective device memory bandwidth
+  double dp_tflops = 1.43;         ///< DP peak
+  SimTime kernel_launch_ns = 6 * kMicrosecond;  ///< CUDA launch latency
+  SimTime oacc_dispatch_extra_ns =
+      4 * kMicrosecond;  ///< extra OpenACC runtime dispatch per kernel
+  double untuned_geometry_factor =
+      1.12;  ///< slowdown when launch geometry is compiler-chosen (§II-C)
+
+  /// flop-equivalents of one `sin+cos+sqrt` unit under nvcc precise codegen;
+  /// the MathClass factors below scale it.
+  double math_unit_flops = 330.0;
+  double math_factor_nvcc_precise = 1.0;
+  double math_factor_pgi = 0.55;
+  double math_factor_nvcc_fast = 0.30;
+
+  // --- host ---
+  SimTime host_api_overhead_ns = 2 * kMicrosecond;  ///< per async API call
+  SimTime sync_overhead_ns = 3 * kMicrosecond;      ///< per synchronize call
+  double host_copy_gbps = 12.0;  ///< host-to-host memcpy bandwidth
+  double host_dp_gflops = 60.0;  ///< host DP throughput (CPU tile path)
+  double host_mem_gbps = 40.0;   ///< host memory bandwidth (CPU tile path)
+  /// host-side cost to compute one ghost-copy index descriptor (source box,
+  /// destination box, strides) — paper §IV-B6: the CPU computes these while
+  /// the GPU applies previously computed updates.
+  SimTime host_index_calc_ns_per_copy = 1000;
+
+  // --- unified (managed) memory ---
+  /// Driver generation for managed memory:
+  ///  * kKepler (paper era, CUDA 6): the runtime migrates every attached
+  ///    host-resident managed allocation to the device at kernel launch,
+  ///    and requires device synchronization before CPU access;
+  ///  * kPascal: page-fault-driven demand migration (per-page fault cost on
+  ///    first device touch), plus cuemMemPrefetchAsync to move data at full
+  ///    bandwidth ahead of the faults.
+  enum class UvmMode : int { kKepler = 0, kPascal = 1 };
+  UvmMode uvm_mode = UvmMode::kKepler;
+  std::uint64_t uvm_page_bytes = 64 * kKiB;
+  SimTime uvm_launch_check_ns =
+      10 * kMicrosecond;  ///< per managed allocation, per kernel launch
+  SimTime uvm_page_fault_ns = 15 * kMicrosecond;  ///< per page fault
+  double uvm_migrate_gbps = 5.0;  ///< migration bandwidth (pageable-class)
+  double uvm_prefetch_gbps = 9.5;  ///< cuemMemPrefetchAsync bandwidth
+
+  /// Returns the math cost factor for a class (kNone → 0).
+  double math_factor(MathClass m) const;
+
+  /// Allocatable device memory (memory_bytes - reserved_bytes).
+  std::uint64_t usable_memory() const;
+
+  /// The default preset used throughout tests and benches.
+  static DeviceConfig k40m();
+
+  /// K40m preset with device memory capped so only `bytes` are allocatable —
+  /// used for the paper's limited-memory experiments (Figs 7, 8).
+  static DeviceConfig k40m_limited(std::uint64_t usable_bytes);
+
+  /// One-line description for bench headers.
+  std::string summary() const;
+};
+
+}  // namespace tidacc::sim

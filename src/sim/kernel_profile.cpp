@@ -1,0 +1,26 @@
+#include "sim/kernel_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace tidacc::sim {
+
+SimTime KernelProfile::duration_ns(const DeviceConfig& cfg) const {
+  TIDACC_CHECK_MSG(math_units_per_element == 0.0 || math != MathClass::kNone,
+                   "kernel uses math units but has no MathClass");
+  const SimTime mem_ns = transfer_time_ns(
+      static_cast<std::uint64_t>(std::llround(total_bytes())),
+      cfg.device_mem_gbps);
+  const SimTime flop_ns = compute_time_ns(total_flops(cfg), cfg.dp_tflops);
+  TIDACC_CHECK_MSG(efficiency_factor >= 1.0,
+                   "efficiency_factor models a penalty; must be >= 1");
+  const double geometry =
+      tuned_geometry ? 1.0 : cfg.untuned_geometry_factor;
+  const double ns = static_cast<double>(std::max(mem_ns, flop_ns)) *
+                    geometry * efficiency_factor;
+  return static_cast<SimTime>(std::llround(ns));
+}
+
+}  // namespace tidacc::sim

@@ -1,0 +1,220 @@
+#include "sim/platform.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace tidacc::sim {
+
+std::unique_ptr<Platform> Platform::g_instance;
+
+const char* to_string(HostMemKind k) {
+  switch (k) {
+    case HostMemKind::kPageable:
+      return "pageable";
+    case HostMemKind::kPinned:
+      return "pinned";
+    case HostMemKind::kManaged:
+      return "managed";
+  }
+  return "?";
+}
+
+Platform::Platform(DeviceConfig cfg, bool functional)
+    : cfg_(std::move(cfg)), functional_(functional) {
+  TIDACC_CHECK_MSG(cfg_.copy_engines == 1 || cfg_.copy_engines == 2,
+                   "copy_engines must be 1 or 2");
+  TIDACC_CHECK_MSG(cfg_.compute_lanes >= 1, "need at least 1 compute lane");
+  engine_lanes_[static_cast<int>(EngineId::kCompute)].assign(
+      static_cast<size_t>(cfg_.compute_lanes), 0);
+  engine_lanes_[static_cast<int>(EngineId::kCopyH2D)].assign(1, 0);
+  engine_lanes_[static_cast<int>(EngineId::kCopyD2H)].assign(1, 0);
+  // Stream 0: the default stream.
+  stream_avail_.push_back(0);
+  stream_alive_.push_back(true);
+}
+
+StreamId Platform::create_stream() {
+  stream_avail_.push_back(host_clock_);
+  stream_alive_.push_back(true);
+  return static_cast<StreamId>(stream_avail_.size() - 1);
+}
+
+void Platform::destroy_stream(StreamId s) {
+  check_stream(s);
+  TIDACC_CHECK_MSG(s != 0, "the default stream cannot be destroyed");
+  stream_alive_[static_cast<size_t>(s)] = false;
+}
+
+bool Platform::stream_idle(StreamId s) const {
+  check_stream(s);
+  return stream_avail_[static_cast<size_t>(s)] <= host_clock_;
+}
+
+SimTime Platform::stream_avail(StreamId s) const {
+  check_stream(s);
+  return stream_avail_[static_cast<size_t>(s)];
+}
+
+void Platform::sync_stream(StreamId s) {
+  check_stream(s);
+  host_clock_ = std::max(host_clock_ + cfg_.sync_overhead_ns,
+                         stream_avail_[static_cast<size_t>(s)]);
+}
+
+void Platform::sync_all() {
+  SimTime latest = host_clock_ + cfg_.sync_overhead_ns;
+  for (size_t s = 0; s < stream_avail_.size(); ++s) {
+    latest = std::max(latest, stream_avail_[s]);
+  }
+  host_clock_ = latest;
+}
+
+EngineId Platform::copy_engine_for(OpKind kind) const {
+  switch (kind) {
+    case OpKind::kCopyH2D:
+    case OpKind::kCopyD2D:
+    case OpKind::kUvmMigration:
+      return EngineId::kCopyH2D;
+    case OpKind::kCopyD2H:
+      return cfg_.copy_engines == 2 ? EngineId::kCopyD2H : EngineId::kCopyH2D;
+    default:
+      TIDACC_FAIL("not a copy kind");
+  }
+}
+
+SimTime Platform::schedule(StreamId s, EngineId engine, OpKind kind,
+                           SimTime duration, std::uint64_t bytes,
+                           std::string label,
+                           const std::function<void()>& action) {
+  const size_t si = static_cast<size_t>(s);
+  auto& lanes = engine_lanes_[static_cast<int>(engine)];
+  // The op takes the earliest-available lane of its engine.
+  auto lane = std::min_element(lanes.begin(), lanes.end());
+  const SimTime start = std::max({host_clock_, stream_avail_[si], *lane});
+  const SimTime finish = start + duration;
+  stream_avail_[si] = finish;
+  *lane = finish;
+  trace_.add(TraceEvent{engine, s, kind, start, finish, bytes,
+                        std::move(label)});
+  if (functional_ && action) {
+    action();
+  }
+  return finish;
+}
+
+SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
+                               std::function<void()> action) {
+  check_stream(s);
+  host_clock_ += cfg_.host_api_overhead_ns;
+
+  double gbps = 0.0;
+  SimTime setup = cfg_.transfer_latency_ns;
+  bool host_participates = req.blocking;
+  switch (req.kind) {
+    case OpKind::kCopyH2D:
+      if (req.host_mem == HostMemKind::kPinned) {
+        gbps = cfg_.pinned_h2d_gbps;
+      } else {
+        gbps = cfg_.pageable_h2d_gbps;
+        setup += cfg_.pageable_staging_ns;
+        host_participates = true;  // pageable async copies stage via the host
+      }
+      break;
+    case OpKind::kCopyD2H:
+      if (req.host_mem == HostMemKind::kPinned) {
+        gbps = cfg_.pinned_d2h_gbps;
+      } else {
+        gbps = cfg_.pageable_d2h_gbps;
+        setup += cfg_.pageable_staging_ns;
+        host_participates = true;
+      }
+      break;
+    case OpKind::kCopyD2D:
+      gbps = cfg_.d2d_gbps;
+      break;
+    case OpKind::kUvmMigration:
+      gbps = cfg_.uvm_migrate_gbps;
+      break;
+    default:
+      TIDACC_FAIL("enqueue_copy called with a non-copy OpKind");
+  }
+
+  if (req.gbps_override > 0.0) {
+    gbps = req.gbps_override;
+  }
+  const SimTime duration =
+      setup + req.extra_ns + transfer_time_ns(req.bytes, gbps);
+  const SimTime finish = schedule(s, copy_engine_for(req.kind), req.kind,
+                                  duration, req.bytes, req.label, action);
+  if (host_participates) {
+    host_clock_ = std::max(host_clock_, finish);
+  }
+  return finish;
+}
+
+SimTime Platform::enqueue_kernel(StreamId s, const KernelProfile& profile,
+                                 SimTime dispatch_extra_ns,
+                                 std::function<void()> action,
+                                 std::string label) {
+  check_stream(s);
+  host_clock_ += cfg_.host_api_overhead_ns + dispatch_extra_ns;
+  const SimTime duration = cfg_.kernel_launch_ns + profile.duration_ns(cfg_);
+  return schedule(s, EngineId::kCompute, OpKind::kKernel, duration, 0,
+                  std::move(label), action);
+}
+
+EventId Platform::record_event(StreamId s) {
+  check_stream(s);
+  host_clock_ += cfg_.host_api_overhead_ns;
+  const SimTime t = std::max(host_clock_, stream_avail_[static_cast<size_t>(s)]);
+  events_.push_back(t);
+  trace_.add(TraceEvent{EngineId::kCompute, s, OpKind::kEventRecord, t, t, 0,
+                        "event"});
+  return static_cast<EventId>(events_.size() - 1);
+}
+
+void Platform::stream_wait_event(StreamId s, EventId e) {
+  check_stream(s);
+  TIDACC_CHECK(e >= 0 && static_cast<size_t>(e) < events_.size());
+  host_clock_ += cfg_.host_api_overhead_ns;
+  auto& avail = stream_avail_[static_cast<size_t>(s)];
+  avail = std::max(avail, events_[static_cast<size_t>(e)]);
+}
+
+SimTime Platform::event_finish(EventId e) const {
+  TIDACC_CHECK(e >= 0 && static_cast<size_t>(e) < events_.size());
+  return events_[static_cast<size_t>(e)];
+}
+
+void Platform::sync_event(EventId e) {
+  host_clock_ =
+      std::max(host_clock_ + cfg_.sync_overhead_ns, event_finish(e));
+}
+
+void Platform::check_stream(StreamId s) const {
+  TIDACC_CHECK_MSG(
+      s >= 0 && static_cast<size_t>(s) < stream_avail_.size() &&
+          stream_alive_[static_cast<size_t>(s)],
+      "invalid or destroyed stream id");
+}
+
+Platform& Platform::instance() {
+  if (!g_instance) {
+    g_instance = std::make_unique<Platform>();
+  }
+  return *g_instance;
+}
+
+namespace {
+std::uint64_t g_generation = 0;
+}
+
+void Platform::reset_instance(DeviceConfig cfg, bool functional) {
+  g_instance = std::make_unique<Platform>(std::move(cfg), functional);
+  ++g_generation;
+}
+
+std::uint64_t Platform::generation() { return g_generation; }
+
+}  // namespace tidacc::sim

@@ -1,0 +1,177 @@
+// The simulated GPU platform.
+//
+// Model: one host thread with a virtual clock, plus a device with one
+// compute engine and one or two DMA copy engines. Streams are in-order
+// FIFOs; operations from different streams overlap whenever their engines
+// are free — exactly CUDA's stream semantics, which is the mechanism the
+// paper's TiDA-acc library exploits to hide transfer latency.
+//
+// Scheduling is resolved eagerly at enqueue time: an operation starts at
+//   max(host-enqueue time, completion of stream predecessor, engine free)
+// and the engine processes work in enqueue order (hardware DMA/launch
+// queues are FIFO). This makes the whole simulation a deterministic O(1)
+// bookkeeping step per operation — no event queue needed.
+//
+// Functional duality: each operation may carry a closure that performs the
+// real data movement/kernel computation on host memory. In functional mode
+// (tests, examples) closures run; in timing-only mode (paper-scale benches)
+// they are skipped and only virtual time advances.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "sim/device_config.hpp"
+#include "sim/kernel_profile.hpp"
+#include "sim/trace.hpp"
+
+namespace tidacc::sim {
+
+using StreamId = int;  ///< 0 is the default stream, created at construction
+using EventId = int;
+
+/// Kind of host memory participating in a transfer (affects bandwidth and
+/// whether the host must block for staging).
+enum class HostMemKind : int { kPageable = 0, kPinned = 1, kManaged = 2 };
+
+const char* to_string(HostMemKind k);
+
+/// Parameters of a copy submitted to the platform.
+struct CopyRequest {
+  OpKind kind = OpKind::kCopyH2D;  ///< kCopyH2D/kCopyD2H/kCopyD2D/kUvmMigration
+  std::uint64_t bytes = 0;
+  HostMemKind host_mem = HostMemKind::kPinned;
+  bool blocking = false;  ///< synchronous API (cuemMemcpy): host waits
+  SimTime extra_ns = 0;   ///< additive cost (e.g. UVM page-fault latency)
+  double gbps_override = 0.0;  ///< replaces the config bandwidth when > 0
+  std::string label;
+};
+
+/// Deterministic discrete-event model of host + GPU + PCIe link.
+class Platform {
+ public:
+  explicit Platform(DeviceConfig cfg = DeviceConfig::k40m(),
+                    bool functional = true);
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  const DeviceConfig& config() const { return cfg_; }
+
+  bool functional() const { return functional_; }
+  void set_functional(bool on) { functional_ = on; }
+
+  // --- streams ---
+
+  /// Creates a new stream and returns its id.
+  StreamId create_stream();
+
+  /// Destroys a stream. Pending virtual work is allowed to complete (CUDA
+  /// semantics: destruction is deferred), so this only invalidates the id.
+  void destroy_stream(StreamId s);
+
+  int num_streams() const { return static_cast<int>(stream_avail_.size()); }
+
+  /// True when `s` names a live (created, not destroyed) stream.
+  bool stream_valid(StreamId s) const {
+    return s >= 0 && static_cast<size_t>(s) < stream_avail_.size() &&
+           stream_alive_[static_cast<size_t>(s)];
+  }
+
+  /// True when `e` names a recorded event.
+  bool event_valid(EventId e) const {
+    return e >= 0 && static_cast<size_t>(e) < events_.size();
+  }
+
+  /// True when the stream has no work completing after the host clock
+  /// (the analogue of cudaStreamQuery() == cudaSuccess).
+  bool stream_idle(StreamId s) const;
+
+  /// Virtual time at which all currently enqueued work on `s` completes.
+  SimTime stream_avail(StreamId s) const;
+
+  // --- host timeline ---
+
+  /// Current host virtual time.
+  SimTime now() const { return host_clock_; }
+
+  /// Advances the host clock by `ns` (models host-side computation).
+  void host_advance(SimTime ns) { host_clock_ += ns; }
+
+  /// Blocks the host until stream `s` drains.
+  void sync_stream(StreamId s);
+
+  /// Blocks the host until every stream drains.
+  void sync_all();
+
+  // --- operations ---
+
+  /// Enqueues a copy; returns its virtual completion time. `action` performs
+  /// the real memmove in functional mode. Pageable transfers and blocking
+  /// requests hold the host until completion (CUDA staging semantics).
+  SimTime enqueue_copy(StreamId s, const CopyRequest& req,
+                       std::function<void()> action);
+
+  /// Enqueues a kernel; returns its virtual completion time.
+  /// `dispatch_extra_ns` models runtime-specific launch overhead on top of
+  /// the base CUDA launch latency (e.g. the OpenACC runtime's dispatch).
+  SimTime enqueue_kernel(StreamId s, const KernelProfile& profile,
+                         SimTime dispatch_extra_ns,
+                         std::function<void()> action, std::string label);
+
+  /// Records an event on the stream; completes when prior work completes.
+  EventId record_event(StreamId s);
+
+  /// Makes subsequent work on `s` wait for `e` (cudaStreamWaitEvent).
+  void stream_wait_event(StreamId s, EventId e);
+
+  /// Virtual completion time of a recorded event.
+  SimTime event_finish(EventId e) const;
+
+  /// Blocks the host until event `e` completes.
+  void sync_event(EventId e);
+
+  // --- trace ---
+
+  Trace& trace() { return trace_; }
+  const Trace& trace() const { return trace_; }
+
+  // --- process-wide instance used by the cuem C API ---
+
+  /// Returns the global platform, creating a default one on first use.
+  static Platform& instance();
+
+  /// Replaces the global platform (device reset / reconfiguration).
+  static void reset_instance(DeviceConfig cfg = DeviceConfig::k40m(),
+                             bool functional = true);
+
+  /// Monotone counter bumped on every reset_instance; layers that cache
+  /// stream handles compare it to know when their state went stale.
+  static std::uint64_t generation();
+
+ private:
+  void check_stream(StreamId s) const;
+  EngineId copy_engine_for(OpKind kind) const;
+  SimTime schedule(StreamId s, EngineId engine, OpKind kind, SimTime duration,
+                   std::uint64_t bytes, std::string label,
+                   const std::function<void()>& action);
+
+  DeviceConfig cfg_;
+  bool functional_ = true;
+  SimTime host_clock_ = 0;
+  std::vector<SimTime> stream_avail_;
+  std::vector<bool> stream_alive_;
+  /// Per-engine lane availability (compute may have several concurrent
+  /// lanes; DMA engines have one each).
+  std::vector<SimTime> engine_lanes_[kNumEngines];
+  std::vector<SimTime> events_;
+  Trace trace_;
+
+  static std::unique_ptr<Platform> g_instance;
+};
+
+}  // namespace tidacc::sim

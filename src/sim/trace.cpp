@@ -1,0 +1,201 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace tidacc::sim {
+
+const char* to_string(EngineId e) {
+  switch (e) {
+    case EngineId::kCompute:
+      return "compute";
+    case EngineId::kCopyH2D:
+      return "copy-h2d";
+    case EngineId::kCopyD2H:
+      return "copy-d2h";
+  }
+  return "?";
+}
+
+const char* to_string(OpKind k) {
+  switch (k) {
+    case OpKind::kKernel:
+      return "kernel";
+    case OpKind::kCopyH2D:
+      return "H2D";
+    case OpKind::kCopyD2H:
+      return "D2H";
+    case OpKind::kCopyD2D:
+      return "D2D";
+    case OpKind::kEventRecord:
+      return "event";
+    case OpKind::kUvmMigration:
+      return "uvm";
+  }
+  return "?";
+}
+
+void Trace::add(TraceEvent ev) {
+  TIDACC_CHECK(ev.finish >= ev.start);
+  const SimTime busy = ev.finish - ev.start;
+  switch (ev.kind) {
+    case OpKind::kKernel:
+      ++stats_.num_kernels;
+      stats_.compute_busy += busy;
+      break;
+    case OpKind::kCopyH2D:
+    case OpKind::kUvmMigration:
+      ++stats_.num_copies;
+      stats_.h2d_bytes += ev.bytes;
+      stats_.copy_busy += busy;
+      break;
+    case OpKind::kCopyD2H:
+      ++stats_.num_copies;
+      stats_.d2h_bytes += ev.bytes;
+      stats_.copy_busy += busy;
+      break;
+    case OpKind::kCopyD2D:
+      ++stats_.num_copies;
+      stats_.copy_busy += busy;
+      break;
+    case OpKind::kEventRecord:
+      break;
+  }
+  stats_.makespan = std::max(stats_.makespan, ev.finish);
+  if (recording_) {
+    events_.push_back(std::move(ev));
+  }
+}
+
+void Trace::clear() {
+  events_.clear();
+  stats_ = TraceStats{};
+}
+
+std::string Trace::render_gantt(int columns) const {
+  TIDACC_CHECK(columns >= 20);
+  if (events_.empty()) {
+    return "(empty trace)\n";
+  }
+
+  SimTime t0 = events_.front().start;
+  SimTime t1 = events_.front().finish;
+  for (const TraceEvent& ev : events_) {
+    t0 = std::min(t0, ev.start);
+    t1 = std::max(t1, ev.finish);
+  }
+  const double span = std::max<double>(1.0, static_cast<double>(t1 - t0));
+
+  // Lanes keyed by (stream, engine) so each stream shows its transfer and
+  // compute activity on separate rows, like the paper's Fig. 7.
+  std::map<std::pair<int, int>, std::string> lanes;
+  const auto lane_for = [&](int stream, EngineId engine) -> std::string& {
+    const auto key = std::make_pair(stream, static_cast<int>(engine));
+    auto it = lanes.find(key);
+    if (it == lanes.end()) {
+      it = lanes.emplace(key, std::string(static_cast<size_t>(columns), '.'))
+               .first;
+    }
+    return it->second;
+  };
+  const auto fill_char = [](OpKind k) {
+    switch (k) {
+      case OpKind::kKernel:
+        return 'C';
+      case OpKind::kCopyH2D:
+        return '>';
+      case OpKind::kCopyD2H:
+        return '<';
+      case OpKind::kCopyD2D:
+        return '=';
+      case OpKind::kUvmMigration:
+        return 'u';
+      case OpKind::kEventRecord:
+        return '|';
+    }
+    return '?';
+  };
+
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == OpKind::kEventRecord) {
+      continue;
+    }
+    std::string& lane = lane_for(ev.stream, ev.engine);
+    const auto col = [&](SimTime t) {
+      const double frac = static_cast<double>(t - t0) / span;
+      return std::min(columns - 1,
+                      static_cast<int>(frac * static_cast<double>(columns)));
+    };
+    const int c0 = col(ev.start);
+    const int c1 = std::max(c0, col(ev.finish));
+    for (int c = c0; c <= c1; ++c) {
+      lane[static_cast<size_t>(c)] = fill_char(ev.kind);
+    }
+  }
+
+  std::ostringstream os;
+  os << "time: " << format_time(t0) << " .. " << format_time(t1)
+     << "   ('>' H2D, '<' D2H, 'C' kernel, '=' D2D, 'u' UVM)\n";
+  for (const auto& [key, lane] : lanes) {
+    os << "s" << key.first << "/"
+       << to_string(static_cast<EngineId>(key.second)) << "  ";
+    // pad engine names to equal width
+    const std::string tag =
+        to_string(static_cast<EngineId>(key.second));
+    for (size_t i = tag.size(); i < 8; ++i) {
+      os << ' ';
+    }
+    os << '[' << lane << "]\n";
+  }
+  return os.str();
+}
+
+double Trace::compute_utilization() const {
+  SimTime first_start = ~SimTime{0};
+  SimTime last_finish = 0;
+  SimTime busy = 0;
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind != OpKind::kKernel) {
+      continue;
+    }
+    first_start = std::min(first_start, ev.start);
+    last_finish = std::max(last_finish, ev.finish);
+    busy += ev.finish - ev.start;
+  }
+  if (last_finish <= first_start) {
+    return 0.0;
+  }
+  return static_cast<double>(busy) /
+         static_cast<double>(last_finish - first_start);
+}
+
+std::string Trace::to_chrome_json() const {
+  std::ostringstream os;
+  os << "[\n";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (ev.kind == OpKind::kEventRecord) {
+      continue;
+    }
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    // Durations in microseconds (chrome tracing convention).
+    os << "  {\"name\": \"" << (ev.label.empty() ? to_string(ev.kind)
+                                                 : ev.label)
+       << "\", \"cat\": \"" << to_string(ev.kind) << "\", \"ph\": \"X\""
+       << ", \"ts\": " << static_cast<double>(ev.start) / 1e3
+       << ", \"dur\": " << static_cast<double>(ev.finish - ev.start) / 1e3
+       << ", \"pid\": 0, \"tid\": " << static_cast<int>(ev.engine)
+       << ", \"args\": {\"stream\": " << ev.stream
+       << ", \"bytes\": " << ev.bytes << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace tidacc::sim

@@ -1,0 +1,33 @@
+#include "tida/box.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "tida/index.hpp"
+
+namespace tidacc::tida {
+
+std::string Index3::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Index3& idx) {
+  return os << '(' << idx.i << ',' << idx.j << ',' << idx.k << ')';
+}
+
+std::string Box::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Box& b) {
+  if (b.empty()) {
+    return os << "[empty]";
+  }
+  return os << '[' << b.lo << ".." << b.hi << ']';
+}
+
+}  // namespace tidacc::tida

@@ -1,0 +1,71 @@
+// Axis-aligned index box: the index-space algebra regions, tiles and ghost
+// exchanges are built from. Bounds are inclusive on both ends (BoxLib/AMReX
+// convention, which the original TiDA follows).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "tida/index.hpp"
+
+namespace tidacc::tida {
+
+/// Inclusive index box [lo, hi]. A box with any hi component < lo is empty.
+struct Box {
+  Index3 lo{0, 0, 0};
+  Index3 hi{-1, -1, -1};  // default: empty
+
+  /// Box covering [0, n) in each dimension.
+  static Box from_extents(const Index3& n) {
+    return Box{{0, 0, 0}, {n.i - 1, n.j - 1, n.k - 1}};
+  }
+  /// Cube covering [0, n)^3.
+  static Box cube(int n) { return from_extents({n, n, n}); }
+
+  bool empty() const { return hi.i < lo.i || hi.j < lo.j || hi.k < lo.k; }
+
+  /// Extent per dimension (0 when empty in that dimension).
+  Index3 extent() const {
+    if (empty()) {
+      return {0, 0, 0};
+    }
+    return {hi.i - lo.i + 1, hi.j - lo.j + 1, hi.k - lo.k + 1};
+  }
+
+  /// Number of cells.
+  std::uint64_t volume() const {
+    const Index3 e = extent();
+    return static_cast<std::uint64_t>(e.i) * static_cast<std::uint64_t>(e.j) *
+           static_cast<std::uint64_t>(e.k);
+  }
+
+  bool contains(const Index3& p) const {
+    return !empty() && p.all_ge(lo) && p.all_le(hi);
+  }
+  bool contains(const Box& b) const {
+    return b.empty() || (contains(b.lo) && contains(b.hi));
+  }
+
+  /// Intersection (possibly empty).
+  Box intersect(const Box& o) const {
+    return Box{Index3::max(lo, o.lo), Index3::min(hi, o.hi)};
+  }
+
+  bool intersects(const Box& o) const { return !intersect(o).empty(); }
+
+  /// Grows by `g` cells on every face (negative shrinks).
+  Box grow(int g) const { return grow(Index3::uniform(g)); }
+  Box grow(const Index3& g) const { return Box{lo - g, hi + g}; }
+
+  /// Translates by `d`.
+  Box shift(const Index3& d) const { return Box{lo + d, hi + d}; }
+
+  friend bool operator==(const Box&, const Box&) = default;
+
+  std::string to_string() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const Box& b);
+
+}  // namespace tidacc::tida

@@ -1,0 +1,340 @@
+// Baseline cross-validation: every heat and sincos variant must produce the
+// same field as the plain CPU reference (functional mode), and the relative
+// timing behaviour must match the paper's qualitative claims (timing mode).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/heat_baselines.hpp"
+#include "baselines/sincos_baselines.hpp"
+#include "common/units.hpp"
+#include "kernels/heat.hpp"
+#include "kernels/sincos.hpp"
+#include "oacc/oacc.hpp"
+
+namespace tidacc::baselines {
+namespace {
+
+using sim::DeviceConfig;
+
+void fresh(bool functional, DeviceConfig cfg = DeviceConfig::k40m()) {
+  cuem::configure(cfg, functional);
+  oacc::reset();
+}
+
+// --- functional equivalence: heat ---
+
+std::vector<double> heat_ref(int n, int steps) {
+  std::vector<double> u(static_cast<std::size_t>(n) * n * n);
+  kernels::heat_init_flat(u.data(), n);
+  kernels::heat_reference(u, n, steps);
+  return u;
+}
+
+struct HeatVariantCase {
+  HeatModel model;
+  MemoryKind memory;
+};
+
+class HeatVariants : public ::testing::TestWithParam<HeatVariantCase> {};
+
+TEST_P(HeatVariants, MatchesReference) {
+  fresh(/*functional=*/true);
+  const auto& c = GetParam();
+  HeatParams p;
+  p.n = 10;
+  p.steps = 3;
+  p.memory = c.memory;
+  p.keep_result = true;
+  const RunResult run = run_heat_baseline(c.model, p);
+  const std::vector<double> ref = heat_ref(p.n, p.steps);
+  ASSERT_EQ(run.data.size(), ref.size());
+  EXPECT_LE(kernels::max_abs_diff(run.data.data(), ref.data(), ref.size()),
+            1e-13)
+      << to_string(c.model) << " / " << to_string(c.memory);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, HeatVariants,
+    ::testing::Values(
+        HeatVariantCase{HeatModel::kCudaOnly, MemoryKind::kPageable},
+        HeatVariantCase{HeatModel::kCudaOnly, MemoryKind::kPinned},
+        HeatVariantCase{HeatModel::kCudaOnly, MemoryKind::kManaged},
+        HeatVariantCase{HeatModel::kAccOnly, MemoryKind::kPageable},
+        HeatVariantCase{HeatModel::kAccOnly, MemoryKind::kPinned},
+        HeatVariantCase{HeatModel::kAccOnly, MemoryKind::kManaged},
+        HeatVariantCase{HeatModel::kCudaMemAccKernels, MemoryKind::kPageable},
+        HeatVariantCase{HeatModel::kCudaMemAccKernels, MemoryKind::kPinned}));
+
+TEST(HeatTida, MatchesReferenceFullMemory) {
+  fresh(true);
+  HeatTidaParams p;
+  p.n = 12;
+  p.steps = 3;
+  p.regions = 4;
+  p.keep_result = true;
+  const RunResult run = run_heat_tidacc(p);
+  const std::vector<double> ref = heat_ref(p.n, p.steps);
+  ASSERT_EQ(run.data.size(), ref.size());
+  EXPECT_LE(kernels::max_abs_diff(run.data.data(), ref.data(), ref.size()),
+            1e-13);
+}
+
+TEST(HeatTida, MatchesReferenceLimitedMemory) {
+  fresh(true);
+  HeatTidaParams p;
+  p.n = 12;
+  p.steps = 3;
+  p.regions = 6;
+  p.max_slots = 2;
+  p.keep_result = true;
+  const RunResult run = run_heat_tidacc(p);
+  const std::vector<double> ref = heat_ref(p.n, p.steps);
+  ASSERT_EQ(run.data.size(), ref.size());
+  EXPECT_LE(kernels::max_abs_diff(run.data.data(), ref.data(), ref.size()),
+            1e-13);
+}
+
+TEST(HeatTida, MatchesReferenceSingleRegion) {
+  fresh(true);
+  HeatTidaParams p;
+  p.n = 10;
+  p.steps = 2;
+  p.regions = 1;
+  p.keep_result = true;
+  const RunResult run = run_heat_tidacc(p);
+  const std::vector<double> ref = heat_ref(p.n, p.steps);
+  EXPECT_LE(kernels::max_abs_diff(run.data.data(), ref.data(), ref.size()),
+            1e-13);
+}
+
+// --- functional equivalence: sincos ---
+
+std::vector<double> sincos_ref(int n, int steps, int iterations) {
+  const std::size_t count = static_cast<std::size_t>(n) * n * n;
+  std::vector<double> u(count);
+  kernels::sincos_init_flat(u.data(), count);
+  for (int s = 0; s < steps; ++s) {
+    kernels::sincos_step_flat(u.data(), count, iterations);
+  }
+  return u;
+}
+
+class SinCosVariants : public ::testing::TestWithParam<SinCosVariant> {};
+
+TEST_P(SinCosVariants, MatchesReference) {
+  fresh(true);
+  SinCosParams p;
+  p.n = 8;
+  p.steps = 2;
+  p.iterations = 3;
+  p.keep_result = true;
+  const RunResult run = run_sincos_baseline(GetParam(), p);
+  const std::vector<double> ref = sincos_ref(p.n, p.steps, p.iterations);
+  ASSERT_EQ(run.data.size(), ref.size());
+  EXPECT_LE(kernels::max_abs_diff(run.data.data(), ref.data(), ref.size()),
+            1e-13)
+      << to_string(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, SinCosVariants,
+                         ::testing::Values(SinCosVariant::kCuda,
+                                           SinCosVariant::kCudaPinned,
+                                           SinCosVariant::kCudaPinnedFastMath,
+                                           SinCosVariant::kAccPageable));
+
+TEST(SinCosTida, MatchesReferenceFullLimitedAndSingle) {
+  for (const int max_slots : {1 << 20, 2, 1}) {
+    fresh(true);
+    SinCosTidaParams p;
+    p.n = 8;
+    p.steps = 2;
+    p.iterations = 3;
+    p.regions = 4;
+    p.max_slots = max_slots;
+    p.keep_result = true;
+    const RunResult run = run_sincos_tidacc(p);
+    const std::vector<double> ref = sincos_ref(p.n, p.steps, p.iterations);
+    ASSERT_EQ(run.data.size(), ref.size());
+    EXPECT_LE(kernels::max_abs_diff(run.data.data(), ref.data(), ref.size()),
+              1e-13)
+        << "max_slots=" << max_slots;
+  }
+}
+
+// --- timing behaviour (paper's qualitative claims), timing-only mode ---
+
+HeatParams timing_heat(MemoryKind m) {
+  HeatParams p;
+  p.n = 192;
+  p.steps = 5;
+  p.memory = m;
+  return p;
+}
+
+TEST(HeatTiming, PinnedBeatsPageable) {
+  fresh(false);
+  const SimTime pinned =
+      run_heat_baseline(HeatModel::kCudaOnly, timing_heat(MemoryKind::kPinned))
+          .elapsed;
+  fresh(false);
+  const SimTime pageable =
+      run_heat_baseline(HeatModel::kCudaOnly,
+                        timing_heat(MemoryKind::kPageable))
+          .elapsed;
+  EXPECT_LT(pinned, pageable);
+}
+
+TEST(HeatTiming, PinnedBeatsManaged) {
+  fresh(false);
+  const SimTime pinned =
+      run_heat_baseline(HeatModel::kCudaOnly, timing_heat(MemoryKind::kPinned))
+          .elapsed;
+  fresh(false);
+  const SimTime managed =
+      run_heat_baseline(HeatModel::kCudaOnly,
+                        timing_heat(MemoryKind::kManaged))
+          .elapsed;
+  EXPECT_LT(pinned, managed);
+}
+
+TEST(HeatTiming, CudaBeatsAccForSameMemory) {
+  fresh(false);
+  const SimTime cuda =
+      run_heat_baseline(HeatModel::kCudaOnly, timing_heat(MemoryKind::kPinned))
+          .elapsed;
+  fresh(false);
+  const SimTime acc =
+      run_heat_baseline(HeatModel::kAccOnly, timing_heat(MemoryKind::kPinned))
+          .elapsed;
+  EXPECT_LT(cuda, acc);
+}
+
+TEST(HeatTiming, ComboBetweenCudaAndAcc) {
+  fresh(false);
+  const SimTime cuda =
+      run_heat_baseline(HeatModel::kCudaOnly, timing_heat(MemoryKind::kPinned))
+          .elapsed;
+  fresh(false);
+  const SimTime combo =
+      run_heat_baseline(HeatModel::kCudaMemAccKernels,
+                        timing_heat(MemoryKind::kPinned))
+          .elapsed;
+  fresh(false);
+  const SimTime acc_pageable =
+      run_heat_baseline(HeatModel::kAccOnly,
+                        timing_heat(MemoryKind::kPageable))
+          .elapsed;
+  EXPECT_GT(combo, cuda);
+  EXPECT_LT(combo, acc_pageable);
+}
+
+TEST(HeatTiming, TidaBeatsCudaPinnedAtFewIterations) {
+  // Transfer-dominated regime: one step. TiDA-acc pipelines region
+  // transfers with kernels; CUDA serializes full transfers around compute.
+  fresh(false);
+  HeatTidaParams tp;
+  tp.n = 256;
+  tp.steps = 1;
+  tp.regions = 16;
+  const SimTime tida = run_heat_tidacc(tp).elapsed;
+  fresh(false);
+  HeatParams cp;
+  cp.n = 256;
+  cp.steps = 1;
+  cp.memory = MemoryKind::kPinned;
+  const SimTime cuda = run_heat_baseline(HeatModel::kCudaOnly, cp).elapsed;
+  EXPECT_LT(tida, cuda);
+}
+
+TEST(HeatTiming, GapNarrowsAtManyIterations) {
+  // Compute-dominated regime: speedup of TiDA over CUDA pinned shrinks.
+  const auto ratio_at = [](int steps) {
+    fresh(false);
+    HeatTidaParams tp;
+    tp.n = 128;
+    tp.steps = steps;
+    tp.regions = 8;
+    const double tida = static_cast<double>(run_heat_tidacc(tp).elapsed);
+    fresh(false);
+    HeatParams cp;
+    cp.n = 128;
+    cp.steps = steps;
+    cp.memory = MemoryKind::kPinned;
+    const double cuda = static_cast<double>(
+        run_heat_baseline(HeatModel::kCudaOnly, cp).elapsed);
+    return cuda / tida;
+  };
+  EXPECT_GT(ratio_at(1), ratio_at(100));
+}
+
+TEST(SinCosTiming, MathCodegenOrdering) {
+  SinCosParams p;
+  p.n = 128;
+  p.steps = 3;
+  p.iterations = 16;
+  fresh(false);
+  const SimTime nvcc = run_sincos_baseline(SinCosVariant::kCudaPinned, p)
+                           .elapsed;
+  fresh(false);
+  const SimTime fast =
+      run_sincos_baseline(SinCosVariant::kCudaPinnedFastMath, p).elapsed;
+  fresh(false);
+  const SimTime acc = run_sincos_baseline(SinCosVariant::kAccPageable, p)
+                          .elapsed;
+  EXPECT_LT(fast, acc);   // fast math beats PGI
+  EXPECT_LT(acc, nvcc);   // PGI beats nvcc precise (paper §VI-B)
+}
+
+TEST(SinCosTiming, LimitedMemoryNearFullMemory) {
+  // Fig. 8: with compute >> transfer, streaming regions through 2 slots
+  // costs almost nothing extra.
+  SinCosTidaParams p;
+  p.n = 128;
+  p.steps = 10;
+  p.iterations = 64;
+  p.regions = 16;
+  fresh(false);
+  const double full = static_cast<double>(run_sincos_tidacc(p).elapsed);
+  fresh(false);
+  p.max_slots = 2;
+  const double limited = static_cast<double>(run_sincos_tidacc(p).elapsed);
+  EXPECT_LT(limited / full, 1.10);
+  EXPECT_GE(limited / full, 0.999);
+}
+
+TEST(SinCosTiming, OneRegionNoOverheadVsCuda) {
+  // Fig. 8's third bar: a single big region behaves like plain CUDA.
+  SinCosTidaParams tp;
+  tp.n = 128;
+  tp.steps = 5;
+  tp.iterations = 32;
+  tp.regions = 1;
+  fresh(false);
+  const double one = static_cast<double>(run_sincos_tidacc(tp).elapsed);
+  SinCosTidaParams fp = tp;
+  fp.regions = 16;
+  fresh(false);
+  const double full = static_cast<double>(run_sincos_tidacc(fp).elapsed);
+  EXPECT_LT(std::abs(one - full) / full, 0.10);
+}
+
+TEST(SinCosTiming, CudaLimitedMemoryCannotRun) {
+  // Paper: "In the limited memory case, CUDA cannot run the application on
+  // GPU, but the library handles such situation."
+  fresh(false, DeviceConfig::k40m_limited(4 * kMiB));
+  void* p = nullptr;
+  EXPECT_EQ(cuemMalloc(&p, 16 * kMiB), cuemErrorMemoryAllocation);
+  // TiDA-acc with 16 regions of ~1 MiB runs fine.
+  SinCosTidaParams tp;
+  tp.n = 64;  // 2 MiB total
+  tp.steps = 2;
+  tp.iterations = 8;
+  tp.regions = 16;
+  const RunResult r = run_sincos_tidacc(tp);
+  EXPECT_GT(r.elapsed, 0ull);
+  fresh(false);
+}
+
+}  // namespace
+}  // namespace tidacc::baselines

@@ -1,0 +1,280 @@
+// Unit tests for src/common utilities.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+
+namespace tidacc {
+namespace {
+
+// --- error.hpp ---
+
+TEST(Error, CheckPassesOnTrue) { EXPECT_NO_THROW(TIDACC_CHECK(1 + 1 == 2)); }
+
+TEST(Error, CheckThrowsOnFalse) {
+  EXPECT_THROW(TIDACC_CHECK(1 + 1 == 3), Error);
+}
+
+TEST(Error, CheckMsgIncludesMessageAndExpression) {
+  try {
+    TIDACC_CHECK_MSG(false, "the message");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("the message"), std::string::npos);
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, FailAlwaysThrows) {
+  EXPECT_THROW(TIDACC_FAIL("unreachable"), Error);
+}
+
+// --- units.hpp ---
+
+TEST(Units, TransferTimeMatchesBandwidth) {
+  // 10 GB at 10 GB/s = 1 s = 1e9 ns.
+  EXPECT_EQ(transfer_time_ns(10ull * 1000 * 1000 * 1000, 10.0),
+            1'000'000'000ull);
+}
+
+TEST(Units, TransferTimeZeroBytes) {
+  EXPECT_EQ(transfer_time_ns(0, 5.0), 0ull);
+}
+
+TEST(Units, TransferTimeRejectsNonPositiveBandwidth) {
+  EXPECT_THROW(transfer_time_ns(1, 0.0), Error);
+  EXPECT_THROW(transfer_time_ns(1, -1.0), Error);
+}
+
+TEST(Units, ComputeTimeMatchesThroughput) {
+  // 1.43e12 flops at 1.43 TF/s = 1 s.
+  EXPECT_EQ(compute_time_ns(1.43e12, 1.43), 1'000'000'000ull);
+}
+
+TEST(Units, ComputeTimeRejectsNegativeFlops) {
+  EXPECT_THROW(compute_time_ns(-1.0, 1.0), Error);
+}
+
+TEST(Units, FormatBytesPicksUnit) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2 * kKiB), "2.00 KiB");
+  EXPECT_EQ(format_bytes(3 * kMiB), "3.00 MiB");
+  EXPECT_EQ(format_bytes(kGiB), "1.00 GiB");
+}
+
+TEST(Units, FormatTimePicksUnit) {
+  EXPECT_EQ(format_time(500), "500 ns");
+  EXPECT_EQ(format_time(1500), "1.500 us");
+  EXPECT_EQ(format_time(2 * kMillisecond), "2.000 ms");
+  EXPECT_EQ(format_time(3 * kSecond), "3.000 s");
+}
+
+TEST(Units, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(to_seconds(1'500'000'000ull), 1.5);
+  EXPECT_DOUBLE_EQ(to_milliseconds(2'500'000ull), 2.5);
+}
+
+// --- rng.hpp ---
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.next_u64() == b.next_u64());
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, DoublesInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-2.0, 3.0);
+    EXPECT_GE(x, -2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundIsZero) {
+  Rng r(1);
+  EXPECT_EQ(r.next_below(0), 0ull);
+}
+
+// --- stats.hpp ---
+
+TEST(Stats, RunningStatsBasics) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.13809, 1e-4);  // sample stddev
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Stats, PercentileSingleSample) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+}
+
+TEST(Stats, PercentileRejectsEmpty) {
+  EXPECT_THROW(percentile({}, 50), Error);
+}
+
+// --- table.hpp ---
+
+TEST(Table, RendersAlignedCells) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("| name        | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 22    |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMustMatchHeader) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, SeparatorAppearsBetweenRows) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.render();
+  // header line + top/bottom + separator = 4 horizontal rules.
+  int rules = 0;
+  for (size_t pos = 0; (pos = out.find("+--", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+// --- cli.hpp ---
+
+TEST(Cli, ParsesEqualsForm) {
+  const char* argv[] = {"prog", "--size=512", "--name=heat"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("size", 0), 512);
+  EXPECT_EQ(cli.get_string("name", ""), "heat");
+}
+
+TEST(Cli, ParsesSpaceForm) {
+  const char* argv[] = {"prog", "--iters", "100"};
+  Cli cli(3, argv);
+  EXPECT_EQ(cli.get_int("iters", 0), 100);
+}
+
+TEST(Cli, BooleanFlagWithoutValue) {
+  const char* argv[] = {"prog", "--verbose"};
+  Cli cli(2, argv);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_FALSE(cli.get_bool("quiet", false));
+}
+
+TEST(Cli, BooleanFalseSpellings) {
+  const char* argv[] = {"prog", "--a=false", "--b=0", "--c=no"};
+  Cli cli(4, argv);
+  EXPECT_FALSE(cli.get_bool("a", true));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_FALSE(cli.get_bool("c", true));
+}
+
+TEST(Cli, PositionalArgsCollected) {
+  const char* argv[] = {"prog", "pos1", "--k=v", "pos2"};
+  Cli cli(4, argv);
+  ASSERT_EQ(cli.positional().size(), 2u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.positional()[1], "pos2");
+}
+
+TEST(Cli, FallbacksUsedWhenMissing) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("missing", -3), -3);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(cli.get_string("missing", "dflt"), "dflt");
+}
+
+TEST(Cli, DoubleParsing) {
+  const char* argv[] = {"prog", "--bw=10.5"};
+  Cli cli(2, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("bw", 0.0), 10.5);
+}
+
+// --- thread_pool.hpp ---
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(64, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not deadlock
+  SUCCEED();
+}
+
+TEST(ThreadPool, ThreadCountRespected) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.thread_count(), 5u);
+}
+
+}  // namespace
+}  // namespace tidacc

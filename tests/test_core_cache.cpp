@@ -1,0 +1,193 @@
+// Unit tests for the TiDA-acc bookkeeping: CacheTable, LocationTracker and
+// DevicePool (capacity discovery, slot mapping, stream assignment).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "core/cache_table.hpp"
+#include "core/device_pool.hpp"
+#include "cuem/cuem.hpp"
+#include "oacc/oacc.hpp"
+
+namespace tidacc::core {
+namespace {
+
+using sim::DeviceConfig;
+
+// --- CacheTable ---
+
+TEST(CacheTable, StartsEmpty) {
+  CacheTable c(4);
+  EXPECT_EQ(c.num_slots(), 4);
+  for (int s = 0; s < 4; ++s) {
+    EXPECT_EQ(c.resident(s), -1);  // the paper's initial -1 values
+  }
+  EXPECT_EQ(c.occupied(), 0);
+}
+
+TEST(CacheTable, SetAndEvict) {
+  CacheTable c(2);
+  c.set(0, 7);
+  EXPECT_EQ(c.resident(0), 7);
+  EXPECT_EQ(c.occupied(), 1);
+  c.evict(0);
+  EXPECT_EQ(c.resident(0), -1);
+  EXPECT_EQ(c.occupied(), 0);
+}
+
+TEST(CacheTable, SlotHolding) {
+  CacheTable c(3);
+  c.set(2, 5);
+  EXPECT_EQ(c.slot_holding(5), 2);
+  EXPECT_EQ(c.slot_holding(4), -1);
+}
+
+TEST(CacheTable, RegionCannotOccupyTwoSlots) {
+  CacheTable c(2);
+  c.set(0, 3);
+  EXPECT_THROW(c.set(1, 3), Error);
+  c.set(0, 3);  // re-setting the same slot is fine
+}
+
+TEST(CacheTable, ReplacingResidentWithoutEvictIsAllowed) {
+  CacheTable c(1);
+  c.set(0, 1);
+  c.set(0, 2);  // overwrite (caller handled the victim)
+  EXPECT_EQ(c.resident(0), 2);
+}
+
+TEST(CacheTable, BoundsChecked) {
+  CacheTable c(2);
+  EXPECT_THROW(c.resident(-1), Error);
+  EXPECT_THROW(c.resident(2), Error);
+  EXPECT_THROW(c.set(5, 0), Error);
+  EXPECT_THROW(c.set(0, -2), Error);
+  EXPECT_THROW(CacheTable(0), Error);
+}
+
+// --- LocationTracker ---
+
+TEST(LocationTracker, DefaultsToUninitialized) {
+  LocationTracker t(3);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(t.location(r), Loc::kUninit);
+  }
+  EXPECT_FALSE(t.any_on_device());
+}
+
+TEST(LocationTracker, SetAndQuery) {
+  LocationTracker t(3);
+  t.set(1, Loc::kDevice);
+  EXPECT_EQ(t.location(1), Loc::kDevice);
+  EXPECT_TRUE(t.any_on_device());
+  t.set(1, Loc::kHost);
+  EXPECT_FALSE(t.any_on_device());
+}
+
+TEST(LocationTracker, BoundsChecked) {
+  LocationTracker t(2);
+  EXPECT_THROW(t.location(2), Error);
+  EXPECT_THROW(t.set(-1, Loc::kHost), Error);
+  EXPECT_THROW(LocationTracker(0), Error);
+}
+
+TEST(LocationTracker, ToString) {
+  EXPECT_STREQ(to_string(Loc::kUninit), "uninit");
+  EXPECT_STREQ(to_string(Loc::kHost), "host");
+  EXPECT_STREQ(to_string(Loc::kDevice), "device");
+}
+
+// --- DevicePool ---
+
+class DevicePoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cuem::configure(DeviceConfig::k40m(), /*functional=*/true);
+    oacc::reset();
+  }
+};
+
+TEST_F(DevicePoolTest, OneToOneWhenMemoryIsPlentiful) {
+  DevicePool pool(1 * kMiB, 8, /*max_slots=*/1 << 20);
+  EXPECT_EQ(pool.num_slots(), 8);
+  EXPECT_TRUE(pool.one_to_one());
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(pool.slot_of_region(r), r);
+  }
+}
+
+TEST_F(DevicePoolTest, LimitedMemoryReducesSlots) {
+  cuem::configure(DeviceConfig::k40m_limited(3 * kMiB), true);
+  oacc::reset();
+  DevicePool pool(1 * kMiB, 8, 1 << 20);
+  EXPECT_EQ(pool.num_slots(), 3);
+  EXPECT_FALSE(pool.one_to_one());
+  EXPECT_EQ(pool.slot_of_region(0), 0);
+  EXPECT_EQ(pool.slot_of_region(3), 0);  // modulo mapping shares slots
+  EXPECT_EQ(pool.slot_of_region(7), 1);
+}
+
+TEST_F(DevicePoolTest, MaxSlotsCapRespected) {
+  DevicePool pool(1 * kMiB, 16, /*max_slots=*/2);
+  EXPECT_EQ(pool.num_slots(), 2);
+}
+
+TEST_F(DevicePoolTest, ThrowsWhenNothingFits) {
+  cuem::configure(DeviceConfig::k40m_limited(1 * kMiB), true);
+  oacc::reset();
+  EXPECT_THROW(DevicePool(2 * kMiB, 4, 1 << 20), Error);
+}
+
+TEST_F(DevicePoolTest, SlotsAreDistinctDevicePointers) {
+  DevicePool pool(64 * kKiB, 4, 1 << 20);
+  std::set<void*> ptrs;
+  for (int s = 0; s < pool.num_slots(); ++s) {
+    EXPECT_TRUE(cuem::is_device_ptr(pool.slot_ptr(s)));
+    EXPECT_TRUE(ptrs.insert(pool.slot_ptr(s)).second);
+  }
+}
+
+TEST_F(DevicePoolTest, StreamsPerSlotDistinctAndShared) {
+  DevicePool a(64 * kKiB, 4, 1 << 20);
+  std::set<cuemStream_t> streams;
+  for (int s = 0; s < a.num_slots(); ++s) {
+    EXPECT_TRUE(streams.insert(a.stream_of_slot(s)).second);
+    EXPECT_NE(a.stream_of_slot(s), 0);  // never the default stream
+  }
+  // A sibling pool reuses the same per-slot streams (OpenACC queue map),
+  // so transfers and kernels of sibling arrays serialize correctly.
+  DevicePool b(32 * kKiB, 4, 1 << 20);
+  for (int s = 0; s < b.num_slots(); ++s) {
+    EXPECT_EQ(b.stream_of_slot(s), a.stream_of_slot(s));
+  }
+}
+
+TEST_F(DevicePoolTest, AccountsDeviceMemory) {
+  const std::size_t before = cuem::device_bytes_in_use();
+  {
+    DevicePool pool(1 * kMiB, 4, 1 << 20);
+    EXPECT_EQ(cuem::device_bytes_in_use(), before + 4 * kMiB);
+  }
+  EXPECT_EQ(cuem::device_bytes_in_use(), before);
+}
+
+TEST_F(DevicePoolTest, CacheSizedToSlots) {
+  DevicePool pool(1 * kMiB, 8, 3);
+  EXPECT_EQ(pool.cache().num_slots(), 3);
+  EXPECT_EQ(pool.cache().resident(0), -1);
+}
+
+TEST_F(DevicePoolTest, InvalidArgumentsRejected) {
+  EXPECT_THROW(DevicePool(0, 4, 4), Error);
+  EXPECT_THROW(DevicePool(1024, 0, 4), Error);
+  EXPECT_THROW(DevicePool(1024, 4, 0), Error);
+  DevicePool pool(1024, 4, 4);
+  EXPECT_THROW(pool.slot_ptr(9), Error);
+  EXPECT_THROW(pool.slot_of_region(4), Error);
+  EXPECT_THROW(pool.stream_of_slot(-1), Error);
+}
+
+}  // namespace
+}  // namespace tidacc::core

@@ -1,0 +1,211 @@
+// Unit tests for the shared kernel definitions (heat stencil, sincos).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "kernels/heat.hpp"
+#include "kernels/sincos.hpp"
+#include "kernels/stencil27.hpp"
+
+namespace tidacc::kernels {
+namespace {
+
+// --- heat ---
+
+TEST(HeatKernel, CostShapeIsMemoryBound) {
+  const oacc::LoopCost c = heat_cost();
+  EXPECT_GT(c.dev_bytes_per_iter, 0.0);
+  EXPECT_GT(c.flops_per_iter, 0.0);
+  EXPECT_EQ(c.math, sim::MathClass::kNone);
+}
+
+TEST(HeatKernel, FlatStepConservesConstantField) {
+  constexpr int n = 6;
+  std::vector<double> u(n * n * n, 3.5);
+  std::vector<double> un(u.size(), 0.0);
+  heat_step_flat(u.data(), un.data(), n);
+  for (const double v : un) {
+    ASSERT_DOUBLE_EQ(v, 3.5);  // Laplacian of a constant is zero
+  }
+}
+
+TEST(HeatKernel, FlatStepSmoothsPeak) {
+  constexpr int n = 8;
+  std::vector<double> u(n * n * n, 0.0);
+  const auto idx = [](int i, int j, int k) {
+    return (static_cast<std::size_t>(k) * n + j) * n + i;
+  };
+  u[idx(4, 4, 4)] = 1.0;
+  std::vector<double> un(u.size(), 0.0);
+  heat_step_flat(u.data(), un.data(), n);
+  EXPECT_LT(un[idx(4, 4, 4)], 1.0);        // peak decays
+  EXPECT_GT(un[idx(3, 4, 4)], 0.0);        // neighbours gain
+  EXPECT_DOUBLE_EQ(un[idx(0, 0, 0)], 0.0); // far field untouched
+  // Diffusion conserves the total.
+  double sum = 0.0;
+  for (const double v : un) {
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HeatKernel, PeriodicWrapAtBoundary) {
+  constexpr int n = 4;
+  std::vector<double> u(n * n * n, 0.0);
+  const auto idx = [](int i, int j, int k) {
+    return (static_cast<std::size_t>(k) * n + j) * n + i;
+  };
+  u[idx(n - 1, 0, 0)] = 1.0;  // boundary cell
+  std::vector<double> un(u.size(), 0.0);
+  heat_step_flat(u.data(), un.data(), n);
+  // Cell (0,0,0) is the periodic +i neighbour of (n-1,0,0).
+  EXPECT_NEAR(un[idx(0, 0, 0)], kHeatFac, 1e-15);
+}
+
+TEST(HeatKernel, InteriorPlusFacesEqualsFlat) {
+  constexpr int n = 8;
+  std::vector<double> u(n * n * n);
+  heat_init_flat(u.data(), n);
+  std::vector<double> full(u.size(), -7.0);
+  std::vector<double> pieces(u.size(), -7.0);
+  heat_step_flat(u.data(), full.data(), n);
+  heat_step_interior(u.data(), pieces.data(), n);
+  for (int face = 0; face < 6; ++face) {
+    heat_step_face(u.data(), pieces.data(), n, face);
+  }
+  EXPECT_LE(max_abs_diff(full.data(), pieces.data(), full.size()), 0.0);
+}
+
+TEST(HeatKernel, FaceCellsCount) {
+  EXPECT_EQ(heat_face_cells(8, 0), 64ull);
+  EXPECT_THROW(heat_face_cells(8, 6), Error);
+  std::vector<double> u(8), un(8);
+  EXPECT_THROW(heat_step_face(u.data(), un.data(), 2, -1), Error);
+}
+
+TEST(HeatKernel, ReferenceRunsMultipleSteps) {
+  constexpr int n = 6;
+  std::vector<double> u(n * n * n);
+  heat_init_flat(u.data(), n);
+  std::vector<double> manual = u;
+  heat_reference(u, n, 3);
+  std::vector<double> tmp(manual.size());
+  for (int s = 0; s < 3; ++s) {
+    heat_step_flat(manual.data(), tmp.data(), n);
+    manual.swap(tmp);
+  }
+  EXPECT_LE(max_abs_diff(u.data(), manual.data(), u.size()), 0.0);
+}
+
+TEST(HeatKernel, MaxAbsDiff) {
+  const double a[3] = {1.0, 2.0, 3.0};
+  const double b[3] = {1.0, 2.5, 2.0};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b, 3), 1.0);
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, a, 3), 0.0);
+}
+
+TEST(HeatKernel, InitialConditionDeterministic) {
+  EXPECT_DOUBLE_EQ(heat_initial(1, 2, 3), heat_initial(1, 2, 3));
+  EXPECT_NE(heat_initial(0, 0, 0), heat_initial(5, 5, 5));
+}
+
+// --- 27-point / box stencils ---
+
+TEST(Stencil27, ConservesConstantField) {
+  constexpr int n = 6;
+  std::vector<double> u(n * n * n, 2.5);
+  std::vector<double> un(u.size(), 0.0);
+  stencil27_step_flat(u.data(), un.data(), n);
+  for (const double v : un) {
+    ASSERT_DOUBLE_EQ(v, 2.5);
+  }
+}
+
+TEST(Stencil27, BoxAverageOfPeak) {
+  constexpr int n = 8;
+  std::vector<double> u(n * n * n, 0.0);
+  const auto idx = [](int i, int j, int k) {
+    return (static_cast<std::size_t>(k) * n + j) * n + i;
+  };
+  u[idx(4, 4, 4)] = 27.0;
+  std::vector<double> un(u.size(), 0.0);
+  stencil27_step_flat(u.data(), un.data(), n);
+  // Every cell of the 3^3 neighbourhood gets exactly weight*27 = 1.
+  EXPECT_DOUBLE_EQ(un[idx(4, 4, 4)], 1.0);
+  EXPECT_DOUBLE_EQ(un[idx(3, 3, 3)], 1.0);
+  EXPECT_DOUBLE_EQ(un[idx(5, 5, 5)], 1.0);
+  EXPECT_DOUBLE_EQ(un[idx(2, 4, 4)], 0.0);
+}
+
+TEST(Stencil27, WideRadiusMatchesNarrowOnConstant) {
+  constexpr int n = 8;
+  std::vector<double> u(n * n * n, 1.0);
+  std::vector<double> un(u.size(), 0.0);
+  box_stencil_step_flat(u.data(), un.data(), n, 3);
+  for (const double v : un) {
+    ASSERT_NEAR(v, 1.0, 1e-12);
+  }
+}
+
+TEST(Stencil27, CostGrowsWithRadius) {
+  EXPECT_GT(box_stencil_cost(2).flops_per_iter,
+            box_stencil_cost(1).flops_per_iter);
+  EXPECT_GT(box_stencil_cost(3).dev_bytes_per_iter,
+            box_stencil_cost(1).dev_bytes_per_iter);
+  EXPECT_THROW(box_stencil_cost(0), Error);
+}
+
+TEST(Stencil27, ReferenceMatchesManualSteps) {
+  constexpr int n = 5;
+  std::vector<double> u(n * n * n);
+  heat_init_flat(u.data(), n);
+  std::vector<double> manual = u;
+  stencil27_reference(u, n, 2);
+  std::vector<double> tmp(manual.size());
+  for (int s = 0; s < 2; ++s) {
+    stencil27_step_flat(manual.data(), tmp.data(), n);
+    manual.swap(tmp);
+  }
+  EXPECT_LE(max_abs_diff(u.data(), manual.data(), u.size()), 0.0);
+}
+
+// --- sincos ---
+
+TEST(SinCosKernel, CostScalesWithIterations) {
+  const auto c1 = sincos_cost(1, sim::MathClass::kPgiDefault);
+  const auto c4 = sincos_cost(4, sim::MathClass::kPgiDefault);
+  EXPECT_DOUBLE_EQ(c4.math_units_per_iter, 4 * c1.math_units_per_iter);
+  EXPECT_DOUBLE_EQ(c4.flops_per_iter, 4 * c1.flops_per_iter);
+  EXPECT_DOUBLE_EQ(c4.dev_bytes_per_iter, c1.dev_bytes_per_iter);
+}
+
+TEST(SinCosKernel, CostRejectsInvalid) {
+  EXPECT_THROW(sincos_cost(0, sim::MathClass::kPgiDefault), Error);
+  EXPECT_THROW(sincos_cost(4, sim::MathClass::kNone), Error);
+}
+
+TEST(SinCosKernel, CellAddsApproximatelyOnePerIteration) {
+  // sqrt(sin^2 + cos^2) == 1 exactly, so each iteration adds 1.0.
+  EXPECT_NEAR(sincos_cell(0.5, 1), 1.5, 1e-12);
+  EXPECT_NEAR(sincos_cell(0.5, 10), 10.5, 1e-11);
+}
+
+TEST(SinCosKernel, StepFlatMatchesCellwise) {
+  std::vector<double> a(32);
+  sincos_init_flat(a.data(), a.size());
+  std::vector<double> b = a;
+  sincos_step_flat(a.data(), a.size(), 5);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    ASSERT_DOUBLE_EQ(a[i], sincos_cell(b[i], 5));
+  }
+}
+
+TEST(SinCosKernel, InitialValuesVary) {
+  EXPECT_NE(sincos_initial(0), sincos_initial(1));
+  EXPECT_DOUBLE_EQ(sincos_initial(5), sincos_initial(5 + 1024));
+}
+
+}  // namespace
+}  // namespace tidacc::kernels

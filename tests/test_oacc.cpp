@@ -1,0 +1,473 @@
+// Unit tests for the OpenACC-like runtime: queues ↔ streams, present table,
+// data clauses (structured + unstructured), parallel_loop functional
+// execution and cost behaviour, memory modes.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "oacc/oacc.hpp"
+#include "oacc/present_table.hpp"
+#include "sim/platform.hpp"
+
+namespace tidacc::oacc {
+namespace {
+
+using sim::DeviceConfig;
+
+DeviceConfig fast_config() {
+  DeviceConfig cfg = DeviceConfig::k40m();
+  cfg.transfer_latency_ns = 0;
+  cfg.pageable_staging_ns = 0;
+  cfg.kernel_launch_ns = 0;
+  cfg.host_api_overhead_ns = 0;
+  cfg.sync_overhead_ns = 0;
+  cfg.oacc_dispatch_extra_ns = 0;
+  cfg.uvm_launch_check_ns = 0;
+  return cfg;
+}
+
+class OaccTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cuem::configure(fast_config(), /*functional=*/true);
+    reset();
+  }
+  void TearDown() override {
+    cuem::configure(DeviceConfig::k40m(), true);
+    reset();
+  }
+};
+
+LoopCost cheap_cost() {
+  LoopCost c;
+  c.flops_per_iter = 2;
+  c.dev_bytes_per_iter = 16;
+  return c;
+}
+
+// --- PresentTable (direct) ---
+
+TEST(PresentTable, InsertFindErase) {
+  PresentTable t;
+  double host[16];
+  int dev = 0;
+  t.insert(host, sizeof host, &dev);
+  ASSERT_NE(t.find(host), nullptr);
+  EXPECT_EQ(t.find(host)->refcount, 1);
+  EXPECT_EQ(t.device_ptr(host), &dev);
+  t.erase(host);
+  EXPECT_EQ(t.find(host), nullptr);
+}
+
+TEST(PresentTable, InteriorPointerTranslates) {
+  PresentTable t;
+  double host[16];
+  char dev[128];
+  t.insert(host, sizeof host, dev);
+  EXPECT_EQ(t.device_ptr(&host[3]), dev + 3 * sizeof(double));
+}
+
+TEST(PresentTable, OverlapRejected) {
+  PresentTable t;
+  double host[16];
+  int dev = 0;
+  t.insert(host, sizeof host, &dev);
+  EXPECT_THROW(t.insert(&host[4], 8, &dev), Error);
+}
+
+TEST(PresentTable, MissingRangeReturnsNull) {
+  PresentTable t;
+  int x = 0;
+  EXPECT_EQ(t.find(&x), nullptr);
+  EXPECT_EQ(t.device_ptr(&x), nullptr);
+}
+
+// --- queues ---
+
+TEST_F(OaccTest, SyncQueueMapsToDefaultStream) {
+  EXPECT_EQ(get_cuem_stream(kSyncQueue), 0);
+}
+
+TEST_F(OaccTest, QueuesMapToDistinctStableStreams) {
+  const cuemStream_t s0 = get_cuem_stream(0);
+  const cuemStream_t s1 = get_cuem_stream(1);
+  EXPECT_NE(s0, s1);
+  EXPECT_NE(s0, 0);
+  EXPECT_EQ(get_cuem_stream(0), s0);  // stable across calls
+}
+
+TEST_F(OaccTest, NegativeQueueRejected) {
+  EXPECT_THROW(get_cuem_stream(-7), Error);
+}
+
+// --- unstructured data ---
+
+TEST_F(OaccTest, EnterCopyinMakesPresent) {
+  std::vector<double> host(32, 1.5);
+  EXPECT_FALSE(is_present(host.data()));
+  enter_data_copyin(host.data(), host.size() * sizeof(double));
+  EXPECT_TRUE(is_present(host.data()));
+  EXPECT_NE(device_ptr(host.data()), nullptr);
+  EXPECT_TRUE(cuem::is_device_ptr(device_ptr(host.data())));
+  exit_data_delete(host.data());
+  EXPECT_FALSE(is_present(host.data()));
+}
+
+TEST_F(OaccTest, CopyinActuallyTransfersData) {
+  std::vector<int> host{10, 20, 30, 40};
+  enter_data_copyin(host.data(), host.size() * sizeof(int));
+  const int* dev = static_cast<const int*>(device_ptr(host.data()));
+  EXPECT_EQ(dev[0], 10);
+  EXPECT_EQ(dev[3], 40);
+  exit_data_delete(host.data());
+}
+
+TEST_F(OaccTest, ExitCopyoutBringsDataBack) {
+  std::vector<int> host{1, 2, 3};
+  enter_data_copyin(host.data(), host.size() * sizeof(int));
+  int* dev = static_cast<int*>(device_ptr(host.data()));
+  dev[1] = 99;  // "kernel" writes device copy
+  exit_data_copyout(host.data());
+  EXPECT_EQ(host[1], 99);
+  EXPECT_FALSE(is_present(host.data()));
+}
+
+TEST_F(OaccTest, CreateAllocatesWithoutTransfer) {
+  std::vector<double> host(16, 7.0);
+  const auto h2d_before =
+      sim::Platform::instance().trace().stats().h2d_bytes;
+  enter_data_create(host.data(), host.size() * sizeof(double));
+  EXPECT_EQ(sim::Platform::instance().trace().stats().h2d_bytes, h2d_before);
+  EXPECT_TRUE(is_present(host.data()));
+  exit_data_delete(host.data());
+}
+
+TEST_F(OaccTest, UpdateDeviceAndSelf) {
+  std::vector<int> host{1, 2, 3, 4};
+  enter_data_copyin(host.data(), host.size() * sizeof(int));
+  int* dev = static_cast<int*>(device_ptr(host.data()));
+
+  host[0] = 100;
+  update_device(host.data(), host.size() * sizeof(int));
+  EXPECT_EQ(dev[0], 100);
+
+  dev[2] = 300;
+  update_self(host.data(), host.size() * sizeof(int));
+  EXPECT_EQ(host[2], 300);
+
+  exit_data_delete(host.data());
+}
+
+TEST_F(OaccTest, UpdateOnAbsentDataThrows) {
+  int x = 0;
+  EXPECT_THROW(update_device(&x, sizeof x), Error);
+  EXPECT_THROW(update_self(&x, sizeof x), Error);
+}
+
+TEST_F(OaccTest, ExitOnAbsentDataThrows) {
+  int x = 0;
+  EXPECT_THROW(exit_data_copyout(&x), Error);
+  EXPECT_THROW(exit_data_delete(&x), Error);
+}
+
+// --- structured data regions ---
+
+TEST_F(OaccTest, DataRegionRaiiLifetime) {
+  std::vector<double> a(8, 1.0);
+  {
+    DataRegion region({DataClause{
+        a.data(), a.size() * sizeof(double), ClauseKind::kCopy}});
+    EXPECT_TRUE(is_present(a.data()));
+  }
+  EXPECT_FALSE(is_present(a.data()));
+  EXPECT_EQ(cuem::device_bytes_in_use(), 0u);
+}
+
+TEST_F(OaccTest, NestedRegionsRefcountSharedData) {
+  std::vector<double> a(8, 1.0);
+  const std::size_t bytes = a.size() * sizeof(double);
+  DataRegion outer({DataClause{a.data(), bytes, ClauseKind::kCopyIn}});
+  void* dev_outer = device_ptr(a.data());
+  const auto h2d_after_outer =
+      sim::Platform::instance().trace().stats().h2d_bytes;
+  {
+    // Inner region: already present → same mapping, no second transfer.
+    DataRegion inner({DataClause{a.data(), bytes, ClauseKind::kCopy}});
+    EXPECT_EQ(device_ptr(a.data()), dev_outer);
+    EXPECT_EQ(sim::Platform::instance().trace().stats().h2d_bytes,
+              h2d_after_outer);
+  }
+  // Still present: outer holds a reference.
+  EXPECT_TRUE(is_present(a.data()));
+}
+
+TEST_F(OaccTest, TypedDataRegionBuilder) {
+  std::vector<double> a(16, 1.0);
+  std::vector<double> b(8, 2.0);
+  {
+    const auto region =
+        data_region(copy(a.data(), a.size()), copyin(b.data(), b.size()));
+    EXPECT_TRUE(is_present(a.data()));
+    EXPECT_TRUE(is_present(b.data()));
+    static_cast<double*>(device_ptr(a.data()))[3] = 42.0;
+  }
+  EXPECT_FALSE(is_present(a.data()));
+  EXPECT_DOUBLE_EQ(a[3], 42.0);  // copy clause copied out
+  EXPECT_DOUBLE_EQ(b[0], 2.0);   // copyin did not
+}
+
+TEST_F(OaccTest, PresentClauseRequiresPresence) {
+  std::vector<double> a(8);
+  EXPECT_THROW(DataRegion({DataClause{a.data(), a.size() * sizeof(double),
+                                      ClauseKind::kPresent}}),
+               Error);
+}
+
+// --- parallel_loop ---
+
+TEST_F(OaccTest, SaxpyFunctionalResult) {
+  constexpr int n = 256;
+  std::vector<double> x(n), y(n);
+  std::iota(x.begin(), x.end(), 0.0);
+  std::fill(y.begin(), y.end(), 10.0);
+  const double alpha = 2.0;
+
+  parallel_loop(Bounds::d1(0, n), cheap_cost(), LaunchOpts{},
+                std::make_tuple(copyin(x.data(), n), copy(y.data(), n)),
+                [alpha](const double* xd, double* yd, int i, int, int) {
+                  yd[i] += alpha * xd[i];
+                });
+
+  for (int i = 0; i < n; ++i) {
+    ASSERT_DOUBLE_EQ(y[i], 10.0 + alpha * i) << "at " << i;
+  }
+  EXPECT_EQ(present_entries(), 0u);  // implicit region closed
+  EXPECT_EQ(cuem::device_bytes_in_use(), 0u);
+}
+
+TEST_F(OaccTest, ThreeDimensionalLoopVisitsEveryCell) {
+  constexpr int nx = 5, ny = 4, nz = 3;
+  std::vector<int> grid(nx * ny * nz, 0);
+  parallel_loop(
+      Bounds::d3(0, nx, 0, ny, 0, nz), cheap_cost(), LaunchOpts{},
+      std::make_tuple(copy(grid.data(), grid.size())),
+      [nx_ = nx, ny_ = ny](int* g, int i, int j, int k) {
+        g[(k * ny_ + j) * nx_ + i] += 1;
+      });
+  for (const int v : grid) {
+    ASSERT_EQ(v, 1);
+  }
+}
+
+TEST_F(OaccTest, BoundsVolume) {
+  EXPECT_EQ(Bounds::d1(0, 10).volume(), 10ull);
+  EXPECT_EQ(Bounds::d2(0, 4, 0, 5).volume(), 20ull);
+  EXPECT_EQ(Bounds::d3(1, 4, 2, 4, 3, 6).volume(), 3ull * 2 * 3);
+  EXPECT_EQ(Bounds::d1(5, 5).volume(), 0ull);
+  EXPECT_EQ(Bounds::d1(7, 3).volume(), 0ull);
+}
+
+TEST_F(OaccTest, ImplicitPerKernelTransfersWhenNotPresent) {
+  // Naive OpenACC: every kernel re-enters its data clauses — the slow
+  // pattern of the paper's OpenACC baseline.
+  constexpr int n = 1024;
+  std::vector<double> a(n, 1.0);
+  const std::size_t bytes = n * sizeof(double);
+  const auto run = [&] {
+    parallel_loop(Bounds::d1(0, n), cheap_cost(), LaunchOpts{},
+                  std::make_tuple(copy(a.data(), n)),
+                  [](double* ad, int i, int, int) { ad[i] += 1.0; });
+  };
+  run();
+  run();
+  const auto st = sim::Platform::instance().trace().stats();
+  EXPECT_EQ(st.h2d_bytes, 2 * bytes);  // re-uploaded per kernel
+  EXPECT_EQ(st.d2h_bytes, 2 * bytes);
+  EXPECT_DOUBLE_EQ(a[0], 3.0);
+}
+
+TEST_F(OaccTest, DataRegionSuppressesPerKernelTransfers) {
+  constexpr int n = 1024;
+  std::vector<double> a(n, 1.0);
+  const std::size_t bytes = n * sizeof(double);
+  {
+    DataRegion region({DataClause{a.data(), bytes, ClauseKind::kCopy}});
+    for (int it = 0; it < 3; ++it) {
+      parallel_loop(Bounds::d1(0, n), cheap_cost(), LaunchOpts{},
+                    std::make_tuple(copy(a.data(), n)),
+                    [](double* ad, int i, int, int) { ad[i] += 1.0; });
+    }
+  }
+  const auto st = sim::Platform::instance().trace().stats();
+  EXPECT_EQ(st.h2d_bytes, bytes);  // one upload for the whole region
+  EXPECT_EQ(st.d2h_bytes, bytes);  // one download at region close
+  EXPECT_DOUBLE_EQ(a[0], 4.0);
+}
+
+TEST_F(OaccTest, DevicePtrClausePassesThrough) {
+  void* dev = nullptr;
+  ASSERT_EQ(cuemMalloc(&dev, 64 * sizeof(double)), cuemSuccess);
+  double* d = static_cast<double*>(dev);
+  for (int i = 0; i < 64; ++i) {
+    d[i] = 1.0;  // direct init: functional device memory is host-visible
+  }
+  parallel_loop(Bounds::d1(0, 64), cheap_cost(), LaunchOpts{},
+                std::make_tuple(deviceptr(d, 64)),
+                [](double* p, int i, int, int) { p[i] *= 3.0; });
+  EXPECT_DOUBLE_EQ(d[10], 3.0);
+  EXPECT_EQ(cuemFree(dev), cuemSuccess);
+}
+
+TEST_F(OaccTest, AsyncKernelDoesNotBlockHost) {
+  constexpr int n = 1 << 20;
+  std::vector<double> a(n, 0.0);
+  enter_data_copyin(a.data(), n * sizeof(double));
+  double* dev = static_cast<double*>(device_ptr(a.data()));
+
+  LoopCost heavy;
+  heavy.flops_per_iter = 1000;  // ~0.7 ms kernel
+  LaunchOpts opts;
+  opts.async = 3;
+  const SimTime before = sim::Platform::instance().now();
+  parallel_loop(Bounds::d1(0, n), heavy, opts,
+                std::make_tuple(deviceptr(dev, n)),
+                [](double* p, int i, int, int) { p[i] += 1.0; });
+  EXPECT_EQ(sim::Platform::instance().now(), before);  // returned instantly
+  wait(3);
+  EXPECT_GT(sim::Platform::instance().now(), before);
+  exit_data_delete(a.data());
+}
+
+TEST_F(OaccTest, SyncQueueBlocksUntilKernelDone) {
+  constexpr int n = 1 << 20;
+  LoopCost heavy;
+  heavy.flops_per_iter = 1000;
+  std::vector<double> a(n, 0.0);
+  const SimTime before = sim::Platform::instance().now();
+  parallel_loop(Bounds::d1(0, n), heavy, LaunchOpts{},
+                std::make_tuple(copy(a.data(), n)),
+                [](double* p, int i, int, int) { p[i] += 1.0; });
+  EXPECT_GT(sim::Platform::instance().now(), before);
+}
+
+TEST_F(OaccTest, UntunedGeometryDefaultIsSlowerThanTuned) {
+  DeviceConfig cfg = fast_config();
+  cuem::configure(cfg, /*functional=*/false);
+  reset();
+  constexpr int n = 1 << 22;
+  LoopCost c;
+  c.dev_bytes_per_iter = 16;
+
+  const SimTime t0 = sim::Platform::instance().now();
+  parallel_loop(Bounds::d1(0, n), c, LaunchOpts{}, [](int, int, int) {});
+  const SimTime untuned = sim::Platform::instance().now() - t0;
+
+  LaunchOpts tuned;
+  tuned.tuned_geometry = true;
+  const SimTime t1 = sim::Platform::instance().now();
+  parallel_loop(Bounds::d1(0, n), c, tuned, [](int, int, int) {});
+  const SimTime tuned_time = sim::Platform::instance().now() - t1;
+
+  EXPECT_GT(static_cast<double>(untuned),
+            static_cast<double>(tuned_time) * 1.05);
+}
+
+TEST_F(OaccTest, GeometryClausesCountAsTuning) {
+  // §II-A: pinning num_gangs/vector_length via clauses removes the
+  // compiler-geometry penalty.
+  cuem::configure(fast_config(), /*functional=*/false);
+  reset();
+  constexpr int n = 1 << 22;
+  LoopCost c;
+  c.dev_bytes_per_iter = 16;
+
+  const auto timed = [&](const LaunchOpts& opts) {
+    const SimTime t0 = sim::Platform::instance().now();
+    parallel_loop(Bounds::d1(0, n), c, opts, [](int, int, int) {});
+    return sim::Platform::instance().now() - t0;
+  };
+
+  const SimTime untuned = timed(LaunchOpts{});
+  LaunchOpts gangs;
+  gangs.num_gangs = 1024;
+  const SimTime with_gangs = timed(gangs);
+  LaunchOpts vec;
+  vec.vector_length = 128;
+  const SimTime with_vec = timed(vec);
+
+  EXPECT_LT(with_gangs, untuned);
+  EXPECT_EQ(with_gangs, with_vec);  // any clause pins the geometry
+  EXPECT_FALSE(LaunchOpts{}.geometry_tuned());
+  EXPECT_TRUE(gangs.geometry_tuned());
+  LaunchOpts workers;
+  workers.num_workers = 4;
+  EXPECT_TRUE(workers.geometry_tuned());
+}
+
+TEST_F(OaccTest, DispatchOverheadChargedPerKernel) {
+  DeviceConfig cfg = fast_config();
+  cfg.oacc_dispatch_extra_ns = 4000;
+  cuem::configure(cfg, /*functional=*/false);
+  reset();
+  const SimTime t0 = sim::Platform::instance().now();
+  parallel_loop(Bounds::d1(0, 1), cheap_cost(), LaunchOpts{},
+                [](int, int, int) {});
+  EXPECT_GE(sim::Platform::instance().now() - t0, 4000ull);
+}
+
+// --- memory modes ---
+
+TEST_F(OaccTest, ManagedModeSkipsDataClauses) {
+  set_mem_mode(MemMode::kManaged);
+  void* m = nullptr;
+  ASSERT_EQ(cuemMallocManaged(&m, 128 * sizeof(double)), cuemSuccess);
+  double* md = static_cast<double*>(m);
+  for (int i = 0; i < 128; ++i) {
+    md[i] = 2.0;
+  }
+  parallel_loop(Bounds::d1(0, 128), cheap_cost(), LaunchOpts{},
+                std::make_tuple(copy(md, 128)),
+                [](double* p, int i, int, int) { p[i] *= 2.0; });
+  EXPECT_EQ(present_entries(), 0u);  // no present mapping created
+  ASSERT_EQ(cuem::host_touch(m, 128 * sizeof(double)), cuemSuccess);
+  EXPECT_DOUBLE_EQ(md[5], 4.0);
+  EXPECT_EQ(cuemFree(m), cuemSuccess);
+}
+
+TEST_F(OaccTest, ManagedModeLaunchMigrates) {
+  set_mem_mode(MemMode::kManaged);
+  void* m = nullptr;
+  ASSERT_EQ(cuemMallocManaged(&m, 1'000'000), cuemSuccess);
+  parallel_loop(Bounds::d1(0, 8), cheap_cost(), LaunchOpts{},
+                [](int, int, int) {});
+  wait_all();
+  EXPECT_EQ(sim::Platform::instance().trace().stats().h2d_bytes, 1'000'000u);
+  EXPECT_EQ(cuemFree(m), cuemSuccess);
+}
+
+TEST_F(OaccTest, MemModeRoundTrip) {
+  EXPECT_EQ(mem_mode(), MemMode::kPageable);
+  set_mem_mode(MemMode::kPinned);
+  EXPECT_EQ(mem_mode(), MemMode::kPinned);
+  reset();
+  EXPECT_EQ(mem_mode(), MemMode::kPageable);
+}
+
+TEST_F(OaccTest, InsufficientDeviceMemoryThrows) {
+  cuem::configure(DeviceConfig::k40m_limited(1 * kMiB), true);
+  reset();
+  std::vector<char> big(4 * kMiB);
+  EXPECT_THROW(enter_data_copyin(big.data(), big.size()), Error);
+}
+
+TEST_F(OaccTest, ToStringCoverage) {
+  EXPECT_STREQ(to_string(MemMode::kPinned), "pinned");
+  EXPECT_STREQ(to_string(ClauseKind::kCopyIn), "copyin");
+  EXPECT_STREQ(to_string(ClauseKind::kDevicePtr), "deviceptr");
+}
+
+}  // namespace
+}  // namespace tidacc::oacc

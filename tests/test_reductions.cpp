@@ -1,0 +1,366 @@
+// Tests for reductions (oacc::parallel_loop_reduce, core::compute_reduce)
+// and hybrid CPU/GPU traversal (core::compute_hybrid).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/tidacc.hpp"
+
+namespace tidacc {
+namespace {
+
+using core::AccTileArray;
+using core::AccTileIterator;
+using core::compute_hybrid;
+using core::compute_reduce;
+using core::DeviceView;
+using oacc::LoopCost;
+using oacc::ReduceOp;
+using tida::Box;
+using tida::Index3;
+
+sim::DeviceConfig fast_config() {
+  sim::DeviceConfig cfg = sim::DeviceConfig::k40m();
+  cfg.transfer_latency_ns = 0;
+  cfg.kernel_launch_ns = 0;
+  cfg.host_api_overhead_ns = 0;
+  cfg.sync_overhead_ns = 0;
+  cfg.oacc_dispatch_extra_ns = 0;
+  return cfg;
+}
+
+class ReduceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cuem::configure(fast_config(), /*functional=*/true);
+    oacc::reset();
+  }
+};
+
+LoopCost tiny_cost() {
+  LoopCost c;
+  c.flops_per_iter = 2;
+  c.dev_bytes_per_iter = 8;
+  return c;
+}
+
+// --- oacc::parallel_loop_reduce ---
+
+TEST_F(ReduceTest, SumOverRange) {
+  const double total = oacc::parallel_loop_reduce(
+      oacc::Bounds::d1(0, 100), tiny_cost(), oacc::LaunchOpts{},
+      ReduceOp::kSum, [](int i, int, int) { return static_cast<double>(i); });
+  EXPECT_DOUBLE_EQ(total, 4950.0);
+}
+
+TEST_F(ReduceTest, MaxAndMinOverData) {
+  std::vector<double> data{3.0, -7.0, 12.0, 0.5};
+  const auto binds = std::make_tuple(oacc::copyin(data.data(), data.size()));
+  const double mx = oacc::parallel_loop_reduce(
+      oacc::Bounds::d1(0, 4), tiny_cost(), oacc::LaunchOpts{}, ReduceOp::kMax,
+      binds, [](const double* d, int i, int, int) { return d[i]; });
+  EXPECT_DOUBLE_EQ(mx, 12.0);
+  const double mn = oacc::parallel_loop_reduce(
+      oacc::Bounds::d1(0, 4), tiny_cost(), oacc::LaunchOpts{}, ReduceOp::kMin,
+      binds, [](const double* d, int i, int, int) { return d[i]; });
+  EXPECT_DOUBLE_EQ(mn, -7.0);
+}
+
+TEST_F(ReduceTest, ThreeDimensionalSum) {
+  const double total = oacc::parallel_loop_reduce(
+      oacc::Bounds::d3(0, 3, 0, 3, 0, 3), tiny_cost(), oacc::LaunchOpts{},
+      ReduceOp::kSum, [](int, int, int) { return 1.0; });
+  EXPECT_DOUBLE_EQ(total, 27.0);
+}
+
+TEST_F(ReduceTest, EmptyRangeYieldsIdentity) {
+  EXPECT_DOUBLE_EQ(
+      oacc::parallel_loop_reduce(oacc::Bounds::d1(5, 5), tiny_cost(),
+                                 oacc::LaunchOpts{}, ReduceOp::kSum,
+                                 [](int, int, int) { return 99.0; }),
+      0.0);
+  EXPECT_EQ(oacc::parallel_loop_reduce(oacc::Bounds::d1(5, 5), tiny_cost(),
+                                       oacc::LaunchOpts{}, ReduceOp::kMax,
+                                       [](int, int, int) { return 99.0; }),
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST_F(ReduceTest, AsyncQueueReductionWaits) {
+  oacc::LaunchOpts opts;
+  opts.async = 4;
+  const double total = oacc::parallel_loop_reduce(
+      oacc::Bounds::d1(0, 10), tiny_cost(), opts, ReduceOp::kSum,
+      [](int, int, int) { return 2.0; });
+  EXPECT_DOUBLE_EQ(total, 20.0);
+  // The queue has drained: the result was host-visible.
+  EXPECT_EQ(cuemStreamQuery(oacc::get_cuem_stream(4)), cuemSuccess);
+}
+
+TEST_F(ReduceTest, TimingOnlyReturnsIdentity) {
+  cuem::configure(fast_config(), /*functional=*/false);
+  oacc::reset();
+  const double total = oacc::parallel_loop_reduce(
+      oacc::Bounds::d1(0, 1 << 22), tiny_cost(), oacc::LaunchOpts{},
+      ReduceOp::kSum, [](int, int, int) { return 1.0; });
+  EXPECT_DOUBLE_EQ(total, 0.0);
+  EXPECT_GT(cuem::platform().now(), 0ull);  // but the kernel was priced
+}
+
+TEST_F(ReduceTest, ReduceOpToString) {
+  EXPECT_STREQ(oacc::to_string(ReduceOp::kSum), "sum");
+  EXPECT_STREQ(oacc::to_string(ReduceOp::kMax), "max");
+  EXPECT_STREQ(oacc::to_string(ReduceOp::kMin), "min");
+}
+
+// --- core::compute_reduce ---
+
+TEST_F(ReduceTest, TileSumOnGpu) {
+  AccTileArray<double> arr(Box::cube(8), Index3::uniform(4), 0);
+  arr.fill([](const Index3&) { return 1.5; });
+  AccTileIterator<double> it(arr);
+  double total = 0.0;
+  for (it.reset(/*gpu=*/true); it.isValid(); it.next()) {
+    total += compute_reduce(it.tile(), tiny_cost(), ReduceOp::kSum,
+                            [](DeviceView<double> v, int i, int j, int k) {
+                              return v(i, j, k);
+                            });
+  }
+  EXPECT_DOUBLE_EQ(total, 1.5 * 512);
+}
+
+TEST_F(ReduceTest, TileMaxOnCpu) {
+  AccTileArray<double> arr(Box::cube(4), Index3::uniform(4), 0);
+  arr.fill([](const Index3& p) {
+    return static_cast<double>(p.i + p.j + p.k);
+  });
+  AccTileIterator<double> it(arr);
+  it.reset(/*gpu=*/false);
+  const double mx =
+      compute_reduce(it.tile(), tiny_cost(), ReduceOp::kMax,
+                     [](DeviceView<double> v, int i, int j, int k) {
+                       return v(i, j, k);
+                     });
+  EXPECT_DOUBLE_EQ(mx, 9.0);
+}
+
+TEST_F(ReduceTest, GpuReduceBlocksStream) {
+  cuem::configure(sim::DeviceConfig::k40m(), /*functional=*/true);
+  oacc::reset();
+  AccTileArray<double> arr(Box::cube(16), Index3::uniform(16), 0);
+  arr.fill([](const Index3&) { return 1.0; });
+  AccTileIterator<double> it(arr);
+  it.reset(true);
+  (void)compute_reduce(it.tile(), tiny_cost(), ReduceOp::kSum,
+                       [](DeviceView<double> v, int i, int j, int k) {
+                         return v(i, j, k);
+                       });
+  EXPECT_EQ(cuemStreamQuery(arr.stream_of_region(0)), cuemSuccess);
+}
+
+TEST_F(ReduceTest, ReduceDoesNotCorruptData) {
+  AccTileArray<double> arr(Box::cube(4), Index3::uniform(4), 0);
+  arr.fill([](const Index3&) { return 2.0; });
+  AccTileIterator<double> it(arr);
+  it.reset(true);
+  (void)compute_reduce(it.tile(), tiny_cost(), ReduceOp::kSum,
+                       [](DeviceView<double> v, int i, int j, int k) {
+                         return v(i, j, k);
+                       });
+  arr.release_all_to_host();
+  EXPECT_DOUBLE_EQ(arr.at({3, 3, 3}), 2.0);
+}
+
+// --- hybrid CPU/GPU ---
+
+TEST_F(ReduceTest, HybridSplitsTilesCorrectly) {
+  AccTileArray<double> arr(Box::cube(8), Index3{8, 8, 1}, 0);  // 8 slabs
+  arr.fill([](const Index3&) { return 1.0; });
+  AccTileIterator<double> it(arr);
+  const auto stats = compute_hybrid(
+      it, /*cpu_regions=*/3, tiny_cost(),
+      [](DeviceView<double> v, int i, int j, int k) { v(i, j, k) += 1.0; });
+  EXPECT_EQ(stats.gpu_tiles, 5);
+  EXPECT_EQ(stats.cpu_tiles, 3);
+  arr.release_all_to_host();
+  for (int k = 0; k < 8; ++k) {
+    ASSERT_DOUBLE_EQ(arr.at({0, 0, k}), 2.0) << "slab " << k;
+  }
+  // The CPU share stayed host-side; the GPU share lives on the device.
+  EXPECT_EQ(arr.location(7), core::Loc::kHost);
+}
+
+TEST_F(ReduceTest, HybridZeroCpuEqualsAllGpu) {
+  AccTileArray<double> arr(Box::cube(8), Index3{8, 8, 2}, 0);
+  arr.fill([](const Index3&) { return 3.0; });
+  AccTileIterator<double> it(arr);
+  const auto stats = compute_hybrid(
+      it, 0, tiny_cost(),
+      [](DeviceView<double> v, int i, int j, int k) { v(i, j, k) *= 2.0; });
+  EXPECT_EQ(stats.cpu_tiles, 0);
+  EXPECT_EQ(stats.gpu_tiles, 4);
+  arr.release_all_to_host();
+  EXPECT_DOUBLE_EQ(arr.at({4, 4, 4}), 6.0);
+}
+
+TEST_F(ReduceTest, HybridOverlapsHostAndDeviceTime) {
+  // Timing-only, steady state (second traversal, data already placed): a
+  // hybrid split that gives one memory-bound slab to the CPU must beat the
+  // all-GPU traversal, because the CPU slab runs concurrently with the
+  // device's seven slabs instead of serializing on the compute engine.
+  LoopCost membound;
+  membound.dev_bytes_per_iter = 16;  // host 40 vs device 205 GB/s
+
+  const auto steady_time = [&](int cpu_regions) {
+    cuem::configure(sim::DeviceConfig::k40m(), /*functional=*/false);
+    oacc::reset();
+    AccTileArray<double> arr(Box::cube(64), Index3{64, 64, 8}, 0);
+    arr.assume_host_initialized();
+    AccTileIterator<double> it(arr);
+    compute_hybrid(it, cpu_regions, membound,
+                   [](DeviceView<double>, int, int, int) {});  // placement
+    oacc::wait_all();
+    const SimTime t0 = cuem::platform().now();
+    compute_hybrid(it, cpu_regions, membound,
+                   [](DeviceView<double>, int, int, int) {});
+    oacc::wait_all();
+    return cuem::platform().now() - t0;
+  };
+
+  const SimTime all_gpu = steady_time(0);
+  const SimTime hybrid = steady_time(1);
+  EXPECT_LT(hybrid, all_gpu);
+}
+
+TEST_F(ReduceTest, HybridStableAcrossSteps) {
+  // Regions keep their side: after the first step no more transfers.
+  AccTileArray<double> arr(Box::cube(8), Index3{8, 8, 2}, 0);
+  arr.fill([](const Index3&) { return 0.0; });
+  AccTileIterator<double> it(arr);
+  const auto run = [&] {
+    compute_hybrid(it, 2, tiny_cost(),
+                   [](DeviceView<double> v, int i, int j, int k) {
+                     v(i, j, k) += 1.0;
+                   });
+  };
+  run();
+  oacc::wait_all();
+  const auto h2d_after_first =
+      cuem::platform().trace().stats().h2d_bytes;
+  run();
+  run();
+  oacc::wait_all();
+  EXPECT_EQ(cuem::platform().trace().stats().h2d_bytes, h2d_after_first);
+  arr.release_all_to_host();
+  EXPECT_DOUBLE_EQ(arr.at({0, 0, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(arr.at({7, 7, 7}), 3.0);
+}
+
+// --- multicore host traversal ---
+
+TEST_F(ReduceTest, HostParallelMatchesSerial) {
+  AccTileArray<double> arr(Box::cube(12), Index3::uniform(4), 0);
+  arr.fill([](const Index3& p) {
+    return static_cast<double>(p.i * p.j + p.k);
+  });
+  ThreadPool pool(4);
+  AccTileIterator<double> it(arr, Index3{2, 2, 2});  // many small tiles
+  core::compute_host_parallel(
+      it, pool, tiny_cost(),
+      [](DeviceView<double> v, int i, int j, int k) { v(i, j, k) += 1.0; });
+  for (const Index3 probe :
+       {Index3{0, 0, 0}, Index3{11, 11, 11}, Index3{5, 7, 3}}) {
+    EXPECT_DOUBLE_EQ(arr.at(probe),
+                     static_cast<double>(probe.i * probe.j + probe.k) + 1.0);
+  }
+}
+
+TEST_F(ReduceTest, HostParallelCoversEveryCellOnce) {
+  AccTileArray<double> arr(Box::cube(8), Index3::uniform(4), 0);
+  arr.fill([](const Index3&) { return 0.0; });
+  ThreadPool pool(3);
+  AccTileIterator<double> it(arr, Index3{4, 2, 2});
+  core::compute_host_parallel(
+      it, pool, tiny_cost(),
+      [](DeviceView<double> v, int i, int j, int k) { v(i, j, k) += 1.0; });
+  double total = 0.0;
+  for (int k = 0; k < 8; ++k) {
+    for (int j = 0; j < 8; ++j) {
+      for (int i = 0; i < 8; ++i) {
+        total += arr.at({i, j, k});
+      }
+    }
+  }
+  EXPECT_DOUBLE_EQ(total, 512.0);
+}
+
+TEST_F(ReduceTest, HostParallelScalesVirtualTime) {
+  cuem::configure(sim::DeviceConfig::k40m(), /*functional=*/false);
+  oacc::reset();
+  LoopCost heavy;
+  heavy.flops_per_iter = 100;
+
+  const auto timed = [&](std::size_t threads) {
+    AccTileArray<double> arr(Box::cube(32), Index3::uniform(8), 0);
+    arr.assume_host_initialized();
+    ThreadPool pool(threads);
+    AccTileIterator<double> it(arr);
+    const SimTime t0 = cuem::platform().now();
+    core::compute_host_parallel(
+        it, pool, heavy, [](DeviceView<double>, int, int, int) {});
+    return cuem::platform().now() - t0;
+  };
+  const SimTime one = timed(1);
+  const SimTime four = timed(4);
+  EXPECT_NEAR(static_cast<double>(one) / static_cast<double>(four), 4.0,
+              0.5);
+}
+
+TEST_F(ReduceTest, HostParallelPullsDeviceDataHome) {
+  AccTileArray<double> arr(Box::cube(8), Index3::uniform(4), 0);
+  arr.fill([](const Index3&) { return 1.0; });
+  AccTileIterator<double> it(arr);
+  it.reset(true);
+  compute(it.tile(), tiny_cost(),
+          [](DeviceView<double> v, int i, int j, int k) { v(i, j, k) = 7.0; });
+  ThreadPool pool(2);
+  core::compute_host_parallel(
+      it, pool, tiny_cost(),
+      [](DeviceView<double> v, int i, int j, int k) { v(i, j, k) += 1.0; });
+  EXPECT_DOUBLE_EQ(arr.at({0, 0, 0}), 8.0);  // device write survived
+}
+
+// --- caching ablation switch ---
+
+TEST_F(ReduceTest, DisabledCachingRoundTripsButStaysCorrect) {
+  core::AccOptions opts;
+  opts.disable_caching = true;
+  AccTileArray<double> arr(Box::cube(8), Index3{8, 8, 4}, 0, opts);
+  arr.fill([](const Index3&) { return 1.0; });
+  AccTileIterator<double> it(arr);
+  for (int step = 0; step < 3; ++step) {
+    for (it.reset(true); it.isValid(); it.next()) {
+      compute(it.tile(), tiny_cost(),
+              [](DeviceView<double> v, int i, int j, int k) {
+                v(i, j, k) *= 2.0;
+              });
+    }
+  }
+  arr.release_all_to_host();
+  EXPECT_DOUBLE_EQ(arr.at({4, 4, 4}), 8.0);
+  // Each of 3 steps re-uploaded both regions (plus the initial uploads).
+  const auto st = sim::Platform::instance().trace().stats();
+  EXPECT_EQ(st.h2d_bytes, 3ull * arr.total_bytes());
+  EXPECT_GE(st.d2h_bytes, 2ull * arr.total_bytes());
+}
+
+TEST_F(ReduceTest, HybridNegativeCpuShareRejected) {
+  AccTileArray<double> arr(Box::cube(4), Index3::uniform(4), 0);
+  AccTileIterator<double> it(arr);
+  EXPECT_THROW(compute_hybrid(it, -1, tiny_cost(),
+                              [](DeviceView<double>, int, int, int) {}),
+               Error);
+}
+
+}  // namespace
+}  // namespace tidacc
