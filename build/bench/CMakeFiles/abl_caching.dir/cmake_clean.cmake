@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_caching.dir/abl_caching.cpp.o"
+  "CMakeFiles/abl_caching.dir/abl_caching.cpp.o.d"
+  "abl_caching"
+  "abl_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_concurrent_kernels.dir/abl_concurrent_kernels.cpp.o"
+  "CMakeFiles/abl_concurrent_kernels.dir/abl_concurrent_kernels.cpp.o.d"
+  "abl_concurrent_kernels"
+  "abl_concurrent_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_concurrent_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_copy_engines.dir/abl_copy_engines.cpp.o"
+  "CMakeFiles/abl_copy_engines.dir/abl_copy_engines.cpp.o.d"
+  "abl_copy_engines"
+  "abl_copy_engines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_copy_engines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

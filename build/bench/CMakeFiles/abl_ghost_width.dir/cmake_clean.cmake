@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_ghost_width.dir/abl_ghost_width.cpp.o"
+  "CMakeFiles/abl_ghost_width.dir/abl_ghost_width.cpp.o.d"
+  "abl_ghost_width"
+  "abl_ghost_width.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_ghost_width.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_region_count.dir/abl_region_count.cpp.o"
+  "CMakeFiles/abl_region_count.dir/abl_region_count.cpp.o.d"
+  "abl_region_count"
+  "abl_region_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_region_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

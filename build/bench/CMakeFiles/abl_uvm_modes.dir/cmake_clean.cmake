@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_uvm_modes.dir/abl_uvm_modes.cpp.o"
+  "CMakeFiles/abl_uvm_modes.dir/abl_uvm_modes.cpp.o.d"
+  "abl_uvm_modes"
+  "abl_uvm_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_uvm_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

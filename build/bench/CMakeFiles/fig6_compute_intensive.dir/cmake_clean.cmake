@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_compute_intensive.dir/fig6_compute_intensive.cpp.o"
+  "CMakeFiles/fig6_compute_intensive.dir/fig6_compute_intensive.cpp.o.d"
+  "fig6_compute_intensive"
+  "fig6_compute_intensive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_compute_intensive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

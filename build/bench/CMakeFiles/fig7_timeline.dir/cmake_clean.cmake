@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_timeline.dir/fig7_timeline.cpp.o"
+  "CMakeFiles/fig7_timeline.dir/fig7_timeline.cpp.o.d"
+  "fig7_timeline"
+  "fig7_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_limited_memory.cpp" "bench/CMakeFiles/fig8_limited_memory.dir/fig8_limited_memory.cpp.o" "gcc" "bench/CMakeFiles/fig8_limited_memory.dir/fig8_limited_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tidacc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tidacc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tidacc_tida.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tidacc_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tidacc_oacc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tidacc_cuem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tidacc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tidacc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blur2d_image.dir/blur2d_image.cpp.o"
+  "CMakeFiles/blur2d_image.dir/blur2d_image.cpp.o.d"
+  "blur2d_image"
+  "blur2d_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blur2d_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat3d_app.dir/heat3d_app.cpp.o"
+  "CMakeFiles/heat3d_app.dir/heat3d_app.cpp.o.d"
+  "heat3d_app"
+  "heat3d_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat3d_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_residual.dir/jacobi_residual.cpp.o"
+  "CMakeFiles/jacobi_residual.dir/jacobi_residual.cpp.o.d"
+  "jacobi_residual"
+  "jacobi_residual.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sincos_app.dir/sincos_app.cpp.o"
+  "CMakeFiles/sincos_app.dir/sincos_app.cpp.o.d"
+  "sincos_app"
+  "sincos_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sincos_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

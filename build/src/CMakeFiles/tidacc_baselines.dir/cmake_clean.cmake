@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidacc_baselines.dir/baselines/common.cpp.o"
+  "CMakeFiles/tidacc_baselines.dir/baselines/common.cpp.o.d"
+  "CMakeFiles/tidacc_baselines.dir/baselines/heat_baselines.cpp.o"
+  "CMakeFiles/tidacc_baselines.dir/baselines/heat_baselines.cpp.o.d"
+  "CMakeFiles/tidacc_baselines.dir/baselines/sincos_baselines.cpp.o"
+  "CMakeFiles/tidacc_baselines.dir/baselines/sincos_baselines.cpp.o.d"
+  "libtidacc_baselines.a"
+  "libtidacc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tidacc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

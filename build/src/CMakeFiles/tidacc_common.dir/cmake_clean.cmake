@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidacc_common.dir/common/cli.cpp.o"
+  "CMakeFiles/tidacc_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/tidacc_common.dir/common/error.cpp.o"
+  "CMakeFiles/tidacc_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/tidacc_common.dir/common/log.cpp.o"
+  "CMakeFiles/tidacc_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/tidacc_common.dir/common/table.cpp.o"
+  "CMakeFiles/tidacc_common.dir/common/table.cpp.o.d"
+  "CMakeFiles/tidacc_common.dir/common/thread_pool.cpp.o"
+  "CMakeFiles/tidacc_common.dir/common/thread_pool.cpp.o.d"
+  "CMakeFiles/tidacc_common.dir/common/units.cpp.o"
+  "CMakeFiles/tidacc_common.dir/common/units.cpp.o.d"
+  "libtidacc_common.a"
+  "libtidacc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tidacc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

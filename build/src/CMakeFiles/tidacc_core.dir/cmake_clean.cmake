@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidacc_core.dir/core/cache_table.cpp.o"
+  "CMakeFiles/tidacc_core.dir/core/cache_table.cpp.o.d"
+  "CMakeFiles/tidacc_core.dir/core/device_pool.cpp.o"
+  "CMakeFiles/tidacc_core.dir/core/device_pool.cpp.o.d"
+  "libtidacc_core.a"
+  "libtidacc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tidacc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cuem/cuem.cpp" "src/CMakeFiles/tidacc_cuem.dir/cuem/cuem.cpp.o" "gcc" "src/CMakeFiles/tidacc_cuem.dir/cuem/cuem.cpp.o.d"
+  "/root/repo/src/cuem/registry.cpp" "src/CMakeFiles/tidacc_cuem.dir/cuem/registry.cpp.o" "gcc" "src/CMakeFiles/tidacc_cuem.dir/cuem/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tidacc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tidacc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidacc_cuem.dir/cuem/cuem.cpp.o"
+  "CMakeFiles/tidacc_cuem.dir/cuem/cuem.cpp.o.d"
+  "CMakeFiles/tidacc_cuem.dir/cuem/registry.cpp.o"
+  "CMakeFiles/tidacc_cuem.dir/cuem/registry.cpp.o.d"
+  "libtidacc_cuem.a"
+  "libtidacc_cuem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tidacc_cuem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidacc_kernels.dir/kernels/heat.cpp.o"
+  "CMakeFiles/tidacc_kernels.dir/kernels/heat.cpp.o.d"
+  "CMakeFiles/tidacc_kernels.dir/kernels/sincos.cpp.o"
+  "CMakeFiles/tidacc_kernels.dir/kernels/sincos.cpp.o.d"
+  "CMakeFiles/tidacc_kernels.dir/kernels/stencil27.cpp.o"
+  "CMakeFiles/tidacc_kernels.dir/kernels/stencil27.cpp.o.d"
+  "libtidacc_kernels.a"
+  "libtidacc_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tidacc_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

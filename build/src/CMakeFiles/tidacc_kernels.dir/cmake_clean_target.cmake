@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtidacc_kernels.a"
+)

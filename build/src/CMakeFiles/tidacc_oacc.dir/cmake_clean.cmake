@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidacc_oacc.dir/oacc/oacc.cpp.o"
+  "CMakeFiles/tidacc_oacc.dir/oacc/oacc.cpp.o.d"
+  "CMakeFiles/tidacc_oacc.dir/oacc/present_table.cpp.o"
+  "CMakeFiles/tidacc_oacc.dir/oacc/present_table.cpp.o.d"
+  "libtidacc_oacc.a"
+  "libtidacc_oacc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tidacc_oacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

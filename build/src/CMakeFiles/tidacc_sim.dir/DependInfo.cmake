@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/device_config.cpp" "src/CMakeFiles/tidacc_sim.dir/sim/device_config.cpp.o" "gcc" "src/CMakeFiles/tidacc_sim.dir/sim/device_config.cpp.o.d"
+  "/root/repo/src/sim/kernel_profile.cpp" "src/CMakeFiles/tidacc_sim.dir/sim/kernel_profile.cpp.o" "gcc" "src/CMakeFiles/tidacc_sim.dir/sim/kernel_profile.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/CMakeFiles/tidacc_sim.dir/sim/platform.cpp.o" "gcc" "src/CMakeFiles/tidacc_sim.dir/sim/platform.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/tidacc_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/tidacc_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tidacc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

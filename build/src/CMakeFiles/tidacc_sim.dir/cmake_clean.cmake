@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidacc_sim.dir/sim/device_config.cpp.o"
+  "CMakeFiles/tidacc_sim.dir/sim/device_config.cpp.o.d"
+  "CMakeFiles/tidacc_sim.dir/sim/kernel_profile.cpp.o"
+  "CMakeFiles/tidacc_sim.dir/sim/kernel_profile.cpp.o.d"
+  "CMakeFiles/tidacc_sim.dir/sim/platform.cpp.o"
+  "CMakeFiles/tidacc_sim.dir/sim/platform.cpp.o.d"
+  "CMakeFiles/tidacc_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/tidacc_sim.dir/sim/trace.cpp.o.d"
+  "libtidacc_sim.a"
+  "libtidacc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tidacc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tida/box.cpp" "src/CMakeFiles/tidacc_tida.dir/tida/box.cpp.o" "gcc" "src/CMakeFiles/tidacc_tida.dir/tida/box.cpp.o.d"
+  "/root/repo/src/tida/ghost.cpp" "src/CMakeFiles/tidacc_tida.dir/tida/ghost.cpp.o" "gcc" "src/CMakeFiles/tidacc_tida.dir/tida/ghost.cpp.o.d"
+  "/root/repo/src/tida/partition.cpp" "src/CMakeFiles/tidacc_tida.dir/tida/partition.cpp.o" "gcc" "src/CMakeFiles/tidacc_tida.dir/tida/partition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tidacc_cuem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tidacc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tidacc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tidacc_tida.dir/tida/box.cpp.o"
+  "CMakeFiles/tidacc_tida.dir/tida/box.cpp.o.d"
+  "CMakeFiles/tidacc_tida.dir/tida/ghost.cpp.o"
+  "CMakeFiles/tidacc_tida.dir/tida/ghost.cpp.o.d"
+  "CMakeFiles/tidacc_tida.dir/tida/partition.cpp.o"
+  "CMakeFiles/tidacc_tida.dir/tida/partition.cpp.o.d"
+  "libtidacc_tida.a"
+  "libtidacc_tida.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tidacc_tida.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tidacc_tida.
+# This may be replaced when dependencies are built.

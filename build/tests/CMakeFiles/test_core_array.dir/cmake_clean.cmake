@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_array.dir/test_core_array.cpp.o"
+  "CMakeFiles/test_core_array.dir/test_core_array.cpp.o.d"
+  "test_core_array"
+  "test_core_array.pdb"
+  "test_core_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_cache.dir/test_core_cache.cpp.o"
+  "CMakeFiles/test_core_cache.dir/test_core_cache.cpp.o.d"
+  "test_core_cache"
+  "test_core_cache.pdb"
+  "test_core_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cuem.dir/test_cuem.cpp.o"
+  "CMakeFiles/test_cuem.dir/test_cuem.cpp.o.d"
+  "test_cuem"
+  "test_cuem.pdb"
+  "test_cuem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cuem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicomponent.dir/test_multicomponent.cpp.o"
+  "CMakeFiles/test_multicomponent.dir/test_multicomponent.cpp.o.d"
+  "test_multicomponent"
+  "test_multicomponent.pdb"
+  "test_multicomponent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicomponent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

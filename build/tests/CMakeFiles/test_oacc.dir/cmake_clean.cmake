@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oacc.dir/test_oacc.cpp.o"
+  "CMakeFiles/test_oacc.dir/test_oacc.cpp.o.d"
+  "test_oacc"
+  "test_oacc.pdb"
+  "test_oacc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oacc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tida_array.dir/test_tida_array.cpp.o"
+  "CMakeFiles/test_tida_array.dir/test_tida_array.cpp.o.d"
+  "test_tida_array"
+  "test_tida_array.pdb"
+  "test_tida_array[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tida_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

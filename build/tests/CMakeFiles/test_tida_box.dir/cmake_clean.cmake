@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tida_box.dir/test_tida_box.cpp.o"
+  "CMakeFiles/test_tida_box.dir/test_tida_box.cpp.o.d"
+  "test_tida_box"
+  "test_tida_box.pdb"
+  "test_tida_box[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tida_box.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

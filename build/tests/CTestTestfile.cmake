@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_cuem[1]_include.cmake")
+include("/root/repo/build/tests/test_oacc[1]_include.cmake")
+include("/root/repo/build/tests/test_tida_box[1]_include.cmake")
+include("/root/repo/build/tests/test_tida_array[1]_include.cmake")
+include("/root/repo/build/tests/test_core_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_core_array[1]_include.cmake")
+include("/root/repo/build/tests/test_kernels[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_reductions[1]_include.cmake")
+include("/root/repo/build/tests/test_multicomponent[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
