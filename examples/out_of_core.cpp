@@ -10,6 +10,11 @@
 // Usage:
 //   ./examples/out_of_core [--n=32] [--steps=2] [--regions=8]
 //                          [--iterations=16] [--timing-only]
+//                          [--policy=static|lru|belady] [--prefetch=0]
+//
+// --policy selects the slot scheduler's eviction policy and --prefetch
+// enables lookahead H2D prefetching ('P' ops in the timeline); the
+// default (static, no prefetch) is the paper's configuration.
 #include <cstdio>
 
 #include "baselines/sincos_baselines.hpp"
@@ -26,6 +31,8 @@ int main(int argc, char** argv) {
   p.steps = static_cast<int>(cli.get_int("steps", 2));
   p.regions = static_cast<int>(cli.get_int("regions", 8));
   p.iterations = static_cast<int>(cli.get_int("iterations", 16));
+  p.policy = core::parse_slot_policy(cli.get_string("policy", "static"));
+  p.prefetch = static_cast<int>(cli.get_int("prefetch", 0));
   const bool timing_only = cli.get_bool("timing-only", false);
   p.keep_result = !timing_only;
 

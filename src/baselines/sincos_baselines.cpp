@@ -146,6 +146,7 @@ RunResult run_sincos_tidacc(const SinCosTidaParams& p) {
   AccOptions opts;
   opts.max_slots = p.max_slots;
   opts.disable_caching = p.disable_caching;
+  opts.slot_policy = p.policy;
   AccTileArray<double> arr(Box::cube(p.n), Index3{p.n, p.n, slab},
                            /*ghost=*/0, opts);
   if (cuem::functional()) {
@@ -162,8 +163,29 @@ RunResult run_sincos_tidacc(const SinCosTidaParams& p) {
       kernels::sincos_cost(p.iterations, sim::MathClass::kPgiDefault);
   AccTileIterator<double> it(arr);
 
+  // Whole-run tile→region access order (the traversal repeated per step):
+  // the Belady oracle's script, and the prefetcher's lookahead target list
+  // (it crosses step boundaries, so next-step uploads queue before a step
+  // barrier). Only needed off the default demand-only path.
+  std::vector<int> seq;
+  if (p.prefetch > 0 ||
+      p.policy == core::SlotPolicyKind::kBeladyOracle) {
+    std::vector<int> order;
+    for (it.reset(); it.isValid(); it.next()) {
+      order.push_back(it.tile().tile.region.id);
+    }
+    seq.reserve(order.size() * static_cast<std::size_t>(p.steps));
+    for (int s = 0; s < p.steps; ++s) {
+      seq.insert(seq.end(), order.begin(), order.end());
+    }
+    if (p.policy == core::SlotPolicyKind::kBeladyOracle) {
+      arr.set_future_accesses(seq);
+    }
+  }
+
   RunResult out;
   const Stopwatch sw;
+  std::size_t pos = 0;  // index of the current tile in `seq`
   for (int s = 0; s < p.steps; ++s) {
     for (it.reset(/*gpu=*/true); it.isValid(); it.next()) {
       compute(it.tile(), cost,
@@ -171,6 +193,16 @@ RunResult run_sincos_tidacc(const SinCosTidaParams& p) {
                                    int k) {
                 v(i, j, k) = kernels::sincos_cell(v(i, j, k), its);
               });
+      for (int a = 1; a <= p.prefetch; ++a) {
+        const std::size_t target = pos + static_cast<std::size_t>(a);
+        if (target < seq.size()) {
+          arr.prefetch_to_device(seq[target]);
+        }
+      }
+      ++pos;
+    }
+    if (p.step_sync) {
+      check(cuemDeviceSynchronize(), "step sync");
     }
   }
   arr.release_all_to_host();

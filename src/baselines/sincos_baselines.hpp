@@ -6,6 +6,7 @@
 #pragma once
 
 #include "baselines/common.hpp"
+#include "core/slot_policy.hpp"
 
 namespace tidacc::baselines {
 
@@ -35,6 +36,15 @@ struct SinCosTidaParams {
   int max_slots = 1 << 20; ///< cap for the limited-memory experiment
   bool disable_caching = false;  ///< ablation: round-trip every acquire
   bool keep_result = false;
+  /// Region→slot scheduling policy (default: the paper's static mapping).
+  core::SlotPolicyKind policy = core::SlotPolicyKind::kStaticModulo;
+  /// Prefetch lookahead in tiles (0 disables the async H2D prefetcher).
+  int prefetch = 0;
+  /// Device barrier after every time step. Models solvers that must read a
+  /// per-step reduction (residual, CFL) on the host before continuing; in
+  /// this regime the prefetcher hoists the next step's uploads ahead of the
+  /// barrier, which demand transfers cannot do.
+  bool step_sync = false;
 };
 
 /// TiDA-acc version (pinned memory, per-region streams, PGI math class).

@@ -38,6 +38,10 @@ struct AccOptions {
   bool disable_caching = false;
   /// Components per cell (BoxLib-style multi-component arrays).
   int ncomp = 1;
+  /// Region→slot scheduling policy. The default reproduces the paper's
+  /// static region % num_slots mapping bit-for-bit; kLru/kBeladyOracle
+  /// place regions dynamically (out-of-core eviction policies).
+  SlotPolicyKind slot_policy = SlotPolicyKind::kStaticModulo;
 };
 
 template <typename T>
@@ -50,7 +54,8 @@ class AccTileArray : public tida::TileArray<T> {
       : Base(domain, region_size, ghost, opts.host_alloc, opts.ncomp),
         pool_(this->partition().max_region_volume(ghost) * opts.ncomp *
                   sizeof(T),
-              this->num_regions(), opts.max_slots),
+              this->num_regions(), opts.max_slots,
+              make_slot_policy(opts.slot_policy)),
         loc_(this->num_regions()),
         disable_caching_(opts.disable_caching) {}
 
@@ -63,6 +68,15 @@ class AccTileArray : public tida::TileArray<T> {
     return pool_.stream_of_slot(pool_.slot_of_region(region));
   }
   const CacheTable& cache() const { return pool_.cache(); }
+  const SlotScheduler& scheduler() const { return pool_.scheduler(); }
+  SlotPolicyKind slot_policy() const { return pool_.scheduler().policy_kind(); }
+
+  /// Installs the recorded future region-access order (one entry per demand
+  /// acquire, in order) for the BeladyOracle policy; other policies ignore
+  /// it.
+  void set_future_accesses(std::vector<int> sequence) {
+    pool_.scheduler().set_future(std::move(sequence));
+  }
 
   /// Last-access location of a region.
   Loc location(int region) const { return loc_.location(region); }
@@ -116,10 +130,11 @@ class AccTileArray : public tida::TileArray<T> {
   // --- the caching protocol ---
 
   /// Ensures region `region` is resident and current on the device; returns
-  /// its device pointer. Transfers (and the eviction of a slot-sharing
-  /// victim) are queued asynchronously on the slot's stream.
+  /// its device pointer. The slot comes from the scheduler (resident slot,
+  /// else a policy-chosen victim); transfers (and the eviction of a
+  /// slot-sharing victim) are queued asynchronously on the slot's stream.
   T* acquire_on_device(int region) {
-    const int slot = pool_.slot_of_region(region);
+    const int slot = pool_.place_region(region);
     const cuemStream_t stream = pool_.stream_of_slot(slot);
     CacheTable& cache = pool_.cache();
     T* dev = static_cast<T*>(pool_.slot_ptr(slot));
@@ -171,6 +186,53 @@ class AccTileArray : public tida::TileArray<T> {
     loc_.set(region, Loc::kDevice);
     return dev;
   }
+
+  /// Queues the asynchronous H2D bringing `region` into a policy-chosen
+  /// slot *ahead* of its demand acquire, so the transfer overlaps the
+  /// kernels still running on other slots (out-of-core pipelining). Never
+  /// blocks the host. The receiving slot stays pinned — protected from
+  /// eviction — until a demand acquire consumes the region. Returns false
+  /// when nothing was queued: the region is already resident, caching is
+  /// disabled, every slot is pinned, or the static mapping lands on a slot
+  /// holding another in-flight prefetch (skipped rather than evicted).
+  bool prefetch_to_device(int region) {
+    if (disable_caching_) {
+      return false;
+    }
+    const int slot = pool_.place_prefetch(region);
+    if (slot < 0) {
+      return false;
+    }
+    CacheTable& cache = pool_.cache();
+    const cuemStream_t stream = pool_.stream_of_slot(slot);
+    T* dev = static_cast<T*>(pool_.slot_ptr(slot));
+
+    if (cache.resident(slot) != -1) {
+      // Same eviction protocol as a demand acquire: the victim's D2H is
+      // stream-ordered before the newcomer's H2D.
+      const int victim = cache.resident(slot);
+      if (loc_.location(victim) == Loc::kDevice) {
+        copy_region(this->region(victim).data, dev, victim,
+                    cuemMemcpyDeviceToHost, stream);
+        loc_.set(victim, Loc::kHost);
+      }
+      cache.evict(slot);
+    }
+
+    if (loc_.location(region) == Loc::kHost) {
+      TIDACC_CHECK(cuem::prefetch_h2d_async(
+                       dev, this->region(region).data,
+                       this->region_bytes(region), stream,
+                       "P:R" + std::to_string(region)) == cuemSuccess);
+      ++prefetches_issued_;
+    }
+    cache.set(slot, region);
+    loc_.set(region, Loc::kDevice);
+    return true;
+  }
+
+  /// Number of prefetch transfers issued so far.
+  std::uint64_t prefetches_issued() const { return prefetches_issued_; }
 
   /// Ensures the host copy of `region` is current. Blocks until the
   /// transfer completes when one is needed (§IV-B3: the caller may touch
@@ -307,6 +369,7 @@ class AccTileArray : public tida::TileArray<T> {
   DevicePool pool_;
   LocationTracker loc_;
   std::uint64_t device_ghost_updates_ = 0;
+  std::uint64_t prefetches_issued_ = 0;
   bool disable_caching_ = false;
 };
 

@@ -9,6 +9,7 @@ namespace tidacc::core {
 CacheTable::CacheTable(int slots) {
   TIDACC_CHECK_MSG(slots > 0, "cache table needs at least one slot");
   resident_.assign(static_cast<size_t>(slots), -1);
+  last_used_.assign(static_cast<size_t>(slots), 0);
 }
 
 int CacheTable::resident(int slot) const {
@@ -23,6 +24,17 @@ void CacheTable::set(int slot, int region) {
                        slot_holding(region) == slot,
                    "region already resident in another slot");
   resident_[static_cast<size_t>(slot)] = region;
+  touch(slot);
+}
+
+void CacheTable::touch(int slot) {
+  check_slot(slot);
+  last_used_[static_cast<size_t>(slot)] = ++clock_;
+}
+
+std::uint64_t CacheTable::last_used(int slot) const {
+  check_slot(slot);
+  return last_used_[static_cast<size_t>(slot)];
 }
 
 void CacheTable::evict(int slot) {

@@ -6,6 +6,7 @@
 // the application has regions.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 namespace tidacc::core {
@@ -33,10 +34,20 @@ class CacheTable {
   /// Number of occupied slots.
   int occupied() const;
 
+  /// Bumps `slot`'s access stamp (monotone table-wide clock). set() also
+  /// stamps, so freshly placed data counts as most recently used. The
+  /// stamps feed the LRU slot policy.
+  void touch(int slot);
+
+  /// Stamp of the last touch of `slot`; 0 means never touched.
+  std::uint64_t last_used(int slot) const;
+
  private:
   void check_slot(int slot) const;
 
   std::vector<int> resident_;
+  std::vector<std::uint64_t> last_used_;
+  std::uint64_t clock_ = 0;
 };
 
 /// Where a region's most recent data lives (paper: "where each region is

@@ -257,6 +257,34 @@ double compute_reduce(const AccTile<T0>& t0, const AccTile<T1>& t1,
   return *partial;
 }
 
+// --- out-of-core streamed traversal (slot-scheduler prefetch) ---
+
+/// Runs one full GPU traversal with H2D prefetch: after enqueueing each
+/// tile's kernel, the regions of the next `lookahead` tile positions are
+/// prefetched onto their (policy-chosen) slot streams, so their transfers
+/// ride the DMA engines while earlier kernels occupy the compute engine.
+/// With `lookahead` 0 this is exactly the demand-driven traversal.
+///
+/// Returns the number of prefetch placements issued (already-resident and
+/// pinned-away regions are skipped — see prefetch_to_device()).
+template <typename T, typename Fn>
+std::uint64_t compute_streamed(AccTileIterator<T>& it, int lookahead,
+                               const oacc::LoopCost& cost, Fn&& body) {
+  TIDACC_CHECK_MSG(lookahead >= 0, "negative prefetch lookahead");
+  std::uint64_t issued = 0;
+  for (it.reset(/*gpu=*/true); it.isValid(); it.next()) {
+    AccTile<T> tile = it.tile();
+    compute(tile, cost, body);
+    for (int a = 1; a <= lookahead; ++a) {
+      const int next = it.peek_region(static_cast<std::size_t>(a));
+      if (next >= 0 && next != tile.tile.region.id) {
+        issued += tile.array->prefetch_to_device(next) ? 1 : 0;
+      }
+    }
+  }
+  return issued;
+}
+
 // --- hybrid CPU/GPU traversal (paper §III: "overlapping computation in
 // CPU with computation in GPU") ---
 

@@ -30,10 +30,12 @@ int discover_slot_count(std::size_t slot_bytes, int num_regions,
 
 }  // namespace
 
-DevicePool::DevicePool(std::size_t slot_bytes, int num_regions, int max_slots)
+DevicePool::DevicePool(std::size_t slot_bytes, int num_regions, int max_slots,
+                       std::unique_ptr<SlotPolicy> policy)
     : slot_bytes_(slot_bytes),
       num_regions_(num_regions),
-      cache_(discover_slot_count(slot_bytes, num_regions, max_slots)) {
+      cache_(discover_slot_count(slot_bytes, num_regions, max_slots)),
+      sched_(cache_.num_slots(), num_regions, std::move(policy)) {
   slots_.reserve(static_cast<size_t>(cache_.num_slots()));
   for (int s = 0; s < cache_.num_slots(); ++s) {
     void* ptr = nullptr;
@@ -66,7 +68,19 @@ void* DevicePool::slot_ptr(int slot) const {
 int DevicePool::slot_of_region(int region) const {
   TIDACC_CHECK_MSG(region >= 0 && region < num_regions_,
                    "region id out of range");
-  return region % num_slots();
+  return sched_.slot_of(region);
+}
+
+int DevicePool::place_region(int region) {
+  TIDACC_CHECK_MSG(region >= 0 && region < num_regions_,
+                   "region id out of range");
+  return sched_.place(region, cache_);
+}
+
+int DevicePool::place_prefetch(int region) {
+  TIDACC_CHECK_MSG(region >= 0 && region < num_regions_,
+                   "region id out of range");
+  return sched_.place_prefetch(region, cache_);
 }
 
 cuemStream_t DevicePool::stream_of_slot(int slot) const {

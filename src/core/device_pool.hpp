@@ -3,14 +3,18 @@
 // many with cuemMalloc, and assigns one stream per slot through the OpenACC
 // queue interop (acc_get_cuda_stream analogue), exactly as TileAcc does.
 //
-// The region→slot mapping is region_id % num_slots: one-to-one when
-// everything fits, shared otherwise (out-of-core execution).
+// The region→slot mapping is delegated to a SlotScheduler: the default
+// StaticModulo policy reproduces the paper's region_id % num_slots rule
+// bit-for-bit (one-to-one when everything fits, shared otherwise —
+// out-of-core execution); Lru/BeladyOracle place regions dynamically.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/cache_table.hpp"
+#include "core/slot_policy.hpp"
 #include "cuem/cuem.hpp"
 
 namespace tidacc::core {
@@ -19,8 +23,10 @@ class DevicePool {
  public:
   /// Allocates up to min(num_regions, fits-in-free-memory, max_slots) slots
   /// of `slot_bytes` each. Throws if not even one slot fits (the
-  /// application cannot run on this device at all).
-  DevicePool(std::size_t slot_bytes, int num_regions, int max_slots);
+  /// application cannot run on this device at all). A null `policy` means
+  /// the paper's StaticModulo mapping.
+  DevicePool(std::size_t slot_bytes, int num_regions, int max_slots,
+             std::unique_ptr<SlotPolicy> policy = nullptr);
   ~DevicePool();
 
   DevicePool(const DevicePool&) = delete;
@@ -36,8 +42,19 @@ class DevicePool {
   /// Device base pointer of a slot.
   void* slot_ptr(int slot) const;
 
-  /// The paper's static region→device-pointer mapping.
+  /// Current region→slot binding (the slot a demand acquire would use
+  /// right now). Under the default StaticModulo policy this is always the
+  /// paper's region % num_slots mapping.
   int slot_of_region(int region) const;
+
+  /// Resolves the slot for a demand acquire of `region` through the
+  /// scheduler, recording the access (LRU stamps / oracle clock) and
+  /// consuming a pending prefetch pin.
+  int place_region(int region);
+
+  /// Resolves and pins the slot for an asynchronous prefetch of `region`;
+  /// -1 means the prefetch must be skipped (see SlotScheduler).
+  int place_prefetch(int region);
 
   /// Stream serving a slot (shared process-wide per slot index via the
   /// OpenACC queue map, so sibling arrays pipeline on the same streams).
@@ -46,11 +63,15 @@ class DevicePool {
   CacheTable& cache() { return cache_; }
   const CacheTable& cache() const { return cache_; }
 
+  SlotScheduler& scheduler() { return sched_; }
+  const SlotScheduler& scheduler() const { return sched_; }
+
  private:
   std::size_t slot_bytes_;
   int num_regions_;
   std::vector<void*> slots_;
   CacheTable cache_;
+  SlotScheduler sched_;
 };
 
 }  // namespace tidacc::core

@@ -322,6 +322,36 @@ cuemError_t launch(cuemStream_t stream, const LaunchGeometry& geom,
   return cuemSuccess;
 }
 
+cuemError_t prefetch_h2d_async(void* dst, const void* src, std::size_t count,
+                               cuemStream_t stream, std::string label) {
+  if (dst == nullptr || src == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  Platform& p = Platform::instance();
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  if (count == 0) {
+    return cuemSuccess;
+  }
+  const MemSpace dst_space = space_of(dst);
+  const MemSpace src_space = space_of(src);
+  if (!is_device_space(dst_space) || !is_host_space(src_space)) {
+    return cuemErrorInvalidMemcpyDirection;
+  }
+  std::function<void()> action;
+  if (p.functional()) {
+    action = [dst, src, count] { std::memcpy(dst, src, count); };
+  }
+  CopyRequest req;
+  req.kind = OpKind::kPrefetchH2D;
+  req.bytes = count;
+  req.host_mem = host_kind_of(src_space);
+  req.label = std::move(label);
+  p.enqueue_copy(stream, req, std::move(action));
+  return cuemSuccess;
+}
+
 cuemError_t host_touch(void* ptr, std::size_t bytes) {
   Allocation* alloc = rt().registry.find(ptr);
   if (alloc == nullptr || alloc->space != MemSpace::kManaged) {

@@ -144,6 +144,13 @@ cuemError_t launch(cuemStream_t stream, const LaunchGeometry& geom,
                    const sim::KernelProfile& profile, std::string label,
                    std::function<void()> body);
 
+/// Queues an asynchronous host→device copy tagged as a scheduler prefetch
+/// (sim::OpKind::kPrefetchH2D): priced and engine-routed exactly like
+/// cuemMemcpyAsync(HostToDevice), but distinguishable in traces and Gantt
+/// charts. `label` names the op in the trace (e.g. "P:R3").
+cuemError_t prefetch_h2d_async(void* dst, const void* src, std::size_t count,
+                               cuemStream_t stream, std::string label);
+
 /// Declares that host code is about to read/write `bytes` at `ptr` inside a
 /// managed allocation. Stands in for the CPU-side page fault: blocks until
 /// outstanding device work finishes and charges page-granular migration.

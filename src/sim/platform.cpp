@@ -73,6 +73,7 @@ void Platform::sync_all() {
 EngineId Platform::copy_engine_for(OpKind kind) const {
   switch (kind) {
     case OpKind::kCopyH2D:
+    case OpKind::kPrefetchH2D:
     case OpKind::kCopyD2D:
     case OpKind::kUvmMigration:
       return EngineId::kCopyH2D;
@@ -113,6 +114,7 @@ SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
   bool host_participates = req.blocking;
   switch (req.kind) {
     case OpKind::kCopyH2D:
+    case OpKind::kPrefetchH2D:
       if (req.host_mem == HostMemKind::kPinned) {
         gbps = cfg_.pinned_h2d_gbps;
       } else {

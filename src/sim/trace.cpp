@@ -34,6 +34,8 @@ const char* to_string(OpKind k) {
       return "event";
     case OpKind::kUvmMigration:
       return "uvm";
+    case OpKind::kPrefetchH2D:
+      return "prefetchH2D";
   }
   return "?";
 }
@@ -46,6 +48,9 @@ void Trace::add(TraceEvent ev) {
       ++stats_.num_kernels;
       stats_.compute_busy += busy;
       break;
+    case OpKind::kPrefetchH2D:
+      stats_.prefetch_h2d_bytes += ev.bytes;
+      [[fallthrough]];
     case OpKind::kCopyH2D:
     case OpKind::kUvmMigration:
       ++stats_.num_copies;
@@ -113,6 +118,8 @@ std::string Trace::render_gantt(int columns) const {
         return '=';
       case OpKind::kUvmMigration:
         return 'u';
+      case OpKind::kPrefetchH2D:
+        return 'P';
       case OpKind::kEventRecord:
         return '|';
     }
@@ -138,7 +145,8 @@ std::string Trace::render_gantt(int columns) const {
 
   std::ostringstream os;
   os << "time: " << format_time(t0) << " .. " << format_time(t1)
-     << "   ('>' H2D, '<' D2H, 'C' kernel, '=' D2D, 'u' UVM)\n";
+     << "   ('>' H2D, 'P' prefetch H2D, '<' D2H, 'C' kernel, '=' D2D, "
+        "'u' UVM)\n";
   for (const auto& [key, lane] : lanes) {
     os << "s" << key.first << "/"
        << to_string(static_cast<EngineId>(key.second)) << "  ";

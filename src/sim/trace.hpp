@@ -19,14 +19,18 @@ inline constexpr int kNumEngines = 3;
 
 const char* to_string(EngineId e);
 
-/// Kind of a simulated device operation.
+/// Kind of a simulated device operation. kPrefetchH2D is a host-to-device
+/// copy issued by the slot scheduler ahead of demand — priced and routed
+/// exactly like kCopyH2D but kept distinguishable in traces and Gantt
+/// charts so overlap analyses can separate prefetch from demand traffic.
 enum class OpKind : int {
   kKernel = 0,
   kCopyH2D,
   kCopyD2H,
   kCopyD2D,
   kEventRecord,
-  kUvmMigration
+  kUvmMigration,
+  kPrefetchH2D
 };
 
 const char* to_string(OpKind k);
@@ -44,8 +48,10 @@ struct TraceEvent {
 
 /// Aggregate counters over a trace interval.
 struct TraceStats {
-  std::uint64_t h2d_bytes = 0;
+  std::uint64_t h2d_bytes = 0;  ///< all H2D traffic, prefetch included
   std::uint64_t d2h_bytes = 0;
+  /// Share of h2d_bytes moved by scheduler prefetches (kPrefetchH2D).
+  std::uint64_t prefetch_h2d_bytes = 0;
   std::uint64_t num_kernels = 0;
   std::uint64_t num_copies = 0;
   SimTime compute_busy = 0;  ///< total compute-engine busy time

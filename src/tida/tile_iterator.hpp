@@ -74,6 +74,14 @@ class TileIterator {
     return Tile<T>{array_->region(e.region_id), e.box};
   }
 
+  /// Region id of the tile `ahead` positions past the current one, or -1
+  /// when the traversal ends before that — the lookahead the slot
+  /// scheduler's prefetcher consumes.
+  int peek_region(std::size_t ahead = 1) const {
+    const std::size_t p = pos_ + ahead;
+    return p < entries_.size() ? entries_[p].region_id : -1;
+  }
+
   /// Whether this traversal requested GPU execution.
   bool gpu() const { return gpu_; }
 

@@ -1,13 +1,19 @@
-// Unit tests for the TiDA-acc bookkeeping: CacheTable, LocationTracker and
-// DevicePool (capacity discovery, slot mapping, stream assignment).
+// Unit tests for the TiDA-acc bookkeeping: CacheTable, LocationTracker,
+// DevicePool (capacity discovery, slot mapping, stream assignment) and the
+// SlotScheduler policies (static modulo, LRU, Belady oracle, prefetch
+// pinning).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "common/error.hpp"
+#include "common/rng.hpp"
 #include "common/units.hpp"
 #include "core/cache_table.hpp"
 #include "core/device_pool.hpp"
+#include "core/slot_policy.hpp"
 #include "cuem/cuem.hpp"
 #include "oacc/oacc.hpp"
 
@@ -187,6 +193,302 @@ TEST_F(DevicePoolTest, InvalidArgumentsRejected) {
   EXPECT_THROW(pool.slot_ptr(9), Error);
   EXPECT_THROW(pool.slot_of_region(4), Error);
   EXPECT_THROW(pool.stream_of_slot(-1), Error);
+}
+
+// --- SlotPolicy / SlotScheduler ---
+
+// The scheduler only decides; residency updates are the caller's job (in
+// the library, AccTileArray::acquire_on_device / prefetch_to_device). The
+// helpers below replay that caller protocol against a bare CacheTable.
+int acquire(SlotScheduler& sched, CacheTable& cache, int region) {
+  const int slot = sched.place(region, cache);
+  if (cache.resident(slot) != region) {
+    if (cache.resident(slot) != -1) {
+      cache.evict(slot);
+    }
+    cache.set(slot, region);
+  }
+  return slot;
+}
+
+int prefetch(SlotScheduler& sched, CacheTable& cache, int region) {
+  const int slot = sched.place_prefetch(region, cache);
+  if (slot >= 0) {
+    if (cache.resident(slot) != -1) {
+      cache.evict(slot);
+    }
+    cache.set(slot, region);
+  }
+  return slot;
+}
+
+/// Misses a policy takes on `seq` with `slots` slots over `regions` regions.
+int policy_misses(SlotPolicyKind kind, int slots, int regions,
+                  const std::vector<int>& seq) {
+  CacheTable cache(slots);
+  SlotScheduler sched(slots, regions, make_slot_policy(kind));
+  sched.set_future(seq);
+  int misses = 0;
+  for (const int r : seq) {
+    misses += cache.slot_holding(r) == -1;
+    acquire(sched, cache, r);
+  }
+  return misses;
+}
+
+/// Exhaustive offline-optimal miss count (tries every eviction choice) —
+/// the ground truth Belady's greedy farthest-next-use must match.
+int brute_force_min_misses(const std::vector<int>& seq, std::size_t pos,
+                           std::vector<int> resident, int slots) {
+  while (pos < seq.size() &&
+         std::find(resident.begin(), resident.end(), seq[pos]) !=
+             resident.end()) {
+    ++pos;  // hits are free for every policy
+  }
+  if (pos == seq.size()) {
+    return 0;
+  }
+  if (static_cast<int>(resident.size()) < slots) {
+    resident.push_back(seq[pos]);
+    return 1 + brute_force_min_misses(seq, pos + 1, std::move(resident),
+                                      slots);
+  }
+  int best = static_cast<int>(seq.size()) + 1;
+  for (std::size_t v = 0; v < resident.size(); ++v) {
+    std::vector<int> next = resident;
+    next[v] = seq[pos];
+    best = std::min(best, brute_force_min_misses(seq, pos + 1,
+                                                 std::move(next), slots));
+  }
+  return 1 + best;
+}
+
+TEST(SlotPolicy, ParseAndToString) {
+  EXPECT_EQ(parse_slot_policy("static"), SlotPolicyKind::kStaticModulo);
+  EXPECT_EQ(parse_slot_policy("modulo"), SlotPolicyKind::kStaticModulo);
+  EXPECT_EQ(parse_slot_policy("lru"), SlotPolicyKind::kLru);
+  EXPECT_EQ(parse_slot_policy("belady"), SlotPolicyKind::kBeladyOracle);
+  EXPECT_EQ(parse_slot_policy("oracle"), SlotPolicyKind::kBeladyOracle);
+  EXPECT_THROW(parse_slot_policy("fifo"), Error);
+  EXPECT_STREQ(to_string(SlotPolicyKind::kStaticModulo), "static");
+  EXPECT_STREQ(to_string(SlotPolicyKind::kLru), "lru");
+  EXPECT_STREQ(to_string(SlotPolicyKind::kBeladyOracle), "belady");
+  for (const auto kind :
+       {SlotPolicyKind::kStaticModulo, SlotPolicyKind::kLru,
+        SlotPolicyKind::kBeladyOracle}) {
+    EXPECT_EQ(make_slot_policy(kind)->kind(), kind);
+    EXPECT_EQ(parse_slot_policy(to_string(kind)), kind);
+  }
+}
+
+TEST(SlotPolicy, StaticModuloMatchesThePaperMapping) {
+  CacheTable cache(3);
+  SlotScheduler sched(3, 8,
+                      make_slot_policy(SlotPolicyKind::kStaticModulo));
+  EXPECT_EQ(sched.policy_kind(), SlotPolicyKind::kStaticModulo);
+  for (const int r : {0, 5, 2, 7, 5, 1, 6}) {
+    EXPECT_EQ(acquire(sched, cache, r), r % 3);
+    EXPECT_EQ(sched.slot_of(r), r % 3);
+  }
+}
+
+TEST(SlotPolicy, DefaultPolicyIsStaticModulo) {
+  SlotScheduler sched(2, 4, nullptr);
+  EXPECT_EQ(sched.policy_kind(), SlotPolicyKind::kStaticModulo);
+}
+
+TEST(SlotPolicy, LruFillsEmptySlotsFirst) {
+  CacheTable cache(3);
+  SlotScheduler sched(3, 6, make_slot_policy(SlotPolicyKind::kLru));
+  std::set<int> used;
+  for (const int r : {4, 1, 5}) {
+    used.insert(acquire(sched, cache, r));
+  }
+  EXPECT_EQ(used.size(), 3u);  // no eviction while a slot is free
+}
+
+TEST(SlotPolicy, LruEvictsLeastRecentlyUsed) {
+  CacheTable cache(2);
+  SlotScheduler sched(2, 4, make_slot_policy(SlotPolicyKind::kLru));
+  const int s0 = acquire(sched, cache, 0);
+  const int s1 = acquire(sched, cache, 1);
+  // Region 0 is the oldest — region 2 must take its slot.
+  EXPECT_EQ(acquire(sched, cache, 2), s0);
+  // Hit on 1 refreshes it; the next miss evicts 2 (now the oldest).
+  EXPECT_EQ(acquire(sched, cache, 1), s1);
+  EXPECT_EQ(acquire(sched, cache, 3), s0);
+  EXPECT_EQ(cache.slot_holding(2), -1);
+  EXPECT_EQ(cache.slot_holding(1), s1);
+}
+
+TEST(SlotPolicy, LruResolvesHitsWithoutMoving) {
+  CacheTable cache(2);
+  SlotScheduler sched(2, 4, make_slot_policy(SlotPolicyKind::kLru));
+  const int s = acquire(sched, cache, 3);
+  EXPECT_EQ(acquire(sched, cache, 3), s);
+  EXPECT_EQ(sched.slot_of(3), s);
+  EXPECT_EQ(cache.occupied(), 1);
+}
+
+TEST(SlotPolicy, BeladyEvictsFarthestNextUse) {
+  CacheTable cache(2);
+  SlotScheduler sched(2, 3, make_slot_policy(SlotPolicyKind::kBeladyOracle));
+  //           cursor:  0  1  2  3  4
+  sched.set_future({0, 1, 2, 0, 1});
+  const int s0 = acquire(sched, cache, 0);
+  const int s1 = acquire(sched, cache, 1);
+  // At cursor 2: region 0 next used at 3, region 1 at 4 — evict region 1.
+  EXPECT_EQ(acquire(sched, cache, 2), s1);
+  EXPECT_EQ(cache.slot_holding(0), s0);
+}
+
+TEST(SlotPolicy, BeladyEvictsNeverUsedAgainFirst) {
+  CacheTable cache(2);
+  SlotScheduler sched(2, 3, make_slot_policy(SlotPolicyKind::kBeladyOracle));
+  sched.set_future({0, 1, 2, 0, 0, 0});
+  acquire(sched, cache, 0);
+  const int s1 = acquire(sched, cache, 1);
+  // Region 1 never appears after cursor 2 — it must be the victim even
+  // though region 0 is older.
+  EXPECT_EQ(acquire(sched, cache, 2), s1);
+}
+
+TEST(SlotPolicy, BeladyMatchesBruteForceOptimum) {
+  // Greedy farthest-next-use is provably optimal; check it against an
+  // exhaustive search over eviction choices on randomized sequences.
+  Rng rng(0xC0FFEE);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int slots = 2 + static_cast<int>(trial % 2);
+    const int regions = 4 + static_cast<int>(trial % 3);
+    std::vector<int> seq(14);
+    for (int& r : seq) {
+      r = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(regions)));
+    }
+    const int belady =
+        policy_misses(SlotPolicyKind::kBeladyOracle, slots, regions, seq);
+    const int optimal = brute_force_min_misses(seq, 0, {}, slots);
+    EXPECT_EQ(belady, optimal) << "trial " << trial;
+    // And the oracle lower-bounds the online policies.
+    EXPECT_LE(belady,
+              policy_misses(SlotPolicyKind::kLru, slots, regions, seq));
+    EXPECT_LE(belady, policy_misses(SlotPolicyKind::kStaticModulo, slots,
+                                    regions, seq));
+  }
+}
+
+TEST(SlotScheduler, PrefetchPinsUntilDemandConsumes) {
+  CacheTable cache(3);
+  SlotScheduler sched(3, 6, make_slot_policy(SlotPolicyKind::kLru));
+  const int slot = prefetch(sched, cache, 4);
+  ASSERT_GE(slot, 0);
+  EXPECT_TRUE(sched.pinned(slot));
+  EXPECT_EQ(sched.pinned_count(), 1);
+  EXPECT_EQ(acquire(sched, cache, 4), slot);  // demand lands on the pin
+  EXPECT_FALSE(sched.pinned(slot));
+  EXPECT_EQ(sched.pinned_count(), 0);
+}
+
+TEST(SlotScheduler, PrefetchNeverEvictsInFlightRegion) {
+  CacheTable cache(2);
+  SlotScheduler sched(2, 6, make_slot_policy(SlotPolicyKind::kLru));
+  const int a = prefetch(sched, cache, 0);
+  const int b = prefetch(sched, cache, 1);
+  EXPECT_NE(a, b);
+  // Both slots carry un-consumed prefetches: a third must be refused, not
+  // clobber either transfer.
+  EXPECT_EQ(prefetch(sched, cache, 2), -1);
+  EXPECT_EQ(cache.slot_holding(0), a);
+  EXPECT_EQ(cache.slot_holding(1), b);
+}
+
+TEST(SlotScheduler, PrefetchSkipsRegionAlreadyResident) {
+  CacheTable cache(2);
+  SlotScheduler sched(2, 4, make_slot_policy(SlotPolicyKind::kLru));
+  acquire(sched, cache, 1);
+  EXPECT_EQ(prefetch(sched, cache, 1), -1);
+}
+
+TEST(SlotScheduler, PrefetchNeverEvictsTheComputingRegion) {
+  CacheTable cache(2);
+  SlotScheduler sched(2, 6, make_slot_policy(SlotPolicyKind::kLru));
+  const int s0 = acquire(sched, cache, 0);
+  // Region 0's kernel is the one in flight: the prefetch must take the
+  // other slot even though slot s0 holds the LRU-oldest data.
+  const int p = prefetch(sched, cache, 1);
+  ASSERT_GE(p, 0);
+  EXPECT_NE(p, s0);
+  // With one slot computing and one in flight, nothing is evictable.
+  EXPECT_EQ(prefetch(sched, cache, 2), -1);
+}
+
+TEST(SlotScheduler, StaticPrefetchRefusesConflictingSlot) {
+  CacheTable cache(2);
+  SlotScheduler sched(2, 8,
+                      make_slot_policy(SlotPolicyKind::kStaticModulo));
+  const int p3 = prefetch(sched, cache, 3);
+  EXPECT_EQ(p3, 1);  // forced mapping: 3 % 2
+  EXPECT_EQ(prefetch(sched, cache, 5), -1);  // 5 % 2 collides with the pin
+  // The demanded region always wins over a conflicting in-flight prefetch.
+  EXPECT_EQ(acquire(sched, cache, 1), 1);
+  EXPECT_FALSE(sched.pinned(1));
+}
+
+TEST(SlotScheduler, DemandPrefersUnpinnedSlots) {
+  CacheTable cache(2);
+  SlotScheduler sched(2, 6, make_slot_policy(SlotPolicyKind::kLru));
+  const int s0 = acquire(sched, cache, 0);
+  const int p = prefetch(sched, cache, 1);
+  ASSERT_GE(p, 0);
+  // A demand miss must not land on the in-flight slot while an unpinned
+  // candidate exists — even the one holding the most recent data.
+  EXPECT_EQ(acquire(sched, cache, 2), s0);
+  EXPECT_TRUE(sched.pinned(p));
+}
+
+TEST(SlotScheduler, DemandDropsPinsOnlyWhenEverySlotIsPinned) {
+  CacheTable cache(1);
+  SlotScheduler sched(1, 4, make_slot_policy(SlotPolicyKind::kLru));
+  // One slot: a prefetch pins it; a demand for another region has no
+  // unpinned candidate and must proceed anyway (correctness first).
+  ASSERT_EQ(prefetch(sched, cache, 0), 0);
+  EXPECT_EQ(acquire(sched, cache, 1), 0);
+  EXPECT_FALSE(sched.pinned(0));
+}
+
+TEST(SlotScheduler, RejectsInvalidArguments) {
+  CacheTable cache(2);
+  SlotScheduler sched(2, 4, make_slot_policy(SlotPolicyKind::kLru));
+  EXPECT_THROW(sched.place(-1, cache), Error);
+  EXPECT_THROW(sched.place(4, cache), Error);
+  EXPECT_THROW(sched.place_prefetch(7, cache), Error);
+  EXPECT_THROW(sched.pinned(2), Error);
+  EXPECT_THROW(SlotScheduler(0, 4, nullptr), Error);
+  EXPECT_THROW(SlotScheduler(2, 0, nullptr), Error);
+}
+
+// --- DevicePool + scheduler integration ---
+
+TEST_F(DevicePoolTest, PlaceRegionWithLruReusesAllSlots) {
+  DevicePool pool(1 * kMiB, 8, /*max_slots=*/4,
+                  make_slot_policy(SlotPolicyKind::kLru));
+  std::set<int> used;
+  for (int r = 0; r < 4; ++r) {
+    const int slot = pool.place_region(r);
+    pool.cache().set(slot, r);
+    used.insert(slot);
+  }
+  EXPECT_EQ(used.size(), 4u);
+  EXPECT_EQ(pool.scheduler().policy_kind(), SlotPolicyKind::kLru);
+}
+
+TEST_F(DevicePoolTest, DefaultSchedulerKeepsModuloMapping) {
+  DevicePool pool(1 * kMiB, 8, /*max_slots=*/3);
+  EXPECT_EQ(pool.scheduler().policy_kind(),
+            SlotPolicyKind::kStaticModulo);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(pool.place_region(r), r % 3);
+  }
 }
 
 }  // namespace

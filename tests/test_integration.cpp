@@ -296,6 +296,137 @@ TEST(OverlapEvidence, TransferBoundTidaBeatsBulkTransfers) {
   EXPECT_LT(tida_total, cuda_total);
 }
 
+// --- slot-scheduling policies ---
+
+TEST(SlotPolicyIntegration, StaticModuloReproducesSeedTraceExactly) {
+  // Golden numbers captured on the pre-scheduler build (static modulo was
+  // hard-coded): the default policy must keep the out-of-core trace
+  // bit-for-bit — same virtual times, same transfer and kernel counts.
+  const auto run = [](core::SlotPolicyKind kind) {
+    cuem::configure(DeviceConfig::k40m(), /*functional=*/false);
+    oacc::reset();
+    SinCosTidaParams p;
+    p.n = 32;
+    p.steps = 5;
+    p.iterations = 8;
+    p.regions = 8;
+    p.max_slots = 2;
+    p.policy = kind;
+    return run_sincos_tidacc(p).elapsed;
+  };
+  const SimTime elapsed = run(core::SlotPolicyKind::kStaticModulo);
+  const auto st = cuem::platform().trace().stats();
+  EXPECT_EQ(elapsed, SimTime{681457});
+  EXPECT_EQ(st.makespan, SimTime{678457});
+  EXPECT_EQ(st.h2d_bytes, 1310720u);
+  EXPECT_EQ(st.d2h_bytes, 1310720u);
+  EXPECT_EQ(st.prefetch_h2d_bytes, 0u);
+  EXPECT_EQ(st.num_kernels, 40u);
+  EXPECT_EQ(st.num_copies, 80u);
+}
+
+TEST(SlotPolicyIntegration, AllPoliciesComputeTheSameResult) {
+  // Functional runs: whatever the scheduler decides, the numerics must not
+  // change — same data for every policy, with and without prefetch.
+  SinCosTidaParams p;
+  p.n = 16;
+  p.steps = 3;
+  p.iterations = 4;
+  p.regions = 8;
+  p.max_slots = 2;
+  p.keep_result = true;
+  fresh(true);
+  const std::vector<double> ref = run_sincos_tidacc(p).data;
+  ASSERT_FALSE(ref.empty());
+  for (const auto kind :
+       {core::SlotPolicyKind::kStaticModulo, core::SlotPolicyKind::kLru,
+        core::SlotPolicyKind::kBeladyOracle}) {
+    for (const int prefetch : {0, 2}) {
+      for (const bool sync : {false, true}) {
+        fresh(true);
+        SinCosTidaParams q = p;
+        q.policy = kind;
+        q.prefetch = prefetch;
+        q.step_sync = sync;
+        EXPECT_EQ(run_sincos_tidacc(q).data, ref)
+            << "policy=" << core::to_string(kind)
+            << " prefetch=" << prefetch << " sync=" << sync;
+      }
+    }
+  }
+}
+
+TEST(SlotPolicyIntegration, PrefetchModeEquivalence) {
+  // The functional ≡ timing-only invariant must survive the prefetcher.
+  const auto run = [] {
+    SinCosTidaParams p;
+    p.n = 16;
+    p.steps = 4;
+    p.iterations = 3;
+    p.regions = 8;
+    p.max_slots = 2;
+    p.policy = core::SlotPolicyKind::kLru;
+    p.prefetch = 2;
+    p.step_sync = true;
+    return run_sincos_tidacc(p).elapsed;
+  };
+  expect_same(measure(true, run), measure(false, run),
+              "sincos TiDA-acc lru+prefetch");
+}
+
+TEST(SlotPolicyIntegration, ComputeStreamedPrefetchesAndStaysCorrect) {
+  fresh(true);
+  using namespace tidacc::core;
+  AccOptions opts;
+  opts.max_slots = 2;
+  opts.slot_policy = SlotPolicyKind::kLru;
+  AccTileArray<double> arr(tida::Box::cube(8), tida::Index3{8, 8, 2}, 0,
+                           opts);
+  arr.fill([](const tida::Index3& p) {
+    return static_cast<double>(p.i + p.j + p.k);
+  });
+  oacc::LoopCost cost;
+  cost.dev_bytes_per_iter = 16;
+  AccTileIterator<double> it(arr);
+  const std::uint64_t issued = compute_streamed(
+      it, /*lookahead=*/1, cost,
+      [](DeviceView<double> v, int i, int j, int k) {
+        v(i, j, k) += 2.0;
+      });
+  EXPECT_GT(issued, 0u);
+  EXPECT_EQ(arr.prefetches_issued(), issued);
+  arr.release_all_to_host();
+  for (int k = 0; k < 8; ++k) {
+    ASSERT_DOUBLE_EQ(arr.at({1, 2, k}), 1 + 2 + k + 2.0);
+  }
+}
+
+TEST(SlotPolicyIntegration, PrefetchTransfersAreLabelledInTheTrace) {
+  fresh(false);
+  cuem::platform().trace().set_recording(true);
+  SinCosTidaParams p;
+  p.n = 16;
+  p.steps = 2;
+  p.iterations = 4;
+  p.regions = 8;
+  p.max_slots = 2;
+  p.prefetch = 2;
+  p.step_sync = true;
+  (void)run_sincos_tidacc(p);
+  const auto& trace = cuem::platform().trace();
+  bool saw_prefetch = false;
+  for (const auto& ev : trace.events()) {
+    if (ev.kind == sim::OpKind::kPrefetchH2D) {
+      saw_prefetch = true;
+      EXPECT_EQ(ev.label.rfind("P:R", 0), 0u)
+          << "prefetch op carries its own label: " << ev.label;
+    }
+  }
+  EXPECT_TRUE(saw_prefetch);
+  EXPECT_GT(trace.stats().prefetch_h2d_bytes, 0u);
+  EXPECT_GE(trace.stats().h2d_bytes, trace.stats().prefetch_h2d_bytes);
+}
+
 TEST(OverlapEvidence, UtilizationZeroWithoutKernels) {
   fresh(false);
   cuem::platform().trace().set_recording(true);
