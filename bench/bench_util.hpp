@@ -36,6 +36,18 @@ inline void fresh_platform(const sim::DeviceConfig& cfg,
   cuem::platform().trace().set_recording(record_trace);
 }
 
+/// Multi-device variant: rebuilds the platform with `num_devices` devices
+/// joined by `ic` (the --interconnect preset), host links scaled per the
+/// preset. One device on Interconnect::pcie() matches fresh_platform(cfg).
+inline void fresh_platform_multi(sim::DeviceConfig cfg, int num_devices,
+                                 const sim::Interconnect& ic,
+                                 bool record_trace = false) {
+  ic.apply_host_link(cfg);
+  cuem::configure(cfg, /*functional=*/false, num_devices, ic);
+  oacc::reset();
+  cuem::platform().trace().set_recording(record_trace);
+}
+
 /// Collects named qualitative checks ("who wins, where the crossover is")
 /// and prints a PASS/FAIL summary; returns a process exit code.
 class ShapeChecks {

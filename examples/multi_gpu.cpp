@@ -1,0 +1,111 @@
+// Multi-GPU walkthrough: a heat step distributed over two simulated
+// devices with direct peer access.
+//
+// Builds a 64^3 domain of 8 slab regions on a 2-device NVLink-class
+// platform (4 regions per device, block placement), enables peer access
+// both ways, runs a few functional heat steps — ghost faces that cross the
+// device boundary travel as peer copies over the interconnect — and
+// verifies the result against a single-device run of the same program.
+// Finishes by printing the per-device Gantt chart: lanes are prefixed
+// d0/, d1/ and peer transfers render as '*'.
+//
+// Build & run:  ./examples/multi_gpu
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "core/tidacc.hpp"
+#include "kernels/heat.hpp"
+
+namespace {
+
+using namespace tidacc;
+
+/// Runs `steps` periodic heat steps on `devices` device(s); returns probe
+/// values from the final field.
+std::vector<double> run(int devices, int steps) {
+  cuem::configure(sim::DeviceConfig::k40m(), /*functional=*/true,
+                  /*num_devices=*/devices, sim::Interconnect::nvlink());
+  oacc::reset();
+  cuem::platform().trace().set_recording(true);
+
+  // Direct fabric transfers need peer access enabled per device pair
+  // (cudaDeviceEnablePeerAccess is directed: enable both ways).
+  for (int d = 0; d < devices; ++d) {
+    cuem::DeviceGuard guard(d);
+    for (int peer = 0; peer < devices; ++peer) {
+      if (peer != d) {
+        TIDACC_CHECK(cuemDeviceEnablePeerAccess(peer, 0) == cuemSuccess);
+      }
+    }
+  }
+
+  // 64^3 split into 8 k-slabs; device 0 owns regions 0-3, device 1 owns
+  // 4-7 (block placement keeps 6 of 8 interior faces device-local).
+  core::MultiAccTileArray<double> a(tida::Box::cube(64),
+                                    tida::Index3{64, 64, 8}, /*ghost=*/1);
+  core::MultiAccTileArray<double> b(tida::Box::cube(64),
+                                    tida::Index3{64, 64, 8}, /*ghost=*/1);
+  a.fill([](const tida::Index3& p) {
+    return kernels::heat_initial(p.i, p.j, p.k);
+  });
+
+  core::MultiAccTileArray<double>* u = &a;
+  core::MultiAccTileArray<double>* un = &b;
+  for (int s = 0; s < steps; ++s) {
+    u->fill_boundary(tida::Boundary::kPeriodic);
+    for (int r = 0; r < u->num_regions(); ++r) {
+      core::compute_gpu(
+          *u, *un, r, kernels::heat_cost(),
+          [](core::DeviceView<double> us, core::DeviceView<double> uns,
+             int i, int j, int k) {
+            uns(i, j, k) =
+                us(i, j, k) +
+                kernels::kHeatFac *
+                    (us(i - 1, j, k) + us(i + 1, j, k) + us(i, j - 1, k) +
+                     us(i, j + 1, k) + us(i, j, k - 1) + us(i, j, k + 1) -
+                     6.0 * us(i, j, k));
+          });
+    }
+    std::swap(u, un);
+  }
+  u->release_all_to_host();
+  TIDACC_CHECK(cuemDeviceSynchronize() == cuemSuccess);
+
+  std::vector<double> probes;
+  for (const tida::Index3 p : {tida::Index3{0, 0, 0}, tida::Index3{31, 9, 7},
+                               tida::Index3{32, 32, 32},
+                               tida::Index3{63, 63, 63}}) {
+    probes.push_back(u->at(p));
+  }
+  return probes;
+}
+
+}  // namespace
+
+int main() {
+  const int steps = 3;
+
+  // Reference: the same program on one device.
+  const std::vector<double> ref = run(/*devices=*/1, steps);
+
+  // The multi-GPU run; keep its trace for the Gantt below.
+  const std::vector<double> got = run(/*devices=*/2, steps);
+  const sim::TraceStats stats = cuem::platform().trace().stats();
+  const std::string gantt = cuem::platform().trace().render_gantt(96);
+
+  bool ok = ref.size() == got.size();
+  for (std::size_t i = 0; ok && i < ref.size(); ++i) {
+    ok = ref[i] == got[i];
+  }
+
+  std::printf("multi_gpu: %s (2-device result %s 1-device reference)\n",
+              ok ? "OK" : "WRONG RESULT", ok ? "matches" : "differs from");
+  std::printf("devices: %d, peer ghost traffic: %llu bytes over %s\n",
+              cuem::device_count(),
+              static_cast<unsigned long long>(stats.p2p_bytes),
+              cuem::platform().interconnect().summary().c_str());
+  std::printf("\nper-device timeline (d0/, d1/ lanes; '*' = peer copy):\n%s\n",
+              gantt.c_str());
+  return ok ? 0 : 1;
+}

@@ -36,6 +36,27 @@ std::string Cli::get_string(const std::string& name,
   return it == flags_.end() ? fallback : it->second;
 }
 
+std::string Cli::get_interconnect(const std::string& fallback) const {
+  const auto it = flags_.find("interconnect");
+  if (it == flags_.end()) {
+    return fallback;
+  }
+  const std::string& v = it->second;
+  const bool preset = v == "pcie" || v == "pcie3" || v == "pcie-gen3" ||
+                      v == "pcie4" || v == "pcie-gen4" || v == "nvlink";
+  bool custom = false;
+  if (!preset) {
+    char* end = nullptr;
+    const double gbps = std::strtod(v.c_str(), &end);
+    custom = end != nullptr && *end == '\0' && !v.empty() && gbps > 0.0;
+  }
+  TIDACC_CHECK_MSG(preset || custom,
+                   "--interconnect expects pcie|pcie4|nvlink or a positive "
+                   "GB/s number, got '" +
+                       v + "'");
+  return v;
+}
+
 std::int64_t Cli::get_int(const std::string& name,
                           std::int64_t fallback) const {
   const auto it = flags_.find(name);

@@ -19,6 +19,13 @@ class Cli {
 
   std::string get_string(const std::string& name,
                          const std::string& fallback) const;
+
+  /// Value of the shared `--interconnect` flag: a preset name ("pcie",
+  /// "pcie4", "nvlink") or a custom per-direction link bandwidth in GB/s
+  /// (a positive number). The syntax is validated here with a friendly
+  /// error; the semantics live in sim::Interconnect::parse, so benches and
+  /// the topology presets share one code path.
+  std::string get_interconnect(const std::string& fallback) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;

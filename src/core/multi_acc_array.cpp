@@ -1,0 +1,25 @@
+#include "core/multi_acc_array.hpp"
+
+namespace tidacc::core {
+
+const char* to_string(DevicePlacement p) {
+  switch (p) {
+    case DevicePlacement::kBlock:
+      return "block";
+    case DevicePlacement::kRoundRobin:
+      return "round-robin";
+  }
+  return "?";
+}
+
+DevicePlacement parse_placement(const std::string& s) {
+  if (s == "block") {
+    return DevicePlacement::kBlock;
+  }
+  if (s == "round-robin" || s == "roundrobin" || s == "rr") {
+    return DevicePlacement::kRoundRobin;
+  }
+  TIDACC_FAIL("unknown placement '" + s + "' (expected block|round-robin)");
+}
+
+}  // namespace tidacc::core

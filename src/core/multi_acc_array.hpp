@@ -1,0 +1,589 @@
+// MultiAccTileArray — the multi-GPU tileArray: regions distributed across
+// the platform's simulated devices.
+//
+// Extends tida::TileArray<T> the same way AccTileArray does, but with one
+// DevicePool (+ CacheTable + SlotScheduler) per device: each region has an
+// owning device chosen by a placement policy (block or round-robin), demand
+// acquires and prefetches run the §IV-B4 caching protocol against the
+// owner's pool, and the ghost exchange of §IV-B6 is extended across device
+// boundaries: interior faces whose source and destination live on the same
+// device use the usual device-side update kernels; faces crossing devices
+// travel as peer copies (direct over the interconnect when peer access is
+// enabled, staged D2H+H2D through pinned host memory otherwise). Both reuse
+// the CPU index-list pipelining — the host computes the copy descriptors
+// for region k+1 while device engines work on region k's updates.
+//
+// With one device this class reproduces AccTileArray's operation sequence
+// bit-for-bit (same streams, same transfers, same kernels, same trace) —
+// the golden-trace equality test in tests/test_multi_gpu.cpp pins that.
+#pragma once
+
+#include <cstring>
+#include <limits>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/compute.hpp"
+#include "core/device_pool.hpp"
+#include "cuem/cuem.hpp"
+#include "oacc/oacc.hpp"
+#include "tida/tile_array.hpp"
+
+namespace tidacc::core {
+
+/// Region→device placement policy.
+///   kBlock:      contiguous chunks (region r on device r / ceil(R/N)) —
+///                neighbouring regions share a device, so most ghost faces
+///                stay device-local (fewest peer copies).
+///   kRoundRobin: region r on device r % N — balances any per-region load
+///                imbalance at the cost of more cross-device faces.
+enum class DevicePlacement : int { kBlock = 0, kRoundRobin = 1 };
+
+const char* to_string(DevicePlacement p);
+
+/// Parses "block" / "round-robin" (also "rr", "roundrobin").
+DevicePlacement parse_placement(const std::string& s);
+
+/// Construction options for MultiAccTileArray.
+struct MultiAccOptions {
+  tida::HostAlloc host_alloc = tida::HostAlloc::kPinned;
+  /// Number of devices to distribute over; 0 means every device the
+  /// platform exposes. Must not exceed cuemGetDeviceCount.
+  int devices = 0;
+  DevicePlacement placement = DevicePlacement::kBlock;
+  /// Cap on device slots per device (limited-memory experiments).
+  int max_slots_per_device = std::numeric_limits<int>::max();
+  /// Components per cell.
+  int ncomp = 1;
+  /// Region→slot scheduling policy within each device's pool.
+  SlotPolicyKind slot_policy = SlotPolicyKind::kStaticModulo;
+};
+
+template <typename T>
+class MultiAccTileArray : public tida::TileArray<T> {
+ public:
+  using Base = tida::TileArray<T>;
+
+  MultiAccTileArray(const tida::Box& domain, const tida::Index3& region_size,
+                    int ghost, MultiAccOptions opts = {})
+      : Base(domain, region_size, ghost, opts.host_alloc, opts.ncomp),
+        loc_(this->num_regions()),
+        placement_(opts.placement) {
+    const int avail = cuem::device_count();
+    num_devices_ = opts.devices == 0 ? avail : opts.devices;
+    TIDACC_CHECK_MSG(num_devices_ >= 1 && num_devices_ <= avail,
+                     "device count must be in [1, cuemGetDeviceCount]");
+    const int nreg = this->num_regions();
+    owner_.resize(static_cast<std::size_t>(nreg));
+    local_.resize(static_cast<std::size_t>(nreg));
+    shards_.resize(static_cast<std::size_t>(num_devices_));
+    const int chunk = (nreg + num_devices_ - 1) / num_devices_;
+    for (int r = 0; r < nreg; ++r) {
+      const int d = placement_ == DevicePlacement::kBlock
+                        ? r / chunk
+                        : r % num_devices_;
+      owner_[static_cast<std::size_t>(r)] = d;
+      local_[static_cast<std::size_t>(r)] =
+          static_cast<int>(shard(d).regions.size());
+      shard(d).regions.push_back(r);
+    }
+    const std::size_t slot_bytes =
+        this->partition().max_region_volume(ghost) * opts.ncomp * sizeof(T);
+    for (int d = 0; d < num_devices_; ++d) {
+      if (shard(d).regions.empty()) {
+        continue;  // more devices than regions: this device idles
+      }
+      // The pool sizes itself against the *owning* device's free memory and
+      // creates its slot streams there, so construct under its guard.
+      cuem::DeviceGuard guard(d);
+      shard(d).pool = std::make_unique<DevicePool>(
+          slot_bytes, static_cast<int>(shard(d).regions.size()),
+          opts.max_slots_per_device, make_slot_policy(opts.slot_policy));
+    }
+  }
+
+  // --- device topology ---
+
+  /// Devices this array distributes over (not necessarily all used).
+  int num_devices() const { return num_devices_; }
+  DevicePlacement placement() const { return placement_; }
+
+  /// Owning device of a region.
+  int device_of_region(int region) const {
+    return owner_[checked(region)];
+  }
+
+  /// Region's index within its owning device's pool.
+  int local_region(int region) const { return local_[checked(region)]; }
+
+  /// Global region ids owned by one device, in local order.
+  const std::vector<int>& regions_of_device(int device) const {
+    TIDACC_CHECK_MSG(device >= 0 && device < num_devices_,
+                     "device ordinal out of range");
+    return shards_[static_cast<std::size_t>(device)].regions;
+  }
+
+  /// True when every device's regions each have their own slot.
+  bool all_regions_fit() const {
+    for (const DeviceShard& s : shards_) {
+      if (s.pool && !s.pool->one_to_one()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  int num_slots(int device) const { return pool_of(device).num_slots(); }
+  const CacheTable& cache(int device) const {
+    return pool_of(device).cache();
+  }
+  const SlotScheduler& scheduler(int device) const {
+    return pool_of(device).scheduler();
+  }
+
+  /// Stream serving a region's slot, on the owning device.
+  cuemStream_t stream_of_region(int region) const {
+    const int dev = owner_[checked(region)];
+    cuem::DeviceGuard guard(dev);
+    const DevicePool& pool = pool_of(dev);
+    return pool.stream_of_slot(
+        pool.slot_of_region(local_[static_cast<std::size_t>(region)]));
+  }
+
+  /// Installs the recorded future region-access order (global ids) for the
+  /// BeladyOracle policy, splitting it into each device's local sequence.
+  void set_future_accesses(std::vector<int> sequence) {
+    for (int d = 0; d < num_devices_; ++d) {
+      if (!shard(d).pool) {
+        continue;
+      }
+      std::vector<int> local_seq;
+      for (int r : sequence) {
+        if (owner_[checked(r)] == d) {
+          local_seq.push_back(local_[static_cast<std::size_t>(r)]);
+        }
+      }
+      shard(d).pool->scheduler().set_future(std::move(local_seq));
+    }
+  }
+
+  /// Last-access location of a region.
+  Loc location(int region) const { return loc_.location(region); }
+
+  /// Fills valid cells on the host (records host ownership, as
+  /// AccTileArray::fill does).
+  template <typename Fn>
+  void fill(Fn&& fn) {
+    Base::fill(std::forward<Fn>(fn));
+    assume_host_initialized();
+  }
+
+  template <typename Fn>
+  void fill_components(Fn&& fn) {
+    Base::fill_components(std::forward<Fn>(fn));
+    assume_host_initialized();
+  }
+
+  /// Timing-only-mode stand-in for fill().
+  void assume_host_initialized() {
+    for (int r = 0; r < this->num_regions(); ++r) {
+      loc_.set(r, Loc::kHost);
+    }
+  }
+
+  /// Host cell access under the access protocol (see AccTileArray::at).
+  T& at(const tida::Index3& cell) {
+    const int id = this->partition().region_of_cell(cell);
+    TIDACC_CHECK_MSG(id >= 0, "cell outside the domain");
+    TIDACC_CHECK_MSG(loc_.location(id) != Loc::kDevice,
+                     "host access to a device-current region — call "
+                     "acquire_on_host first (paper §IV-B3)");
+    loc_.set(id, Loc::kHost);
+    return Base::at(cell);
+  }
+
+  /// Device-side view of `region` laid out in its slot buffer on the
+  /// owning device.
+  tida::Region<T> device_region(int region) const {
+    const int dev = owner_[checked(region)];
+    const DevicePool& pool = pool_of(dev);
+    tida::Region<T> r = this->region(region);
+    r.data = static_cast<T*>(pool.slot_ptr(
+        pool.slot_of_region(local_[static_cast<std::size_t>(region)])));
+    return r;
+  }
+
+  // --- the caching protocol (per-device pools) ---
+
+  /// AccTileArray::acquire_on_device against the owner's pool: resident →
+  /// refresh if the host touched it since; else evict a slot-sharing victim
+  /// (its D2H stream-ordered before the newcomer's H2D) and upload.
+  T* acquire_on_device(int region) {
+    const int dev = owner_[checked(region)];
+    cuem::DeviceGuard guard(dev);
+    DevicePool& pool = *shard(dev).pool;
+    const int lr = local_[static_cast<std::size_t>(region)];
+    const int slot = pool.place_region(lr);
+    const cuemStream_t stream = pool.stream_of_slot(slot);
+    CacheTable& cache = pool.cache();
+    T* dev_ptr = static_cast<T*>(pool.slot_ptr(slot));
+
+    if (cache.resident(slot) == lr) {
+      if (loc_.location(region) == Loc::kHost) {
+        copy_region(dev_ptr, this->region(region).data, region,
+                    cuemMemcpyHostToDevice, stream);
+      }
+      loc_.set(region, Loc::kDevice);
+      return dev_ptr;
+    }
+
+    const bool needs_upload = loc_.location(region) == Loc::kHost;
+
+    if (cache.resident(slot) != -1) {
+      const int victim =
+          shard(dev).regions[static_cast<std::size_t>(cache.resident(slot))];
+      if (loc_.location(victim) == Loc::kDevice) {
+        copy_region(this->region(victim).data, dev_ptr, victim,
+                    cuemMemcpyDeviceToHost, stream);
+        loc_.set(victim, Loc::kHost);
+      }
+      cache.evict(slot);
+    }
+
+    if (needs_upload) {
+      copy_region(dev_ptr, this->region(region).data, region,
+                  cuemMemcpyHostToDevice, stream);
+    }
+    cache.set(slot, lr);
+    loc_.set(region, Loc::kDevice);
+    return dev_ptr;
+  }
+
+  /// AccTileArray::prefetch_to_device against the owner's pool. Returns
+  /// false when nothing was queued.
+  bool prefetch_to_device(int region) {
+    const int dev = owner_[checked(region)];
+    cuem::DeviceGuard guard(dev);
+    DevicePool& pool = *shard(dev).pool;
+    const int lr = local_[static_cast<std::size_t>(region)];
+    const int slot = pool.place_prefetch(lr);
+    if (slot < 0) {
+      return false;
+    }
+    CacheTable& cache = pool.cache();
+    const cuemStream_t stream = pool.stream_of_slot(slot);
+    T* dev_ptr = static_cast<T*>(pool.slot_ptr(slot));
+
+    if (cache.resident(slot) != -1) {
+      const int victim =
+          shard(dev).regions[static_cast<std::size_t>(cache.resident(slot))];
+      if (loc_.location(victim) == Loc::kDevice) {
+        copy_region(this->region(victim).data, dev_ptr, victim,
+                    cuemMemcpyDeviceToHost, stream);
+        loc_.set(victim, Loc::kHost);
+      }
+      cache.evict(slot);
+    }
+
+    if (loc_.location(region) == Loc::kHost) {
+      TIDACC_CHECK(cuem::prefetch_h2d_async(
+                       dev_ptr, this->region(region).data,
+                       this->region_bytes(region), stream,
+                       "P:R" + std::to_string(region)) == cuemSuccess);
+      ++prefetches_issued_;
+    }
+    cache.set(slot, lr);
+    loc_.set(region, Loc::kDevice);
+    return true;
+  }
+
+  std::uint64_t prefetches_issued() const { return prefetches_issued_; }
+
+  /// Makes the host copy of `region` current; blocks on the transfer.
+  void acquire_on_host(int region) {
+    if (loc_.location(region) != Loc::kDevice) {
+      loc_.set(region, Loc::kHost);
+      return;
+    }
+    const int dev = owner_[checked(region)];
+    cuem::DeviceGuard guard(dev);
+    DevicePool& pool = *shard(dev).pool;
+    const int lr = local_[static_cast<std::size_t>(region)];
+    const int slot = pool.slot_of_region(lr);
+    const cuemStream_t stream = pool.stream_of_slot(slot);
+    TIDACC_CHECK_MSG(pool.cache().resident(slot) == lr,
+                     "region marked on-device but not resident");
+    copy_region(this->region(region).data,
+                static_cast<T*>(pool.slot_ptr(slot)), region,
+                cuemMemcpyDeviceToHost, stream);
+    TIDACC_CHECK(cuemStreamSynchronize(stream) == cuemSuccess);
+    loc_.set(region, Loc::kHost);
+  }
+
+  /// Brings every device-held region home and waits.
+  void release_all_to_host() {
+    for (int r = 0; r < this->num_regions(); ++r) {
+      acquire_on_host(r);
+    }
+  }
+
+  // --- distributed ghost exchange (paper §IV-B6, extended across devices)
+
+  /// Refreshes all ghost cells, dispatching by data location exactly as
+  /// AccTileArray::fill_boundary does.
+  void fill_boundary(tida::Boundary bc) {
+    if (!loc_.any_on_device()) {
+      this->fill_boundary_host(bc);
+      return;
+    }
+    if (all_regions_fit()) {
+      fill_boundary_device(bc);
+      return;
+    }
+    release_all_to_host();
+    this->fill_boundary_host(bc);
+  }
+
+  /// Device-side exchange across all devices: `acc wait`, then per
+  /// destination region the CPU computes the index lists while the device
+  /// engines apply the previous region's updates. Faces whose source lives
+  /// on the same device go into one update kernel on the destination's
+  /// stream; faces crossing devices are issued as stream-ordered peer
+  /// copies (direct interconnect when peer access is enabled, staged
+  /// through pinned host memory otherwise).
+  void fill_boundary_device(tida::Boundary bc) {
+    for (int r = 0; r < this->num_regions(); ++r) {
+      acquire_on_device(r);
+    }
+    oacc::wait_all();
+
+    sim::Platform& p = sim::Platform::instance();
+    const auto& plan = this->exchange_plan(bc);
+    std::size_t begin = 0;
+    while (begin < plan.size()) {
+      // The plan is grouped by destination region.
+      const int dst = plan[begin].dst_region;
+      const int dst_dev = owner_[static_cast<std::size_t>(dst)];
+      std::size_t end = begin;
+      std::uint64_t local_cells = 0;
+      while (end < plan.size() && plan[end].dst_region == dst) {
+        if (owner_[static_cast<std::size_t>(plan[end].src_region)] ==
+            dst_dev) {
+          local_cells += plan[end].dst_box.volume();
+        }
+        ++end;
+      }
+
+      // CPU index computation covers the whole group — intra-device and
+      // peer faces alike ride the same pipelined descriptors (Fig. 4).
+      p.host_advance(static_cast<SimTime>(end - begin) *
+                     p.config().host_index_calc_ns_per_copy);
+
+      const cuemStream_t dstream = stream_of_region(dst);
+
+      if (local_cells > 0) {
+        sim::KernelProfile prof;
+        prof.elements = local_cells * this->ncomp();
+        prof.dev_bytes_per_element = 2.0 * sizeof(T);
+        prof.flops_per_element = 0.0;
+        prof.tuned_geometry = false;  // OpenACC-generated update kernel
+
+        auto action = [this, bc, dst_dev, begin, end]() {
+          const auto& pl = this->exchange_plan(bc);
+          for (std::size_t c = begin; c < end; ++c) {
+            if (owner_[static_cast<std::size_t>(pl[c].src_region)] ==
+                dst_dev) {
+              apply_copy_device(pl[c]);
+            }
+          }
+        };
+        p.enqueue_kernel(dstream, prof, p.config().oacc_dispatch_extra_ns,
+                         std::move(action), "ghost:R" + std::to_string(dst));
+        ++device_ghost_updates_;
+      }
+
+      for (std::size_t c = begin; c < end; ++c) {
+        const tida::GhostCopy& gc = plan[c];
+        const int src_dev = owner_[static_cast<std::size_t>(gc.src_region)];
+        if (src_dev == dst_dev) {
+          continue;
+        }
+        const std::uint64_t bytes =
+            gc.dst_box.volume() * this->ncomp() * sizeof(T);
+        auto action = [this, bc, c]() {
+          apply_copy_device(this->exchange_plan(bc)[c]);
+        };
+        TIDACC_CHECK(cuem::peer_copy_async(
+                         dst_dev, src_dev, bytes, dstream,
+                         "G:R" + std::to_string(gc.src_region) + ">R" +
+                             std::to_string(dst),
+                         std::move(action)) == cuemSuccess);
+        ++peer_ghost_copies_;
+      }
+      begin = end;
+    }
+    // Stream order on each destination protects later kernels, exactly as
+    // in the single-device exchange.
+  }
+
+  std::uint64_t device_ghost_updates() const { return device_ghost_updates_; }
+
+  /// Number of cross-device ghost transfers issued so far (direct or
+  /// host-staged, depending on peer access).
+  std::uint64_t peer_ghost_copies() const { return peer_ghost_copies_; }
+
+ private:
+  struct DeviceShard {
+    std::unique_ptr<DevicePool> pool;
+    std::vector<int> regions;  ///< global region ids, in local order
+  };
+
+  DeviceShard& shard(int d) {
+    return shards_[static_cast<std::size_t>(d)];
+  }
+
+  const DevicePool& pool_of(int device) const {
+    TIDACC_CHECK_MSG(device >= 0 && device < num_devices_,
+                     "device ordinal out of range");
+    const DeviceShard& s = shards_[static_cast<std::size_t>(device)];
+    TIDACC_CHECK_MSG(s.pool != nullptr, "device owns no regions");
+    return *s.pool;
+  }
+
+  std::size_t checked(int region) const {
+    TIDACC_CHECK_MSG(region >= 0 && region < this->num_regions(),
+                     "region id out of range");
+    return static_cast<std::size_t>(region);
+  }
+
+  /// Queues one whole-region transfer on `stream` (owner's device).
+  void copy_region(T* dst, const T* src, int region, cuemMemcpyKind kind,
+                   cuemStream_t stream) {
+    const std::size_t bytes = this->region_bytes(region);
+    TIDACC_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream) ==
+                 cuemSuccess);
+  }
+
+  /// Applies one planned ghost copy between slot buffers (the functional
+  /// part of an update kernel or a peer copy; buffers may live on
+  /// different devices).
+  void apply_copy_device(const tida::GhostCopy& c) {
+    const tida::Region<T> src = device_region(c.src_region);
+    const tida::Region<T> dst = device_region(c.dst_region);
+    const tida::Index3 e = c.dst_box.extent();
+    for (int comp = 0; comp < this->ncomp(); ++comp) {
+      for (int k = 0; k < e.k; ++k) {
+        for (int j = 0; j < e.j; ++j) {
+          const tida::Index3 d0 = c.dst_box.lo + tida::Index3{0, j, k};
+          const tida::Index3 s0 = c.src_box.lo + tida::Index3{0, j, k};
+          std::memcpy(&dst.at(d0, comp), &src.at(s0, comp),
+                      static_cast<std::size_t>(e.i) * sizeof(T));
+        }
+      }
+    }
+  }
+
+  std::vector<DeviceShard> shards_;
+  std::vector<int> owner_;
+  std::vector<int> local_;
+  LocationTracker loc_;
+  DevicePlacement placement_;
+  int num_devices_ = 1;
+  std::uint64_t device_ghost_updates_ = 0;
+  std::uint64_t peer_ghost_copies_ = 0;
+  std::uint64_t prefetches_issued_ = 0;
+};
+
+// --- whole-region compute on the owning device ---
+
+/// Launches `body` over `region`'s valid box on the region's owning device
+/// (the multi-GPU analogue of compute() over a whole-region tile: same
+/// staging, stream choice, profile and label, so a 1-device program traces
+/// identically to the AccTileArray path).
+template <typename T, typename Fn>
+void compute_gpu(MultiAccTileArray<T>& a, int region,
+                 const oacc::LoopCost& cost, Fn&& body) {
+  sim::Platform& p = sim::Platform::instance();
+  const tida::Region<T> reg = a.region(region);
+  const DeviceView<T> view{a.acquire_on_device(region), reg.grown,
+                           reg.ncomp};
+  const cuemStream_t kstream = a.stream_of_region(region);
+
+  sim::KernelProfile prof;
+  prof.elements = reg.valid.volume();
+  prof.flops_per_element = cost.flops_per_iter;
+  prof.dev_bytes_per_element = cost.dev_bytes_per_iter;
+  prof.math_units_per_element = cost.math_units_per_iter;
+  prof.math = cost.math;
+  prof.tuned_geometry = false;  // kernels are OpenACC-generated (§IV-B5)
+  prof.efficiency_factor = cost.efficiency_factor;
+
+  auto action = [range = reg.valid, view, body = std::forward<Fn>(body)]() {
+    for (int k = range.lo.k; k <= range.hi.k; ++k) {
+      for (int j = range.lo.j; j <= range.hi.j; ++j) {
+        for (int i = range.lo.i; i <= range.hi.i; ++i) {
+          body(view, i, j, k);
+        }
+      }
+    }
+  };
+  p.enqueue_kernel(kstream, prof, p.config().oacc_dispatch_extra_ns,
+                   std::move(action), "C:R" + std::to_string(region));
+}
+
+/// Two-array variant (Jacobi-style in/out). Both arrays must place the
+/// region on the same device; when the slot streams differ the kernel
+/// stream waits on the output's staging (event ordering, as compute()
+/// does for multi-tile calls).
+template <typename T, typename Fn>
+void compute_gpu(MultiAccTileArray<T>& in, MultiAccTileArray<T>& out,
+                 int region, const oacc::LoopCost& cost, Fn&& body) {
+  TIDACC_CHECK_MSG(in.partition() == out.partition(),
+                   "in/out arrays must share the partition geometry");
+  TIDACC_CHECK_MSG(in.device_of_region(region) ==
+                       out.device_of_region(region),
+                   "in/out region must live on the same device");
+  sim::Platform& p = sim::Platform::instance();
+  const tida::Region<T> rin = in.region(region);
+  const tida::Region<T> rout = out.region(region);
+  const DeviceView<T> vin{in.acquire_on_device(region), rin.grown,
+                          rin.ncomp};
+  const DeviceView<T> vout{out.acquire_on_device(region), rout.grown,
+                           rout.ncomp};
+  const cuemStream_t kstream = in.stream_of_region(region);
+  const cuemStream_t ostream = out.stream_of_region(region);
+  if (ostream != kstream) {
+    cuemEvent_t ev = 0;
+    TIDACC_CHECK(cuemEventCreate(&ev) == cuemSuccess);
+    TIDACC_CHECK(cuemEventRecord(ev, ostream) == cuemSuccess);
+    TIDACC_CHECK(cuemStreamWaitEvent(kstream, ev, 0) == cuemSuccess);
+    TIDACC_CHECK(cuemEventDestroy(ev) == cuemSuccess);
+  }
+
+  sim::KernelProfile prof;
+  prof.elements = rin.valid.volume();
+  prof.flops_per_element = cost.flops_per_iter;
+  prof.dev_bytes_per_element = cost.dev_bytes_per_iter;
+  prof.math_units_per_element = cost.math_units_per_iter;
+  prof.math = cost.math;
+  prof.tuned_geometry = false;
+  prof.efficiency_factor = cost.efficiency_factor;
+
+  auto action = [range = rin.valid, vin, vout,
+                 body = std::forward<Fn>(body)]() {
+    for (int k = range.lo.k; k <= range.hi.k; ++k) {
+      for (int j = range.lo.j; j <= range.hi.j; ++j) {
+        for (int i = range.lo.i; i <= range.hi.i; ++i) {
+          body(vin, vout, i, j, k);
+        }
+      }
+    }
+  };
+  p.enqueue_kernel(kstream, prof, p.config().oacc_dispatch_extra_ns,
+                   std::move(action), "C:R" + std::to_string(region));
+}
+
+}  // namespace tidacc::core

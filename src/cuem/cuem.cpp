@@ -5,6 +5,9 @@
 #include <map>
 #include <memory>
 #include <new>
+#include <set>
+#include <sstream>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
@@ -24,6 +27,15 @@ using sim::Platform;
 struct Runtime {
   PointerRegistry registry;
   std::size_t device_used = 0;
+  /// Per-device allocation accounting, indexed by ordinal (lazily sized).
+  std::vector<std::size_t> device_used_by_dev;
+  /// Current device (cuemSetDevice), as in the CUDA runtime.
+  int current_device = 0;
+  /// Directed peer-access grants: (from, to) pairs enabled via
+  /// cuemDeviceEnablePeerAccess.
+  std::set<std::pair<int, int>> peer_access;
+  /// Detailed message of the most recent failure (device ordinals included).
+  std::string last_error;
   /// Synthetic address cursor for timing-only allocations (never
   /// dereferenced; spaced so interior-pointer arithmetic stays in range).
   std::uintptr_t synthetic_next = 0x7000'0000'0000ull;
@@ -55,12 +67,43 @@ void reset_runtime() {
   rt() = Runtime{};
 }
 
+/// Records a detailed failure message and passes the error code through.
+cuemError_t fail(cuemError_t err, std::string msg) {
+  rt().last_error = std::move(msg);
+  return err;
+}
+
+/// Per-device allocation counter for `device`, lazily sized.
+std::size_t& device_used(int device) {
+  auto& v = rt().device_used_by_dev;
+  const auto idx = static_cast<std::size_t>(device);
+  if (idx >= v.size()) {
+    v.resize(idx + 1, 0);
+  }
+  return v[idx];
+}
+
+/// Resolves stream handle 0 to the current device's default stream; CUDA
+/// semantics, where the default stream follows cudaSetDevice.
+cuemStream_t resolve_stream(cuemStream_t s) {
+  if (s == 0) {
+    return Platform::instance().default_stream(rt().current_device);
+  }
+  return s;
+}
+
 /// Allocates backing memory (real in functional mode, synthetic otherwise)
 /// and registers it. Returns nullptr on device-capacity exhaustion.
 void* allocate(std::size_t size, MemSpace space) {
   Platform& p = Platform::instance();
+  const int dev = rt().current_device;
   if (space == MemSpace::kDevice || space == MemSpace::kManaged) {
-    if (rt().device_used + size > p.config().usable_memory()) {
+    if (device_used(dev) + size > p.config().usable_memory()) {
+      std::ostringstream os;
+      os << "allocation of " << size << " bytes exceeds device " << dev
+         << " capacity (" << device_used(dev) << " of "
+         << p.config().usable_memory() << " bytes in use)";
+      fail(cuemErrorMemoryAllocation, os.str());
       return nullptr;
     }
   }
@@ -69,6 +112,7 @@ void* allocate(std::size_t size, MemSpace space) {
   alloc.size = size;
   alloc.space = space;
   alloc.device_resident = false;
+  alloc.device = dev;
   if (p.functional()) {
     alloc.backing = ::operator new(size, std::align_val_t(64));
     rt().backings.push_back(alloc.backing);
@@ -82,6 +126,7 @@ void* allocate(std::size_t size, MemSpace space) {
   rt().registry.add(alloc);
   if (space == MemSpace::kDevice || space == MemSpace::kManaged) {
     rt().device_used += size;
+    device_used(dev) += size;
   }
   return reinterpret_cast<void*>(alloc.base);
 }
@@ -103,6 +148,7 @@ cuemError_t release(void* ptr, MemSpace expected) {
   if (removed.space == MemSpace::kDevice ||
       removed.space == MemSpace::kManaged) {
     rt().device_used -= removed.size;
+    device_used(removed.device) -= removed.size;
   }
   if (removed.backing != nullptr) {
     ::operator delete(removed.backing, std::align_val_t(64));
@@ -153,6 +199,71 @@ cuemMemcpyKind infer_kind(MemSpace dst, MemSpace src) {
   return cuemMemcpyHostToHost;
 }
 
+/// True when direct access between the two devices has been enabled in
+/// either direction — the condition for routing a peer copy over the
+/// interconnect instead of staging through host memory.
+bool peer_route_enabled(int a, int b) {
+  return rt().peer_access.count({a, b}) > 0 ||
+         rt().peer_access.count({b, a}) > 0;
+}
+
+/// Shared engine of every inter-device transfer (cuemMemcpyPeer*, the
+/// ghost-exchange extension, and cross-device D2D memcpys): direct over the
+/// interconnect when peer access is enabled, staged through host pinned
+/// buffers (D2H on the source device, then H2D on the destination, in
+/// stream FIFO order) when it is not. Devices must already be validated.
+cuemError_t peer_transfer(int dst_device, int src_device, std::size_t count,
+                          cuemStream_t stream, bool blocking,
+                          std::string label, std::function<void()> action) {
+  Platform& p = Platform::instance();
+  stream = resolve_stream(stream);
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  if (count == 0) {
+    return cuemSuccess;
+  }
+  if (!p.functional()) {
+    action = nullptr;
+  }
+  if (src_device == dst_device) {
+    CopyRequest req;
+    req.kind = OpKind::kCopyD2D;
+    req.bytes = count;
+    req.blocking = blocking;
+    req.device_override = dst_device;
+    req.label = std::move(label);
+    p.enqueue_copy(stream, req, std::move(action));
+    return cuemSuccess;
+  }
+  if (peer_route_enabled(src_device, dst_device)) {
+    p.enqueue_peer_copy(stream, src_device, dst_device, count,
+                        std::move(label), std::move(action));
+    if (blocking) {
+      p.sync_stream(stream);
+    }
+    return cuemSuccess;
+  }
+  // No peer access: stage through host. The driver bounces through pinned
+  // staging buffers, so both hops run at pinned PCIe rates.
+  CopyRequest d2h;
+  d2h.kind = OpKind::kCopyD2H;
+  d2h.bytes = count;
+  d2h.host_mem = HostMemKind::kPinned;
+  d2h.device_override = src_device;
+  d2h.label = label + ":d2h";
+  p.enqueue_copy(stream, d2h, nullptr);
+  CopyRequest h2d;
+  h2d.kind = OpKind::kCopyH2D;
+  h2d.bytes = count;
+  h2d.host_mem = HostMemKind::kPinned;
+  h2d.blocking = blocking;
+  h2d.device_override = dst_device;
+  h2d.label = label + ":h2d";
+  p.enqueue_copy(stream, h2d, std::move(action));
+  return cuemSuccess;
+}
+
 cuemError_t do_memcpy(void* dst, const void* src, std::size_t count,
                       cuemMemcpyKind kind, cuemStream_t stream,
                       bool blocking) {
@@ -160,6 +271,7 @@ cuemError_t do_memcpy(void* dst, const void* src, std::size_t count,
     return cuemErrorInvalidValue;
   }
   Platform& p = Platform::instance();
+  stream = resolve_stream(stream);
   if (!p.stream_valid(stream)) {
     return cuemErrorInvalidResourceHandle;
   }
@@ -208,13 +320,24 @@ cuemError_t do_memcpy(void* dst, const void* src, std::size_t count,
       req.host_mem = host_kind_of(dst_space);
       req.label = "D2H";
       break;
-    case cuemMemcpyDeviceToDevice:
+    case cuemMemcpyDeviceToDevice: {
       if (!is_device_space(dst_space) || !is_device_space(src_space)) {
         return cuemErrorInvalidMemcpyDirection;
+      }
+      // UVA semantics: a D2D copy whose endpoints live on different
+      // devices is a peer transfer.
+      const Allocation* da = rt().registry.find(dst);
+      const Allocation* sa = rt().registry.find(src);
+      const int dst_dev = da != nullptr ? da->device : 0;
+      const int src_dev = sa != nullptr ? sa->device : 0;
+      if (dst_dev != src_dev) {
+        return peer_transfer(dst_dev, src_dev, count, stream, blocking,
+                             "P2P", std::move(action));
       }
       req.kind = OpKind::kCopyD2D;
       req.label = "D2D";
       break;
+    }
     default:
       return cuemErrorInvalidMemcpyDirection;
   }
@@ -233,6 +356,55 @@ bool functional() { return Platform::instance().functional(); }
 void configure(const DeviceConfig& cfg, bool functional_mode) {
   reset_runtime();
   Platform::reset_instance(cfg, functional_mode);
+}
+
+void configure(const DeviceConfig& cfg, bool functional_mode,
+               int num_devices, const sim::Interconnect& interconnect) {
+  reset_runtime();
+  Platform::reset_instance(cfg, functional_mode, num_devices, interconnect);
+}
+
+int device_count() { return Platform::instance().num_devices(); }
+
+int current_device() { return rt().current_device; }
+
+cuemStream_t default_stream() {
+  return Platform::instance().default_stream(rt().current_device);
+}
+
+bool peer_enabled(int device, int peer) {
+  return peer_route_enabled(device, peer);
+}
+
+int device_of_ptr(const void* p) {
+  const Allocation* a = rt().registry.find(p);
+  if (a == nullptr || !is_device_space(a->space)) {
+    return -1;
+  }
+  return a->device;
+}
+
+DeviceGuard::DeviceGuard(int device) : prev_(rt().current_device) {
+  TIDACC_CHECK_MSG(cuemSetDevice(device) == cuemSuccess,
+                   cuemGetLastErrorMessage());
+}
+
+DeviceGuard::~DeviceGuard() { cuemSetDevice(prev_); }
+
+cuemError_t peer_copy_async(int dst_device, int src_device,
+                            std::size_t bytes, cuemStream_t stream,
+                            std::string label,
+                            std::function<void()> action) {
+  Platform& p = Platform::instance();
+  if (!p.device_valid(dst_device) || !p.device_valid(src_device)) {
+    std::ostringstream os;
+    os << "peer_copy_async: device pair (" << src_device << ", "
+       << dst_device << ") outside [0, " << p.num_devices() << ")";
+    return fail(cuemErrorInvalidDevice, os.str());
+  }
+  return peer_transfer(dst_device, src_device, bytes, stream,
+                       /*blocking=*/false, std::move(label),
+                       std::move(action));
 }
 
 bool is_device_ptr(const void* p) {
@@ -272,12 +444,19 @@ void host_free(void* ptr) {
 
 std::size_t device_bytes_in_use() { return rt().device_used; }
 
+std::size_t device_bytes_in_use(int device) {
+  TIDACC_CHECK_MSG(Platform::instance().device_valid(device),
+                   "device_bytes_in_use: invalid device ordinal");
+  return device_used(device);
+}
+
 std::size_t live_allocation_count() { return rt().registry.live_count(); }
 
 cuemError_t launch(cuemStream_t stream, const LaunchGeometry& geom,
                    const sim::KernelProfile& profile, std::string label,
                    std::function<void()> body) {
   Platform& p = Platform::instance();
+  stream = resolve_stream(stream);
   if (!p.stream_valid(stream)) {
     return cuemErrorInvalidResourceHandle;
   }
@@ -328,6 +507,7 @@ cuemError_t prefetch_h2d_async(void* dst, const void* src, std::size_t count,
     return cuemErrorInvalidValue;
   }
   Platform& p = Platform::instance();
+  stream = resolve_stream(stream);
   if (!p.stream_valid(stream)) {
     return cuemErrorInvalidResourceHandle;
   }
@@ -398,9 +578,19 @@ const char* cuemGetErrorString(cuemError_t err) {
       return "invalid resource handle";
     case cuemErrorNotReady:
       return "device not ready";
+    case cuemErrorInvalidDevice:
+      return "invalid device ordinal";
+    case cuemErrorPeerAccessAlreadyEnabled:
+      return "peer access is already enabled";
+    case cuemErrorPeerAccessNotEnabled:
+      return "peer access has not been enabled";
+    case cuemErrorPeerAccessUnsupported:
+      return "peer access is not supported between these devices";
   }
   return "unknown error";
 }
+
+const char* cuemGetLastErrorMessage() { return rt().last_error.c_str(); }
 
 cuemError_t cuemMalloc(void** dev_ptr, std::size_t size) {
   if (dev_ptr == nullptr || size == 0) {
@@ -446,7 +636,7 @@ cuemError_t cuemMemGetInfo(std::size_t* free_bytes, std::size_t* total_bytes) {
   }
   const std::size_t usable = Platform::instance().config().usable_memory();
   *total_bytes = Platform::instance().config().memory_bytes;
-  *free_bytes = usable - device_bytes_in_use();
+  *free_bytes = usable - device_bytes_in_use(current_device());
   return cuemSuccess;
 }
 
@@ -490,6 +680,7 @@ cuemError_t do_memset(void* dev_ptr, int value, std::size_t count,
     return cuemErrorInvalidValue;
   }
   Platform& p = Platform::instance();
+  stream = resolve_stream(stream);
   if (!p.stream_valid(stream)) {
     return cuemErrorInvalidResourceHandle;
   }
@@ -531,14 +722,21 @@ cuemError_t cuemMemcpyAsync(void* dst, const void* src, std::size_t count,
 
 cuemError_t cuemMemPrefetchAsync(const void* ptr, std::size_t count,
                                  int device, cuemStream_t stream) {
-  if (ptr == nullptr || device != 0) {
+  if (ptr == nullptr) {
     return cuemErrorInvalidValue;
   }
   Platform& p = Platform::instance();
+  if (!p.device_valid(device)) {
+    std::ostringstream os;
+    os << "cuemMemPrefetchAsync: device ordinal " << device
+       << " out of range [0, " << p.num_devices() << ")";
+    return fail(cuemErrorInvalidDevice, os.str());
+  }
   const sim::DeviceConfig& cfg = p.config();
   if (cfg.uvm_mode != sim::DeviceConfig::UvmMode::kPascal) {
     return cuemErrorInvalidValue;  // pre-Pascal drivers lack prefetch
   }
+  stream = resolve_stream(stream);
   if (!p.stream_valid(stream)) {
     return cuemErrorInvalidResourceHandle;
   }
@@ -566,14 +764,14 @@ cuemError_t cuemStreamCreate(cuemStream_t* stream) {
   if (stream == nullptr) {
     return cuemErrorInvalidValue;
   }
-  *stream = Platform::instance().create_stream();
+  *stream = Platform::instance().create_stream(current_device());
   return cuemSuccess;
 }
 
 cuemError_t cuemStreamDestroy(cuemStream_t stream) {
   Platform& p = Platform::instance();
-  if (!p.stream_valid(stream) || stream == 0) {
-    return cuemErrorInvalidResourceHandle;
+  if (!p.stream_valid(stream) || stream < p.num_devices()) {
+    return cuemErrorInvalidResourceHandle;  // default streams included
   }
   p.destroy_stream(stream);
   return cuemSuccess;
@@ -581,6 +779,7 @@ cuemError_t cuemStreamDestroy(cuemStream_t stream) {
 
 cuemError_t cuemStreamSynchronize(cuemStream_t stream) {
   Platform& p = Platform::instance();
+  stream = resolve_stream(stream);
   if (!p.stream_valid(stream)) {
     return cuemErrorInvalidResourceHandle;
   }
@@ -590,6 +789,7 @@ cuemError_t cuemStreamSynchronize(cuemStream_t stream) {
 
 cuemError_t cuemStreamQuery(cuemStream_t stream) {
   Platform& p = Platform::instance();
+  stream = resolve_stream(stream);
   if (!p.stream_valid(stream)) {
     return cuemErrorInvalidResourceHandle;
   }
@@ -602,6 +802,7 @@ cuemError_t cuemStreamWaitEvent(cuemStream_t stream, cuemEvent_t event,
     return cuemErrorInvalidValue;
   }
   Platform& p = Platform::instance();
+  stream = resolve_stream(stream);
   if (!p.stream_valid(stream)) {
     return cuemErrorInvalidResourceHandle;
   }
@@ -645,6 +846,7 @@ cuemError_t cuemEventDestroy(cuemEvent_t event) {
 
 cuemError_t cuemEventRecord(cuemEvent_t event, cuemStream_t stream) {
   Platform& p = Platform::instance();
+  stream = resolve_stream(stream);
   if (!p.stream_valid(stream)) {
     return cuemErrorInvalidResourceHandle;
   }
@@ -684,8 +886,14 @@ cuemError_t cuemEventElapsedTime(float* ms, cuemEvent_t start,
 }
 
 cuemError_t cuemGetDeviceProperties(cuemDeviceProp* prop, int device) {
-  if (prop == nullptr || device != 0) {
+  if (prop == nullptr) {
     return cuemErrorInvalidValue;
+  }
+  if (!Platform::instance().device_valid(device)) {
+    std::ostringstream os;
+    os << "cuemGetDeviceProperties: device ordinal " << device
+       << " out of range [0, " << Platform::instance().num_devices() << ")";
+    return fail(cuemErrorInvalidDevice, os.str());
   }
   const sim::DeviceConfig& cfg = Platform::instance().config();
   std::snprintf(prop->name, sizeof prop->name, "%s", cfg.name.c_str());
@@ -698,6 +906,158 @@ cuemError_t cuemGetDeviceProperties(cuemDeviceProp* prop, int device) {
   return cuemSuccess;
 }
 
+cuemError_t cuemGetDeviceCount(int* count) {
+  if (count == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  *count = Platform::instance().num_devices();
+  return cuemSuccess;
+}
+
+cuemError_t cuemGetDevice(int* device) {
+  if (device == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  *device = current_device();
+  return cuemSuccess;
+}
+
+cuemError_t cuemSetDevice(int device) {
+  Platform& p = Platform::instance();
+  if (!p.device_valid(device)) {
+    std::ostringstream os;
+    os << "cuemSetDevice: device ordinal " << device << " out of range [0, "
+       << p.num_devices() << ")";
+    return fail(cuemErrorInvalidDevice, os.str());
+  }
+  rt().current_device = device;
+  return cuemSuccess;
+}
+
+cuemError_t cuemDeviceCanAccessPeer(int* can_access, int device, int peer) {
+  if (can_access == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  Platform& p = Platform::instance();
+  if (!p.device_valid(device) || !p.device_valid(peer)) {
+    std::ostringstream os;
+    os << "cuemDeviceCanAccessPeer: device pair (" << device << ", " << peer
+       << ") outside [0, " << p.num_devices() << ")";
+    return fail(cuemErrorInvalidDevice, os.str());
+  }
+  *can_access =
+      (device != peer && p.interconnect().peer_supported) ? 1 : 0;
+  return cuemSuccess;
+}
+
+cuemError_t cuemDeviceEnablePeerAccess(int peer, unsigned flags) {
+  if (flags != 0) {
+    return cuemErrorInvalidValue;
+  }
+  Platform& p = Platform::instance();
+  const int dev = current_device();
+  if (!p.device_valid(peer) || peer == dev) {
+    std::ostringstream os;
+    os << "cuemDeviceEnablePeerAccess: device " << dev
+       << " cannot enable peer access to ordinal " << peer;
+    return fail(cuemErrorInvalidDevice, os.str());
+  }
+  if (!p.interconnect().peer_supported) {
+    std::ostringstream os;
+    os << "cuemDeviceEnablePeerAccess: interconnect '"
+       << p.interconnect().name << "' has no peer path between devices "
+       << dev << " and " << peer;
+    return fail(cuemErrorPeerAccessUnsupported, os.str());
+  }
+  if (!rt().peer_access.insert({dev, peer}).second) {
+    std::ostringstream os;
+    os << "cuemDeviceEnablePeerAccess: device " << dev
+       << " already has peer access to device " << peer;
+    return fail(cuemErrorPeerAccessAlreadyEnabled, os.str());
+  }
+  return cuemSuccess;
+}
+
+cuemError_t cuemDeviceDisablePeerAccess(int peer) {
+  Platform& p = Platform::instance();
+  const int dev = current_device();
+  if (!p.device_valid(peer)) {
+    std::ostringstream os;
+    os << "cuemDeviceDisablePeerAccess: device ordinal " << peer
+       << " out of range [0, " << p.num_devices() << ")";
+    return fail(cuemErrorInvalidDevice, os.str());
+  }
+  if (rt().peer_access.erase({dev, peer}) == 0) {
+    std::ostringstream os;
+    os << "cuemDeviceDisablePeerAccess: device " << dev
+       << " has no peer access to device " << peer;
+    return fail(cuemErrorPeerAccessNotEnabled, os.str());
+  }
+  return cuemSuccess;
+}
+
+namespace {
+
+/// Validates one endpoint of a cuemMemcpyPeer: must lie in device memory
+/// owned by the stated ordinal.
+cuemError_t check_peer_ptr(const void* ptr, int device, const char* role) {
+  Platform& p = Platform::instance();
+  if (!p.device_valid(device)) {
+    std::ostringstream os;
+    os << "cuemMemcpyPeer: " << role << " device ordinal " << device
+       << " out of range [0, " << p.num_devices() << ")";
+    return fail(cuemErrorInvalidDevice, os.str());
+  }
+  const int owner = device_of_ptr(ptr);
+  if (owner != device) {
+    std::ostringstream os;
+    os << "cuemMemcpyPeer: " << role << " pointer is not device memory of "
+       << "device " << device;
+    if (owner >= 0) {
+      os << " (owned by device " << owner << ")";
+    }
+    return fail(cuemErrorInvalidDevicePointer, os.str());
+  }
+  return cuemSuccess;
+}
+
+cuemError_t do_memcpy_peer(void* dst, int dst_device, const void* src,
+                           int src_device, std::size_t count,
+                           cuemStream_t stream, bool blocking) {
+  if (dst == nullptr || src == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  cuemError_t err = check_peer_ptr(dst, dst_device, "destination");
+  if (err != cuemSuccess) {
+    return err;
+  }
+  err = check_peer_ptr(src, src_device, "source");
+  if (err != cuemSuccess) {
+    return err;
+  }
+  std::function<void()> action;
+  if (Platform::instance().functional()) {
+    action = [dst, src, count] { std::memcpy(dst, src, count); };
+  }
+  return peer_transfer(dst_device, src_device, count, stream, blocking,
+                       "P2P", std::move(action));
+}
+
+}  // namespace
+
+cuemError_t cuemMemcpyPeer(void* dst, int dst_device, const void* src,
+                           int src_device, std::size_t count) {
+  return do_memcpy_peer(dst, dst_device, src, src_device, count,
+                        /*stream=*/0, /*blocking=*/true);
+}
+
+cuemError_t cuemMemcpyPeerAsync(void* dst, int dst_device, const void* src,
+                                int src_device, std::size_t count,
+                                cuemStream_t stream) {
+  return do_memcpy_peer(dst, dst_device, src, src_device, count, stream,
+                        /*blocking=*/false);
+}
+
 cuemError_t cuemDeviceSynchronize() {
   Platform::instance().sync_all();
   return cuemSuccess;
@@ -706,6 +1066,8 @@ cuemError_t cuemDeviceSynchronize() {
 cuemError_t cuemDeviceReset() {
   const sim::DeviceConfig cfg = Platform::instance().config();
   const bool functional_mode = Platform::instance().functional();
-  tidacc::cuem::configure(cfg, functional_mode);
+  const int devices = Platform::instance().num_devices();
+  const sim::Interconnect ic = Platform::instance().interconnect();
+  tidacc::cuem::configure(cfg, functional_mode, devices, ic);
   return cuemSuccess;
 }

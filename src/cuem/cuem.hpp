@@ -35,7 +35,11 @@ enum cuemError_t {
   cuemErrorInvalidDevicePointer,
   cuemErrorInvalidMemcpyDirection,
   cuemErrorInvalidResourceHandle,
-  cuemErrorNotReady
+  cuemErrorNotReady,
+  cuemErrorInvalidDevice,
+  cuemErrorPeerAccessAlreadyEnabled,
+  cuemErrorPeerAccessNotEnabled,
+  cuemErrorPeerAccessUnsupported
 };
 
 enum cuemMemcpyKind {
@@ -52,6 +56,11 @@ using cuemStream_t = int;
 using cuemEvent_t = int;
 
 const char* cuemGetErrorString(cuemError_t err);
+
+/// Detailed message for the most recent failure, including the device
+/// ordinal involved (e.g. "cuemSetDevice: ordinal 4 out of range [0, 2)").
+/// Empty string when no failure has been recorded since the last reset.
+const char* cuemGetLastErrorMessage();
 
 // --- memory management ---
 cuemError_t cuemMalloc(void** dev_ptr, std::size_t size);
@@ -116,9 +125,34 @@ struct cuemDeviceProp {
 
 cuemError_t cuemGetDeviceProperties(cuemDeviceProp* prop, int device);
 
-// --- device ---
+// --- devices ---
+cuemError_t cuemGetDeviceCount(int* count);
+cuemError_t cuemGetDevice(int* device);
+/// Selects the current device. Out-of-range ordinals return
+/// cuemErrorInvalidDevice (they never abort); the message from
+/// cuemGetLastErrorMessage() names the offending ordinal.
+cuemError_t cuemSetDevice(int device);
+
+// --- peer access ---
+/// Whether `device` can map `peer`'s memory directly (decided by the
+/// platform's Interconnect: NVLink-class fabrics support it, PCIe-through-
+/// host does not).
+cuemError_t cuemDeviceCanAccessPeer(int* can_access, int device, int peer);
+/// Enables direct access from the current device to `peer`'s memory.
+cuemError_t cuemDeviceEnablePeerAccess(int peer, unsigned flags);
+cuemError_t cuemDeviceDisablePeerAccess(int peer);
+/// Copies between devices (cudaMemcpyPeer semantics: always legal; routed
+/// directly over the interconnect when peer access is enabled between the
+/// endpoints, staged through host memory as D2H+H2D otherwise).
+cuemError_t cuemMemcpyPeer(void* dst, int dst_device, const void* src,
+                           int src_device, std::size_t count);
+cuemError_t cuemMemcpyPeerAsync(void* dst, int dst_device, const void* src,
+                                int src_device, std::size_t count,
+                                cuemStream_t stream);
+
 cuemError_t cuemDeviceSynchronize();
-/// Frees every allocation and rebuilds the device with the same config.
+/// Frees every allocation and rebuilds the platform with the same config
+/// (all devices — the simulator models a whole-process reset).
 cuemError_t cuemDeviceReset();
 
 // ---------------------------------------------------------------------------
@@ -160,6 +194,48 @@ cuemError_t host_touch(void* ptr, std::size_t bytes);
 /// Rebuilds the simulated device: frees everything, installs `cfg`.
 void configure(const sim::DeviceConfig& cfg, bool functional = true);
 
+/// Rebuilds the platform with `num_devices` identical devices connected by
+/// `interconnect`. The single-argument overload above is equivalent to one
+/// device on the PCIe preset.
+void configure(const sim::DeviceConfig& cfg, bool functional,
+               int num_devices, const sim::Interconnect& interconnect);
+
+/// Device count / current device without the output-parameter dance.
+int device_count();
+int current_device();
+
+/// The current device's default stream (what stream handle 0 resolves to).
+cuemStream_t default_stream();
+
+/// True when direct peer access from `device` to `peer` has been enabled
+/// in either direction (the condition under which peer copies between the
+/// two run over the interconnect instead of staging through host).
+bool peer_enabled(int device, int peer);
+
+/// Owning device of a device/managed pointer, -1 for host or unknown.
+int device_of_ptr(const void* p);
+
+/// RAII guard: switches the current device, restores the previous one.
+class DeviceGuard {
+ public:
+  explicit DeviceGuard(int device);
+  ~DeviceGuard();
+  DeviceGuard(const DeviceGuard&) = delete;
+  DeviceGuard& operator=(const DeviceGuard&) = delete;
+
+ private:
+  int prev_;
+};
+
+/// Stream-ordered peer copy with a caller-supplied functional action and
+/// trace label — the cudaMemcpy3DPeerAsync analogue used by inter-device
+/// ghost exchange, where the data movement is strided rather than a flat
+/// memcpy. `bytes` prices the transfer; `action` performs it.
+cuemError_t peer_copy_async(int dst_device, int src_device,
+                            std::size_t bytes, cuemStream_t stream,
+                            std::string label,
+                            std::function<void()> action);
+
 /// The platform behind the runtime (timing queries, traces).
 sim::Platform& platform();
 
@@ -179,8 +255,11 @@ void* host_alloc(std::size_t bytes, bool pinned);
 /// Frees memory obtained from host_alloc.
 void host_free(void* ptr);
 
-/// Bytes currently allocated on the device.
+/// Bytes currently allocated across all devices.
 std::size_t device_bytes_in_use();
+
+/// Bytes currently allocated on one device.
+std::size_t device_bytes_in_use(int device);
 
 /// Number of live allocations across all spaces (leak checks in tests).
 std::size_t live_allocation_count();

@@ -32,6 +32,9 @@ struct Allocation {
   /// Real backing storage (nullptr in timing-only mode, where addresses are
   /// synthetic and never dereferenced).
   void* backing = nullptr;
+  /// Owning device ordinal for device/managed allocations (the device that
+  /// was current at allocation time); 0 for host memory.
+  int device = 0;
 };
 
 /// Registry of live allocations, keyed by base address, with containment

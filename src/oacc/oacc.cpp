@@ -3,6 +3,7 @@
 #include <limits>
 #include <map>
 #include <memory>
+#include <utility>
 
 #include "common/log.hpp"
 #include "oacc/present_table.hpp"
@@ -12,12 +13,14 @@ namespace tidacc::oacc {
 namespace {
 
 /// Process-wide OpenACC runtime state, invalidated whenever the underlying
-/// platform is rebuilt (generation check).
+/// platform is rebuilt (generation check). Queues are device-scoped, as in
+/// real OpenACC where acc_get_cuda_stream depends on the current device:
+/// the same queue id maps to a distinct stream per device.
 struct AccState {
   std::uint64_t generation = 0;
   MemMode mode = MemMode::kPageable;
   PresentTable present;
-  std::map<QueueId, cuemStream_t> queues;
+  std::map<std::pair<int, QueueId>, cuemStream_t> queues;
 };
 
 AccState& state() {
@@ -38,17 +41,18 @@ void acc_check(cuemError_t err, const char* what) {
 
 cuemStream_t stream_for(QueueId queue) {
   if (queue == kSyncQueue) {
-    return 0;
+    return cuem::default_stream();
   }
   TIDACC_CHECK_MSG(queue >= 0, "negative async queue id");
   AccState& s = state();
-  const auto it = s.queues.find(queue);
+  const auto key = std::make_pair(cuem::current_device(), queue);
+  const auto it = s.queues.find(key);
   if (it != s.queues.end()) {
     return it->second;
   }
   cuemStream_t stream = 0;
   acc_check(cuemStreamCreate(&stream), "stream creation");
-  s.queues.emplace(queue, stream);
+  s.queues.emplace(key, stream);
   return stream;
 }
 

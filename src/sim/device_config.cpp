@@ -49,6 +49,127 @@ DeviceConfig DeviceConfig::k40m_limited(std::uint64_t usable_bytes) {
   return cfg;
 }
 
+namespace {
+
+/// Index into a row-major per-pair table, -1 when absent or zero.
+template <typename V>
+auto pair_lookup(const V& table, int src, int dst, int n) ->
+    typename V::value_type {
+  const std::size_t idx =
+      static_cast<std::size_t>(src) * static_cast<std::size_t>(n) +
+      static_cast<std::size_t>(dst);
+  if (idx < table.size() && table[idx] > 0) {
+    return table[idx];
+  }
+  return 0;
+}
+
+}  // namespace
+
+double Interconnect::gbps(int src, int dst, int num_devices) const {
+  TIDACC_CHECK_MSG(src >= 0 && src < num_devices && dst >= 0 &&
+                       dst < num_devices,
+                   "interconnect query outside device range");
+  const double override_gbps = pair_lookup(pair_gbps, src, dst, num_devices);
+  return override_gbps > 0.0 ? override_gbps : peer_gbps;
+}
+
+SimTime Interconnect::latency(int src, int dst, int num_devices) const {
+  TIDACC_CHECK_MSG(src >= 0 && src < num_devices && dst >= 0 &&
+                       dst < num_devices,
+                   "interconnect query outside device range");
+  const SimTime override_ns =
+      pair_lookup(pair_latency_ns, src, dst, num_devices);
+  return override_ns > 0 ? override_ns : peer_latency_ns;
+}
+
+void Interconnect::apply_host_link(DeviceConfig& cfg) const {
+  cfg.pinned_h2d_gbps *= host_link_scale;
+  cfg.pinned_d2h_gbps *= host_link_scale;
+  cfg.pageable_h2d_gbps *= host_link_scale;
+  cfg.pageable_d2h_gbps *= host_link_scale;
+}
+
+std::string Interconnect::summary() const {
+  std::ostringstream os;
+  os << name << ": ";
+  if (peer_supported) {
+    os << "P2P " << peer_gbps << " GB/s, setup "
+       << format_time(peer_latency_ns);
+  } else {
+    os << "no P2P (host-staged peer copies)";
+  }
+  os << ", host links x" << host_link_scale;
+  return os.str();
+}
+
+Interconnect Interconnect::pcie() {
+  Interconnect ic;
+  ic.name = "pcie-gen3";
+  ic.peer_supported = false;
+  ic.host_link_scale = 1.0;
+  return ic;
+}
+
+Interconnect Interconnect::pcie4() {
+  Interconnect ic;
+  ic.name = "pcie-gen4";
+  ic.peer_supported = false;
+  ic.host_link_scale = 2.0;
+  return ic;
+}
+
+Interconnect Interconnect::nvlink() {
+  Interconnect ic;
+  ic.name = "nvlink";
+  ic.peer_supported = true;
+  ic.peer_gbps = 52.5;
+  ic.peer_latency_ns = 1500;
+  ic.host_link_scale = 5.0;
+  return ic;
+}
+
+Interconnect Interconnect::custom(double gbps) {
+  TIDACC_CHECK_MSG(gbps > 0.0, "custom interconnect needs a positive GB/s");
+  Interconnect ic;
+  std::ostringstream os;
+  os << "custom-" << gbps << "GBs";
+  ic.name = os.str();
+  ic.peer_supported = true;
+  ic.peer_gbps = gbps;
+  ic.peer_latency_ns = 2 * kMicrosecond;
+  // Host links scale with the fabric, relative to the Gen3 pinned baseline.
+  ic.host_link_scale = gbps / DeviceConfig{}.pinned_h2d_gbps;
+  return ic;
+}
+
+Interconnect Interconnect::parse(const std::string& flag) {
+  if (flag == "pcie" || flag == "pcie3" || flag == "pcie-gen3") {
+    return pcie();
+  }
+  if (flag == "pcie4" || flag == "pcie-gen4") {
+    return pcie4();
+  }
+  if (flag == "nvlink") {
+    return nvlink();
+  }
+  std::size_t used = 0;
+  double gbps = 0.0;
+  try {
+    gbps = std::stod(flag, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  TIDACC_CHECK_MSG(used == flag.size() && gbps > 0.0,
+                   "--interconnect expects pcie|pcie4|nvlink or GB/s, got '" +
+                       flag + "'");
+  return custom(gbps);
+}
+
+std::vector<Interconnect> Interconnect::sweep_presets() {
+  return {pcie(), pcie4(), nvlink()};
+}
+
 std::string DeviceConfig::summary() const {
   std::ostringstream os;
   os << name << ": mem=" << format_bytes(usable_memory())

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/units.hpp"
 
@@ -108,6 +109,62 @@ struct DeviceConfig {
 
   /// One-line description for bench headers.
   std::string summary() const;
+};
+
+/// Inter-device interconnect topology for multi-device platforms.
+///
+/// Presets (constants documented like the K40m table above):
+///   * PCIe Gen3 through host ("pcie"): the paper-era testbed. No direct
+///     peer access — peer copies stage through host memory as a D2H hop on
+///     the source device followed by an H2D hop on the destination, each at
+///     the pinned PCIe rates (10.5/10.0 GB/s) with a full transfer setup.
+///   * PCIe Gen4-class ("pcie4"): still host-staged, but every host link
+///     runs at 2x the Gen3 rates (host_link_scale = 2).
+///   * NVLink-class ("nvlink"): direct peer access at 52.5 GB/s per
+///     direction (5x the Gen3 pinned H2D rate — the paper's §I "faster
+///     interconnect" scenario) with a 1.5 us per-transfer setup; host links
+///     also run 5x (the historical abl_interconnect sweep point).
+///   * custom GB/s: direct peer access at the given rate, 2 us setup; host
+///     links scale proportionally to the Gen3 pinned H2D baseline.
+struct Interconnect {
+  std::string name = "pcie-gen3";
+  /// Whether cuemDeviceEnablePeerAccess can succeed on this topology.
+  bool peer_supported = false;
+  /// Direct peer-to-peer bandwidth per direction (GB/s), when supported.
+  double peer_gbps = 52.5;
+  /// Per-transfer setup cost of a direct peer copy.
+  SimTime peer_latency_ns = 1500;
+  /// Scale of every host<->device link relative to the K40m PCIe Gen3
+  /// baseline (applied to the pinned and pageable rates by
+  /// apply_host_link); 1.0 reproduces the single-device model exactly.
+  double host_link_scale = 1.0;
+  /// Optional per-pair overrides, row-major [src * num_devices + dst];
+  /// 0 entries fall back to peer_gbps / peer_latency_ns. Empty = uniform.
+  std::vector<double> pair_gbps;
+  std::vector<SimTime> pair_latency_ns;
+
+  /// Direct-path bandwidth between a device pair.
+  double gbps(int src, int dst, int num_devices) const;
+  /// Direct-path per-transfer setup between a device pair.
+  SimTime latency(int src, int dst, int num_devices) const;
+
+  /// Scales the host PCIe link rates of `cfg` by host_link_scale.
+  void apply_host_link(DeviceConfig& cfg) const;
+
+  /// One-line description for bench headers.
+  std::string summary() const;
+
+  static Interconnect pcie();
+  static Interconnect pcie4();
+  static Interconnect nvlink();
+  static Interconnect custom(double gbps);
+
+  /// Parses the shared --interconnect flag: "pcie" | "pcie4" | "nvlink" or
+  /// a positive number of GB/s (custom preset). Aborts on anything else.
+  static Interconnect parse(const std::string& flag);
+
+  /// The historical abl_interconnect sweep, slowest link first.
+  static std::vector<Interconnect> sweep_presets();
 };
 
 }  // namespace tidacc::sim

@@ -20,29 +20,52 @@ const char* to_string(HostMemKind k) {
   return "?";
 }
 
-Platform::Platform(DeviceConfig cfg, bool functional)
-    : cfg_(std::move(cfg)), functional_(functional) {
+Platform::Platform(DeviceConfig cfg, bool functional, int num_devices,
+                   Interconnect interconnect)
+    : cfg_(std::move(cfg)),
+      functional_(functional),
+      num_devices_(num_devices),
+      interconnect_(std::move(interconnect)) {
   TIDACC_CHECK_MSG(cfg_.copy_engines == 1 || cfg_.copy_engines == 2,
                    "copy_engines must be 1 or 2");
   TIDACC_CHECK_MSG(cfg_.compute_lanes >= 1, "need at least 1 compute lane");
-  engine_lanes_[static_cast<int>(EngineId::kCompute)].assign(
-      static_cast<size_t>(cfg_.compute_lanes), 0);
-  engine_lanes_[static_cast<int>(EngineId::kCopyH2D)].assign(1, 0);
-  engine_lanes_[static_cast<int>(EngineId::kCopyD2H)].assign(1, 0);
-  // Stream 0: the default stream.
-  stream_avail_.push_back(0);
-  stream_alive_.push_back(true);
+  TIDACC_CHECK_MSG(num_devices_ >= 1 && num_devices_ <= 64,
+                   "num_devices must be in [1, 64]");
+  device_lanes_.resize(static_cast<size_t>(num_devices_));
+  for (int d = 0; d < num_devices_; ++d) {
+    auto& el = device_lanes_[static_cast<size_t>(d)];
+    el.lanes[static_cast<int>(EngineId::kCompute)].assign(
+        static_cast<size_t>(cfg_.compute_lanes), 0);
+    el.lanes[static_cast<int>(EngineId::kCopyH2D)].assign(1, 0);
+    el.lanes[static_cast<int>(EngineId::kCopyD2H)].assign(1, 0);
+    // Stream d: device d's default stream.
+    stream_avail_.push_back(0);
+    stream_alive_.push_back(true);
+    stream_device_.push_back(d);
+  }
 }
 
-StreamId Platform::create_stream() {
+StreamId Platform::default_stream(int d) const {
+  check_device(d);
+  return d;
+}
+
+int Platform::stream_device(StreamId s) const {
+  check_stream(s);
+  return stream_device_[static_cast<size_t>(s)];
+}
+
+StreamId Platform::create_stream(int device) {
+  check_device(device);
   stream_avail_.push_back(host_clock_);
   stream_alive_.push_back(true);
+  stream_device_.push_back(device);
   return static_cast<StreamId>(stream_avail_.size() - 1);
 }
 
 void Platform::destroy_stream(StreamId s) {
   check_stream(s);
-  TIDACC_CHECK_MSG(s != 0, "the default stream cannot be destroyed");
+  TIDACC_CHECK_MSG(s >= num_devices_, "a default stream cannot be destroyed");
   stream_alive_[static_cast<size_t>(s)] = false;
 }
 
@@ -84,20 +107,20 @@ EngineId Platform::copy_engine_for(OpKind kind) const {
   }
 }
 
-SimTime Platform::schedule(StreamId s, EngineId engine, OpKind kind,
-                           SimTime duration, std::uint64_t bytes,
+SimTime Platform::schedule(StreamId s, int device, EngineId engine,
+                           OpKind kind, SimTime duration, std::uint64_t bytes,
                            std::string label,
                            const std::function<void()>& action) {
   const size_t si = static_cast<size_t>(s);
-  auto& lanes = engine_lanes_[static_cast<int>(engine)];
+  auto& engine_lanes = lanes(device, engine);
   // The op takes the earliest-available lane of its engine.
-  auto lane = std::min_element(lanes.begin(), lanes.end());
+  auto lane = std::min_element(engine_lanes.begin(), engine_lanes.end());
   const SimTime start = std::max({host_clock_, stream_avail_[si], *lane});
   const SimTime finish = start + duration;
   stream_avail_[si] = finish;
   *lane = finish;
   trace_.add(TraceEvent{engine, s, kind, start, finish, bytes,
-                        std::move(label)});
+                        std::move(label), device});
   if (functional_ && action) {
     action();
   }
@@ -147,8 +170,13 @@ SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
   }
   const SimTime duration =
       setup + req.extra_ns + transfer_time_ns(req.bytes, gbps);
-  const SimTime finish = schedule(s, copy_engine_for(req.kind), req.kind,
-                                  duration, req.bytes, req.label, action);
+  const int device = req.device_override >= 0
+                         ? req.device_override
+                         : stream_device_[static_cast<size_t>(s)];
+  check_device(device);
+  const SimTime finish = schedule(s, device, copy_engine_for(req.kind),
+                                  req.kind, duration, req.bytes, req.label,
+                                  action);
   if (host_participates) {
     host_clock_ = std::max(host_clock_, finish);
   }
@@ -162,8 +190,47 @@ SimTime Platform::enqueue_kernel(StreamId s, const KernelProfile& profile,
   check_stream(s);
   host_clock_ += cfg_.host_api_overhead_ns + dispatch_extra_ns;
   const SimTime duration = cfg_.kernel_launch_ns + profile.duration_ns(cfg_);
-  return schedule(s, EngineId::kCompute, OpKind::kKernel, duration, 0,
+  return schedule(s, stream_device_[static_cast<size_t>(s)],
+                  EngineId::kCompute, OpKind::kKernel, duration, 0,
                   std::move(label), action);
+}
+
+SimTime Platform::enqueue_peer_copy(StreamId s, int src_device,
+                                    int dst_device, std::uint64_t bytes,
+                                    std::string label,
+                                    std::function<void()> action) {
+  check_stream(s);
+  check_device(src_device);
+  check_device(dst_device);
+  TIDACC_CHECK_MSG(src_device != dst_device,
+                   "peer copy between a device and itself");
+  host_clock_ += cfg_.host_api_overhead_ns;
+  const SimTime duration =
+      interconnect_.latency(src_device, dst_device, num_devices_) +
+      transfer_time_ns(bytes,
+                       interconnect_.gbps(src_device, dst_device,
+                                          num_devices_));
+  // The transfer reads through the source's outbound DMA engine and writes
+  // through the destination's inbound one; both lanes are held for the
+  // duration, so peer traffic contends with each endpoint's own H2D/D2H
+  // streams exactly like real dual-copy-engine hardware.
+  auto& src_lanes = lanes(src_device, copy_engine_for(OpKind::kCopyD2H));
+  auto& dst_lanes = lanes(dst_device, EngineId::kCopyH2D);
+  auto src_lane = std::min_element(src_lanes.begin(), src_lanes.end());
+  auto dst_lane = std::min_element(dst_lanes.begin(), dst_lanes.end());
+  const size_t si = static_cast<size_t>(s);
+  const SimTime start =
+      std::max({host_clock_, stream_avail_[si], *src_lane, *dst_lane});
+  const SimTime finish = start + duration;
+  stream_avail_[si] = finish;
+  *src_lane = finish;
+  *dst_lane = finish;
+  trace_.add(TraceEvent{EngineId::kCopyH2D, s, OpKind::kCopyP2P, start,
+                        finish, bytes, std::move(label), dst_device});
+  if (functional_ && action) {
+    action();
+  }
+  return finish;
 }
 
 EventId Platform::record_event(StreamId s) {
@@ -172,7 +239,7 @@ EventId Platform::record_event(StreamId s) {
   const SimTime t = std::max(host_clock_, stream_avail_[static_cast<size_t>(s)]);
   events_.push_back(t);
   trace_.add(TraceEvent{EngineId::kCompute, s, OpKind::kEventRecord, t, t, 0,
-                        "event"});
+                        "event", stream_device_[static_cast<size_t>(s)]});
   return static_cast<EventId>(events_.size() - 1);
 }
 
@@ -201,6 +268,10 @@ void Platform::check_stream(StreamId s) const {
       "invalid or destroyed stream id");
 }
 
+void Platform::check_device(int d) const {
+  TIDACC_CHECK_MSG(device_valid(d), "invalid device ordinal");
+}
+
 Platform& Platform::instance() {
   if (!g_instance) {
     g_instance = std::make_unique<Platform>();
@@ -212,8 +283,11 @@ namespace {
 std::uint64_t g_generation = 0;
 }
 
-void Platform::reset_instance(DeviceConfig cfg, bool functional) {
-  g_instance = std::make_unique<Platform>(std::move(cfg), functional);
+void Platform::reset_instance(DeviceConfig cfg, bool functional,
+                              int num_devices, Interconnect interconnect) {
+  g_instance = std::make_unique<Platform>(std::move(cfg), functional,
+                                          num_devices,
+                                          std::move(interconnect));
   ++g_generation;
 }
 

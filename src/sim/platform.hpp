@@ -1,10 +1,13 @@
 // The simulated GPU platform.
 //
-// Model: one host thread with a virtual clock, plus a device with one
-// compute engine and one or two DMA copy engines. Streams are in-order
-// FIFOs; operations from different streams overlap whenever their engines
-// are free — exactly CUDA's stream semantics, which is the mechanism the
-// paper's TiDA-acc library exploits to hide transfer latency.
+// Model: one host thread with a virtual clock, plus N devices (default 1),
+// each with one compute engine and one or two DMA copy engines. Streams are
+// in-order FIFOs bound to their owning device; operations from different
+// streams overlap whenever their engines are free — exactly CUDA's stream
+// semantics, which is the mechanism the paper's TiDA-acc library exploits
+// to hide transfer latency. Devices are connected by a configurable
+// Interconnect (PCIe-through-host or NVLink-class P2P); direct peer copies
+// occupy a DMA engine on both endpoints.
 //
 // Scheduling is resolved eagerly at enqueue time: an operation starts at
 //   max(host-enqueue time, completion of stream predecessor, engine free)
@@ -31,7 +34,9 @@
 
 namespace tidacc::sim {
 
-using StreamId = int;  ///< 0 is the default stream, created at construction
+using StreamId = int;  ///< streams 0..N-1 are the per-device default
+                       ///< streams, created at construction (N = device
+                       ///< count; stream 0 is device 0's default stream)
 using EventId = int;
 
 /// Kind of host memory participating in a transfer (affects bandwidth and
@@ -48,14 +53,19 @@ struct CopyRequest {
   bool blocking = false;  ///< synchronous API (cuemMemcpy): host waits
   SimTime extra_ns = 0;   ///< additive cost (e.g. UVM page-fault latency)
   double gbps_override = 0.0;  ///< replaces the config bandwidth when > 0
+  /// Device whose DMA engine carries the copy; -1 means the stream's own
+  /// device. Used by host-staged peer transfers, where the D2H hop runs on
+  /// the source device and the H2D hop on the destination.
+  int device_override = -1;
   std::string label;
 };
 
-/// Deterministic discrete-event model of host + GPU + PCIe link.
+/// Deterministic discrete-event model of host + N GPUs + interconnect.
 class Platform {
  public:
   explicit Platform(DeviceConfig cfg = DeviceConfig::k40m(),
-                    bool functional = true);
+                    bool functional = true, int num_devices = 1,
+                    Interconnect interconnect = Interconnect::pcie());
 
   Platform(const Platform&) = delete;
   Platform& operator=(const Platform&) = delete;
@@ -65,10 +75,25 @@ class Platform {
   bool functional() const { return functional_; }
   void set_functional(bool on) { functional_ = on; }
 
+  // --- devices ---
+
+  int num_devices() const { return num_devices_; }
+
+  const Interconnect& interconnect() const { return interconnect_; }
+
+  /// True when `d` names a device of this platform.
+  bool device_valid(int d) const { return d >= 0 && d < num_devices_; }
+
+  /// The default stream of device `d` (streams 0..N-1 map to devices 0..N-1).
+  StreamId default_stream(int d) const;
+
+  /// Device that owns stream `s`.
+  int stream_device(StreamId s) const;
+
   // --- streams ---
 
-  /// Creates a new stream and returns its id.
-  StreamId create_stream();
+  /// Creates a new stream on device `device` and returns its id.
+  StreamId create_stream(int device = 0);
 
   /// Destroys a stream. Pending virtual work is allowed to complete (CUDA
   /// semantics: destruction is deferred), so this only invalidates the id.
@@ -123,6 +148,16 @@ class Platform {
                          SimTime dispatch_extra_ns,
                          std::function<void()> action, std::string label);
 
+  /// Enqueues a direct peer-to-peer copy over the interconnect; returns its
+  /// virtual completion time. The copy is stream-ordered on `s` and
+  /// occupies a DMA engine on both the source and the destination device
+  /// (the trace records it once, on the destination). Callers are expected
+  /// to have verified peer access; host-staged fallbacks go through two
+  /// enqueue_copy calls instead.
+  SimTime enqueue_peer_copy(StreamId s, int src_device, int dst_device,
+                            std::uint64_t bytes, std::string label,
+                            std::function<void()> action);
+
   /// Records an event on the stream; completes when prior work completes.
   EventId record_event(StreamId s);
 
@@ -147,7 +182,8 @@ class Platform {
 
   /// Replaces the global platform (device reset / reconfiguration).
   static void reset_instance(DeviceConfig cfg = DeviceConfig::k40m(),
-                             bool functional = true);
+                             bool functional = true, int num_devices = 1,
+                             Interconnect interconnect = Interconnect::pcie());
 
   /// Monotone counter bumped on every reset_instance; layers that cache
   /// stream handles compare it to know when their state went stale.
@@ -155,19 +191,30 @@ class Platform {
 
  private:
   void check_stream(StreamId s) const;
+  void check_device(int d) const;
   EngineId copy_engine_for(OpKind kind) const;
-  SimTime schedule(StreamId s, EngineId engine, OpKind kind, SimTime duration,
-                   std::uint64_t bytes, std::string label,
+  SimTime schedule(StreamId s, int device, EngineId engine, OpKind kind,
+                   SimTime duration, std::uint64_t bytes, std::string label,
                    const std::function<void()>& action);
+  std::vector<SimTime>& lanes(int device, EngineId engine) {
+    return device_lanes_[static_cast<size_t>(device)]
+        .lanes[static_cast<int>(engine)];
+  }
 
   DeviceConfig cfg_;
   bool functional_ = true;
+  int num_devices_ = 1;
+  Interconnect interconnect_;
   SimTime host_clock_ = 0;
   std::vector<SimTime> stream_avail_;
   std::vector<bool> stream_alive_;
-  /// Per-engine lane availability (compute may have several concurrent
-  /// lanes; DMA engines have one each).
-  std::vector<SimTime> engine_lanes_[kNumEngines];
+  std::vector<int> stream_device_;
+  /// Per-device, per-engine lane availability (compute may have several
+  /// concurrent lanes; DMA engines have one each).
+  struct EngineLanes {
+    std::vector<SimTime> lanes[kNumEngines];
+  };
+  std::vector<EngineLanes> device_lanes_;
   std::vector<SimTime> events_;
   Trace trace_;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <tuple>
 
 #include "common/error.hpp"
 
@@ -36,6 +37,8 @@ const char* to_string(OpKind k) {
       return "uvm";
     case OpKind::kPrefetchH2D:
       return "prefetchH2D";
+    case OpKind::kCopyP2P:
+      return "P2P";
   }
   return "?";
 }
@@ -66,6 +69,11 @@ void Trace::add(TraceEvent ev) {
       ++stats_.num_copies;
       stats_.copy_busy += busy;
       break;
+    case OpKind::kCopyP2P:
+      ++stats_.num_copies;
+      stats_.p2p_bytes += ev.bytes;
+      stats_.copy_busy += busy;
+      break;
     case OpKind::kEventRecord:
       break;
   }
@@ -94,11 +102,18 @@ std::string Trace::render_gantt(int columns) const {
   }
   const double span = std::max<double>(1.0, static_cast<double>(t1 - t0));
 
-  // Lanes keyed by (stream, engine) so each stream shows its transfer and
-  // compute activity on separate rows, like the paper's Fig. 7.
-  std::map<std::pair<int, int>, std::string> lanes;
-  const auto lane_for = [&](int stream, EngineId engine) -> std::string& {
-    const auto key = std::make_pair(stream, static_cast<int>(engine));
+  // Lanes keyed by (device, stream, engine) so each stream shows its
+  // transfer and compute activity on separate rows, like the paper's
+  // Fig. 7, grouped per device on multi-device traces.
+  std::map<std::tuple<int, int, int>, std::string> lanes;
+  int max_device = 0;
+  for (const TraceEvent& ev : events_) {
+    max_device = std::max(max_device, ev.device);
+  }
+  const auto lane_for = [&](int device, int stream,
+                            EngineId engine) -> std::string& {
+    const auto key = std::make_tuple(device, stream,
+                                     static_cast<int>(engine));
     auto it = lanes.find(key);
     if (it == lanes.end()) {
       it = lanes.emplace(key, std::string(static_cast<size_t>(columns), '.'))
@@ -120,6 +135,8 @@ std::string Trace::render_gantt(int columns) const {
         return 'u';
       case OpKind::kPrefetchH2D:
         return 'P';
+      case OpKind::kCopyP2P:
+        return '*';
       case OpKind::kEventRecord:
         return '|';
     }
@@ -130,7 +147,7 @@ std::string Trace::render_gantt(int columns) const {
     if (ev.kind == OpKind::kEventRecord) {
       continue;
     }
-    std::string& lane = lane_for(ev.stream, ev.engine);
+    std::string& lane = lane_for(ev.device, ev.stream, ev.engine);
     const auto col = [&](SimTime t) {
       const double frac = static_cast<double>(t - t0) / span;
       return std::min(columns - 1,
@@ -146,13 +163,20 @@ std::string Trace::render_gantt(int columns) const {
   std::ostringstream os;
   os << "time: " << format_time(t0) << " .. " << format_time(t1)
      << "   ('>' H2D, 'P' prefetch H2D, '<' D2H, 'C' kernel, '=' D2D, "
-        "'u' UVM)\n";
+        "'u' UVM";
+  if (max_device > 0) {
+    os << ", '*' P2P";
+  }
+  os << ")\n";
   for (const auto& [key, lane] : lanes) {
-    os << "s" << key.first << "/"
-       << to_string(static_cast<EngineId>(key.second)) << "  ";
+    const auto [device, stream, engine] = key;
+    if (max_device > 0) {
+      os << "d" << device << "/";
+    }
+    os << "s" << stream << "/" << to_string(static_cast<EngineId>(engine))
+       << "  ";
     // pad engine names to equal width
-    const std::string tag =
-        to_string(static_cast<EngineId>(key.second));
+    const std::string tag = to_string(static_cast<EngineId>(engine));
     for (size_t i = tag.size(); i < 8; ++i) {
       os << ' ';
     }
@@ -198,7 +222,8 @@ std::string Trace::to_chrome_json() const {
        << "\", \"cat\": \"" << to_string(ev.kind) << "\", \"ph\": \"X\""
        << ", \"ts\": " << static_cast<double>(ev.start) / 1e3
        << ", \"dur\": " << static_cast<double>(ev.finish - ev.start) / 1e3
-       << ", \"pid\": 0, \"tid\": " << static_cast<int>(ev.engine)
+       << ", \"pid\": " << ev.device
+       << ", \"tid\": " << static_cast<int>(ev.engine)
        << ", \"args\": {\"stream\": " << ev.stream
        << ", \"bytes\": " << ev.bytes << "}}";
   }

@@ -23,6 +23,9 @@ const char* to_string(EngineId e);
 /// copy issued by the slot scheduler ahead of demand — priced and routed
 /// exactly like kCopyH2D but kept distinguishable in traces and Gantt
 /// charts so overlap analyses can separate prefetch from demand traffic.
+/// kCopyP2P is a direct device-to-device copy over the inter-device
+/// interconnect (multi-device platforms only); it occupies DMA engines on
+/// both endpoints but is recorded once, on the destination device.
 enum class OpKind : int {
   kKernel = 0,
   kCopyH2D,
@@ -30,7 +33,8 @@ enum class OpKind : int {
   kCopyD2D,
   kEventRecord,
   kUvmMigration,
-  kPrefetchH2D
+  kPrefetchH2D,
+  kCopyP2P
 };
 
 const char* to_string(OpKind k);
@@ -44,6 +48,7 @@ struct TraceEvent {
   SimTime finish;
   std::uint64_t bytes = 0;  ///< transferred bytes (0 for kernels)
   std::string label;
+  int device = 0;  ///< device whose engine ran the op (dst for kCopyP2P)
 };
 
 /// Aggregate counters over a trace interval.
@@ -52,6 +57,8 @@ struct TraceStats {
   std::uint64_t d2h_bytes = 0;
   /// Share of h2d_bytes moved by scheduler prefetches (kPrefetchH2D).
   std::uint64_t prefetch_h2d_bytes = 0;
+  /// Direct peer-to-peer traffic over the inter-device interconnect.
+  std::uint64_t p2p_bytes = 0;
   std::uint64_t num_kernels = 0;
   std::uint64_t num_copies = 0;
   SimTime compute_busy = 0;  ///< total compute-engine busy time
@@ -73,7 +80,9 @@ class Trace {
   const TraceStats& stats() const { return stats_; }
 
   /// Renders an ASCII Gantt chart with one row per (stream, engine-kind)
-  /// lane, in the style of the paper's Fig. 7. `columns` is the chart width.
+  /// lane, in the style of the paper's Fig. 7. On multi-device traces each
+  /// device gets its own group of lanes, prefixed "dN/". `columns` is the
+  /// chart width.
   std::string render_gantt(int columns = 100) const;
 
   /// Fraction of the span between the first kernel's start and the last

@@ -612,7 +612,9 @@ TEST_F(CuemTest, DevicePropertiesReflectConfig) {
   EXPECT_EQ(prop.managedMemory, 1);
   EXPECT_GT(prop.totalGlobalMem, 0u);
   EXPECT_EQ(cuemGetDeviceProperties(nullptr, 0), cuemErrorInvalidValue);
-  EXPECT_EQ(cuemGetDeviceProperties(&prop, 3), cuemErrorInvalidValue);
+  // Out-of-range ordinals report cuemErrorInvalidDevice (as CUDA does),
+  // with the ordinal named in cuemGetLastErrorMessage().
+  EXPECT_EQ(cuemGetDeviceProperties(&prop, 3), cuemErrorInvalidDevice);
 }
 
 // --- Pascal-mode UVM ---
@@ -711,7 +713,9 @@ TEST_F(PascalUvmTest, PrefetchRejectsNonManagedAndBadArgs) {
             cuemErrorInvalidValue);
   void* m = nullptr;
   ASSERT_EQ(cuemMallocManaged(&m, 1024), cuemSuccess);
-  EXPECT_EQ(cuemMemPrefetchAsync(m, 1024, 1, 0), cuemErrorInvalidValue);
+  // Device ordinal 1 does not exist on this 1-device platform: ordinal
+  // errors are cuemErrorInvalidDevice (as CUDA reports them).
+  EXPECT_EQ(cuemMemPrefetchAsync(m, 1024, 1, 0), cuemErrorInvalidDevice);
   EXPECT_EQ(cuemMemPrefetchAsync(m, 1024, 0, 777),
             cuemErrorInvalidResourceHandle);
   cuemFree(d);
