@@ -1,0 +1,142 @@
+// Ablation (beyond the paper): dirty-region tracking and halo-delta
+// transfers. The seed protocol rounds whole regions through the host when
+// the working set exceeds device memory; with AccOptions::delta_transfers
+// the library ships only the sub-boxes one side has written — at most the
+// ghost shells per exchange — as pitched cuemMemcpy3DAsync copies.
+//
+// Sweeps delta off/on x ghost width (stencil radius) x slot budget on an
+// in-place sweep solver and reports host<->device traffic and simulated
+// time. When every region fits on the device both variants use the
+// device-side exchange and must move identical bytes; out of core, delta
+// must never move more than the full drain.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/tidacc.hpp"
+#include "kernels/stencil27.hpp"
+
+namespace {
+
+using namespace tidacc;
+
+struct DeltaRun {
+  SimTime t = 0;
+  std::uint64_t h2d = 0;
+  std::uint64_t d2h = 0;
+  std::uint64_t exchanges = 0;
+  std::uint64_t bytes() const { return h2d + d2h; }
+};
+
+DeltaRun run_sweep(int n, int regions, int slots, int steps, int ghost,
+                   bool delta) {
+  using namespace tidacc::core;
+  bench::fresh_platform(sim::DeviceConfig::k40m());
+  const int slab = (n + regions - 1) / regions;
+  AccOptions o;
+  o.max_slots = slots;
+  o.delta_transfers = delta;
+  AccTileArray<double> u(tida::Box::cube(n), tida::Index3{n, n, slab},
+                         ghost, o);
+  u.assume_host_initialized();
+  const oacc::LoopCost cost = kernels::box_stencil_cost(ghost);
+  AccTileIterator<double> it(u);
+  const SimTime t0 = cuem::platform().now();
+  for (int s = 0; s < steps; ++s) {
+    u.fill_boundary(tida::Boundary::kPeriodic);
+    for (it.reset(true); it.isValid(); it.next()) {
+      core::compute(it.tile(), cost,
+                    [](DeviceView<double>, int, int, int) {});
+    }
+  }
+  u.release_all_to_host();
+  DeltaRun r;
+  r.t = cuem::platform().now() - t0;
+  r.h2d = u.h2d_bytes();
+  r.d2h = u.d2h_bytes();
+  r.exchanges = u.streaming_exchanges();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 128));
+  const int regions = static_cast<int>(cli.get_int("regions", 16));
+  const int steps = static_cast<int>(cli.get_int("steps", 8));
+
+  bench::banner("abl_delta_transfers",
+                "extension ablation — dirty-region delta transfers, " +
+                    std::to_string(n) + "^3 in-place sweep, " +
+                    std::to_string(regions) + " slab regions, " +
+                    std::to_string(steps) + " steps",
+                sim::DeviceConfig::k40m());
+
+  bench::CsvSink csv(cli,
+                     "ghost,slots,full_bytes,delta_bytes,full_ns,delta_ns");
+  Table table({"ghost", "slots", "traffic full", "traffic delta",
+               "bytes ratio", "time full", "time delta"});
+  bench::ShapeChecks checks;
+  std::vector<std::pair<std::string, double>> json;
+
+  for (const int ghost : {1, 2}) {
+    for (const int slots : {regions, regions - 1, regions / 2}) {
+      const DeltaRun full =
+          run_sweep(n, regions, slots, steps, ghost, false);
+      const DeltaRun delta =
+          run_sweep(n, regions, slots, steps, ghost, true);
+      const bool fits = slots >= regions;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "g%d s%d%s", ghost, slots,
+                    fits ? " (fits)" : "");
+      const std::string label = buf;
+      table.add_row({std::to_string(ghost),
+                     std::to_string(slots) + (fits ? " (fits)" : ""),
+                     format_bytes(full.bytes()),
+                     format_bytes(delta.bytes()),
+                     fmt(static_cast<double>(full.bytes()) /
+                             static_cast<double>(delta.bytes()),
+                         2) +
+                         "x",
+                     bench::ms(full.t), bench::ms(delta.t)});
+      csv.row({std::to_string(ghost), std::to_string(slots),
+               std::to_string(full.bytes()),
+               std::to_string(delta.bytes()), std::to_string(full.t),
+               std::to_string(delta.t)});
+      std::snprintf(buf, sizeof(buf), "g%d_s%d", ghost, slots);
+      const std::string key = buf;
+      json.emplace_back(key + "_full_bytes",
+                        static_cast<double>(full.bytes()));
+      json.emplace_back(key + "_delta_bytes",
+                        static_cast<double>(delta.bytes()));
+      json.emplace_back(key + "_full_ns", static_cast<double>(full.t));
+      json.emplace_back(key + "_delta_ns", static_cast<double>(delta.t));
+      if (fits) {
+        checks.expect(label + ": in-core runs are byte-identical "
+                              "(device exchange on both sides)",
+                      full.bytes() == delta.bytes() &&
+                          delta.exchanges == 0);
+      } else {
+        // Byte savings are guaranteed; time is not at every size. Each
+        // delta box pays the PCIe transfer latency and the strided-copy
+        // overhead, so for small regions the exchange can be
+        // latency-bound and lose wall-clock even while moving fewer
+        // bytes (at paper-scale regions — fig8 --halo-n=256 — it wins
+        // both). The table above shows where the crossover sits.
+        checks.expect(label + ": delta never moves more bytes than the "
+                              "full drain",
+                      delta.bytes() <= full.bytes());
+        checks.expect(label + ": the exchange streams once per "
+                              "device-resident step",
+                      delta.exchanges ==
+                          static_cast<std::uint64_t>(steps - 1));
+      }
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  bench::write_bench_json("abl_delta_transfers", json);
+  return checks.report();
+}

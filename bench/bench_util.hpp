@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/cli.hpp"
@@ -108,6 +109,27 @@ class CsvSink {
  private:
   std::FILE* file_ = nullptr;
 };
+
+/// Machine-readable side-output for CI: writes BENCH_<name>.json in the
+/// current directory with a flat object of numeric fields (bytes, virtual
+/// times). Values are doubles — exact for anything below 2^53, which covers
+/// every byte counter the simulator can produce.
+inline void write_bench_json(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& fields) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return;
+  }
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.17g%s\n", fields[i].first.c_str(),
+                 fields[i].second, i + 1 < fields.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+}
 
 /// Seconds with 3 decimals from virtual ns.
 inline std::string sec(SimTime ns) { return fmt(to_seconds(ns), 3) + " s"; }

@@ -17,9 +17,11 @@
 
 #include <cstring>
 #include <limits>
+#include <vector>
 
 #include "common/error.hpp"
 #include "core/device_pool.hpp"
+#include "core/dirty_tracker.hpp"
 #include "oacc/oacc.hpp"
 #include "tida/tile_array.hpp"
 #include "tida/tile_iterator.hpp"
@@ -42,6 +44,13 @@ struct AccOptions {
   /// static region % num_slots mapping bit-for-bit; kLru/kBeladyOracle
   /// place regions dynamically (out-of-core eviction policies).
   SlotPolicyKind slot_policy = SlotPolicyKind::kStaticModulo;
+  /// Enables dirty-region tracking and delta transfers: acquires,
+  /// evictions, and the out-of-core ghost exchange ship only the boxes one
+  /// side has written since the copies last agreed, as pitched
+  /// cuemMemcpy3DAsync copies, falling back to one flat copy when that is
+  /// both safe and modeled cheaper. Off by default — the seed's
+  /// whole-region transfer shapes are reproduced exactly.
+  bool delta_transfers = false;
 };
 
 template <typename T>
@@ -57,7 +66,9 @@ class AccTileArray : public tida::TileArray<T> {
               this->num_regions(), opts.max_slots,
               make_slot_policy(opts.slot_policy)),
         loc_(this->num_regions()),
-        disable_caching_(opts.disable_caching) {}
+        dirty_(this->num_regions()),
+        disable_caching_(opts.disable_caching),
+        delta_transfers_(opts.delta_transfers) {}
 
   // --- device topology ---
 
@@ -102,6 +113,9 @@ class AccTileArray : public tida::TileArray<T> {
   void assume_host_initialized() {
     for (int r = 0; r < this->num_regions(); ++r) {
       loc_.set(r, Loc::kHost);
+      if (delta_transfers_) {
+        dirty_.mark_all_host(r, this->region(r).grown);
+      }
     }
   }
 
@@ -116,6 +130,9 @@ class AccTileArray : public tida::TileArray<T> {
                      "host access to a device-current region — call "
                      "acquire_on_host first (paper §IV-B3)");
     loc_.set(id, Loc::kHost);
+    if (delta_transfers_) {
+      dirty_.note_host_write(id, tida::Box{cell, cell});
+    }
     return Base::at(cell);
   }
 
@@ -145,13 +162,11 @@ class AccTileArray : public tida::TileArray<T> {
       // acquire — D2H then H2D, the per-kernel-clause behaviour a runtime
       // without the cache table would exhibit.
       if (disable_caching_ && loc_.location(region) == Loc::kDevice) {
-        copy_region(this->region(region).data, dev, region,
-                    cuemMemcpyDeviceToHost, stream);
+        drain_device(region, dev, stream);
         loc_.set(region, Loc::kHost);
       }
       if (loc_.location(region) == Loc::kHost) {
-        copy_region(dev, this->region(region).data, region,
-                    cuemMemcpyHostToDevice, stream);
+        refresh_device(region, dev, stream);
       }
       loc_.set(region, Loc::kDevice);
       return dev;
@@ -168,13 +183,17 @@ class AccTileArray : public tida::TileArray<T> {
       // copy over it would clobber fresher host data.
       const int victim = cache.resident(slot);
       if (loc_.location(victim) == Loc::kDevice) {
-        copy_region(this->region(victim).data, dev, victim,
-                    cuemMemcpyDeviceToHost, stream);
+        drain_device(victim, dev, stream);
         loc_.set(victim, Loc::kHost);
       }
       cache.evict(slot);
     }
 
+    // A miss leaves no device copy to delta against: the flat upload (or
+    // the absent upload of a kUninit region) re-baselines both sides.
+    if (delta_transfers_) {
+      dirty_.reset(region);
+    }
     // No H2D for a region whose host side never produced data (kUninit):
     // there is nothing meaningful to upload. Output arrays of Jacobi-style
     // solvers hit this path and save half the upload traffic.
@@ -212,18 +231,24 @@ class AccTileArray : public tida::TileArray<T> {
       // stream-ordered before the newcomer's H2D.
       const int victim = cache.resident(slot);
       if (loc_.location(victim) == Loc::kDevice) {
-        copy_region(this->region(victim).data, dev, victim,
-                    cuemMemcpyDeviceToHost, stream);
+        drain_device(victim, dev, stream);
         loc_.set(victim, Loc::kHost);
       }
       cache.evict(slot);
     }
 
+    // Like a demand miss, the prefetch upload is a full flat transfer that
+    // re-baselines the dirty bookkeeping.
+    if (delta_transfers_) {
+      dirty_.reset(region);
+    }
     if (loc_.location(region) == Loc::kHost) {
       TIDACC_CHECK(cuem::prefetch_h2d_async(
                        dev, this->region(region).data,
                        this->region_bytes(region), stream,
                        "P:R" + std::to_string(region)) == cuemSuccess);
+      xfer_.h2d_bytes += this->region_bytes(region);
+      ++xfer_.prefetch_ops;
       ++prefetches_issued_;
     }
     cache.set(slot, region);
@@ -241,25 +266,38 @@ class AccTileArray : public tida::TileArray<T> {
     if (loc_.location(region) != Loc::kDevice) {
       // The caller is about to read or write host data; either way the host
       // now holds the authoritative copy.
-      loc_.set(region, Loc::kHost);
+      set_host_authoritative(region);
       return;
     }
     const int slot = pool_.slot_of_region(region);
     const cuemStream_t stream = pool_.stream_of_slot(slot);
     TIDACC_CHECK_MSG(pool_.cache().resident(slot) == region,
                      "region marked on-device but not resident");
-    copy_region(this->region(region).data,
-                static_cast<T*>(pool_.slot_ptr(slot)), region,
-                cuemMemcpyDeviceToHost, stream);
+    drain_device(region, static_cast<T*>(pool_.slot_ptr(slot)), stream);
     TIDACC_CHECK(cuemStreamSynchronize(stream) == cuemSuccess);
-    loc_.set(region, Loc::kHost);
+    set_host_authoritative(region);
   }
 
   /// Brings every device-held region home and waits (end-of-run helper).
+  /// All downloads are queued first — pipelined across the slot streams —
+  /// and each stream is synchronized exactly once, instead of the one
+  /// blocking round-trip per region a loop of acquire_on_host would pay.
   void release_all_to_host() {
+    StreamSyncList streams;
     for (int r = 0; r < this->num_regions(); ++r) {
-      acquire_on_host(r);
+      if (loc_.location(r) != Loc::kDevice) {
+        set_host_authoritative(r);
+        continue;
+      }
+      const int slot = pool_.slot_of_region(r);
+      TIDACC_CHECK_MSG(pool_.cache().resident(slot) == r,
+                       "region marked on-device but not resident");
+      const cuemStream_t stream = pool_.stream_of_slot(slot);
+      drain_device(r, static_cast<T*>(pool_.slot_ptr(slot)), stream);
+      streams.add(stream);
+      set_host_authoritative(r);
     }
+    streams.sync_all();
   }
 
   // --- ghost exchange (paper §IV-B6) ---
@@ -278,10 +316,92 @@ class AccTileArray : public tida::TileArray<T> {
       fill_boundary_device(bc);
       return;
     }
+    if (delta_transfers_) {
+      // Mixed/limited-memory with dirty tracking: exchange the shells only.
+      fill_boundary_streaming(bc);
+      return;
+    }
     // Mixed/limited-memory: drain to host and exchange there.
     release_all_to_host();
     this->fill_boundary_host(bc);
   }
+
+  /// Out-of-core ghost exchange without the full drain (delta mode only):
+  /// pulls just the device-written source cells the plan reads (at most the
+  /// face shells) down per resident region, runs the host-side exchange,
+  /// then eagerly pushes each resident region's freshened ghost boxes back
+  /// up on its own slot stream — pipelined, with no trailing sync (stream
+  /// order protects later kernels). Regions keep their device residency and
+  /// location throughout, so the next compute pass pays no re-upload.
+  void fill_boundary_streaming(tida::Boundary bc) {
+    TIDACC_CHECK_MSG(delta_transfers_,
+                     "streaming exchange requires delta_transfers");
+    const auto& plan = this->exchange_plan(bc);
+
+    // Phase 1: per source region, the planned source cells the device has
+    // written since the copies last agreed — only those must come home.
+    std::vector<std::vector<tida::Box>> pulls(
+        static_cast<std::size_t>(this->num_regions()));
+    for (const auto& c : plan) {
+      if (loc_.location(c.src_region) != Loc::kDevice) {
+        continue;
+      }
+      auto& list = pulls[static_cast<std::size_t>(c.src_region)];
+      for (const tida::Box& d : dirty_.dev_dirty(c.src_region)) {
+        const tida::Box x = d.intersect(c.src_box);
+        if (x.empty()) {
+          continue;
+        }
+        // Several ghost copies may read overlapping source cells; keep the
+        // pull list disjoint so nothing is transferred twice.
+        std::vector<tida::Box> fresh = tida::subtract_box(x, list);
+        list.insert(list.end(), fresh.begin(), fresh.end());
+      }
+    }
+    StreamSyncList streams;
+    for (int r = 0; r < this->num_regions(); ++r) {
+      const auto& list = pulls[static_cast<std::size_t>(r)];
+      if (list.empty()) {
+        continue;
+      }
+      const int slot = pool_.slot_of_region(r);
+      TIDACC_CHECK_MSG(pool_.cache().resident(slot) == r,
+                       "region marked on-device but not resident");
+      copy_boxes(r, list, cuemMemcpyDeviceToHost,
+                 pool_.stream_of_slot(slot));
+      for (const tida::Box& b : list) {
+        dirty_.note_device_shipped(r, b);
+      }
+      streams.add(pool_.stream_of_slot(slot));
+    }
+    streams.sync_all();
+
+    // Phase 2: exchange on the host. The freshened ghost boxes are host
+    // writes the device copies have not seen yet.
+    this->fill_boundary_host(bc);
+    for (const auto& c : plan) {
+      dirty_.note_host_write(c.dst_region, c.dst_box);
+    }
+
+    // Phase 3: eagerly push every resident device-current region's
+    // host-dirty boxes (the ghost shells phase 2 wrote) back up. Non-
+    // resident regions keep theirs until their next acquire.
+    for (int r = 0; r < this->num_regions(); ++r) {
+      if (loc_.location(r) != Loc::kDevice) {
+        continue;
+      }
+      const auto& hd = dirty_.host_dirty(r);
+      if (hd.empty()) {
+        continue;
+      }
+      copy_boxes(r, hd, cuemMemcpyHostToDevice, stream_of_region(r));
+      dirty_.clear_host(r);
+    }
+    ++streaming_exchanges_;
+  }
+
+  /// Number of streaming (delta) ghost exchanges performed so far.
+  std::uint64_t streaming_exchanges() const { return streaming_exchanges_; }
 
   /// Device-side exchange: `acc wait`, then per destination region the CPU
   /// computes the index lists (this is the exchange plan) while the GPU
@@ -329,6 +449,9 @@ class AccTileArray : public tida::TileArray<T> {
       p.enqueue_kernel(stream_of_region(dst), prof,
                        p.config().oacc_dispatch_extra_ns, std::move(action),
                        "ghost:R" + std::to_string(dst));
+      for (std::size_t c = begin; c < end; ++c) {
+        note_device_write(dst, plan[c].dst_box);
+      }
       ++device_ghost_updates_;
       begin = end;
     }
@@ -339,6 +462,37 @@ class AccTileArray : public tida::TileArray<T> {
   /// Number of device-side ghost-update kernels launched so far.
   std::uint64_t device_ghost_updates() const { return device_ghost_updates_; }
 
+  // --- dirty tracking / delta transfers ---
+
+  /// Whether delta transfers were enabled at construction.
+  bool delta_transfers() const { return delta_transfers_; }
+
+  /// The per-region dirty-box bookkeeping (empty lists when delta
+  /// transfers are off).
+  const DirtyTracker& dirty() const { return dirty_; }
+
+  /// Cumulative host↔device traffic of this array, split by transfer shape.
+  const TransferAccounting& transfers() const { return xfer_; }
+  std::uint64_t h2d_bytes() const { return xfer_.h2d_bytes; }
+  std::uint64_t d2h_bytes() const { return xfer_.d2h_bytes; }
+
+  /// Records that a device kernel wrote `box` of `region` (grown-box
+  /// coordinates) — compute() calls this for every GPU tile it launches.
+  /// No-op unless delta transfers are on.
+  void note_device_write(int region, const tida::Box& box) {
+    if (delta_transfers_) {
+      dirty_.note_device_write(region, box);
+    }
+  }
+
+  /// Records a host-side write into `box` of `region`. No-op unless delta
+  /// transfers are on.
+  void note_host_write(int region, const tida::Box& box) {
+    if (delta_transfers_) {
+      dirty_.note_host_write(region, box);
+    }
+  }
+
  private:
   /// Queues one whole-region transfer on `stream`.
   void copy_region(T* dst, const T* src, int region, cuemMemcpyKind kind,
@@ -346,6 +500,143 @@ class AccTileArray : public tida::TileArray<T> {
     const std::size_t bytes = this->region_bytes(region);
     TIDACC_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream) ==
                  cuemSuccess);
+    if (kind == cuemMemcpyHostToDevice) {
+      xfer_.h2d_bytes += bytes;
+      ++xfer_.flat_h2d_ops;
+    } else {
+      xfer_.d2h_bytes += bytes;
+      ++xfer_.flat_d2h_ops;
+    }
+  }
+
+  /// Protocol bookkeeping of handing a region to host code: the host copy
+  /// becomes authoritative and — conservatively — wholly dirty, since the
+  /// caller may write anywhere through raw pointers.
+  void set_host_authoritative(int region) {
+    loc_.set(region, Loc::kHost);
+    if (delta_transfers_) {
+      dirty_.mark_all_host(region, this->region(region).grown);
+    }
+  }
+
+  /// Chunk count of a pitched copy of `box` out of the grown-box layout of
+  /// one component, mirroring the cuem coalescing rules: full-width rows
+  /// merge into slices, full slices into one contiguous burst.
+  static std::uint64_t chunks_for(const tida::Box& grown,
+                                  const tida::Box& box) {
+    const tida::Index3 e = box.extent();
+    const tida::Index3 ge = grown.extent();
+    if (e.i != ge.i) {
+      return static_cast<std::uint64_t>(e.j) * static_cast<std::uint64_t>(e.k);
+    }
+    return e.j == ge.j ? 1 : static_cast<std::uint64_t>(e.k);
+  }
+
+  /// True when shipping `boxes` as pitched sub-box copies is modeled
+  /// cheaper than one flat whole-region transfer in direction `h2d`
+  /// (latency + chunk overhead per box/component vs one full burst).
+  bool delta_cheaper(int region, const std::vector<tida::Box>& boxes,
+                     bool h2d) const {
+    const sim::DeviceConfig& cfg = sim::Platform::instance().config();
+    const double gbps = h2d ? cfg.pinned_h2d_gbps : cfg.pinned_d2h_gbps;
+    const SimTime flat =
+        cfg.transfer_latency_ns +
+        transfer_time_ns(this->region_bytes(region), gbps);
+    const tida::Box& grown = this->region(region).grown;
+    SimTime delta = 0;
+    for (const tida::Box& b : boxes) {
+      const std::uint64_t bytes = b.volume() * sizeof(T);
+      delta += static_cast<SimTime>(this->ncomp()) *
+               (cfg.transfer_latency_ns +
+                cfg.memcpy3d_overhead_ns(bytes, chunks_for(grown, b)) +
+                transfer_time_ns(bytes, gbps));
+      if (delta >= flat) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Queues one pitched sub-box copy per box per component between the
+  /// host and device buffers of `region` (both share the grown-box
+  /// geometry, so pitches are identical on both sides).
+  void copy_boxes(int region, const std::vector<tida::Box>& boxes,
+                  cuemMemcpyKind kind, cuemStream_t stream) {
+    const tida::Region<T> host = this->region(region);
+    const tida::Region<T> dev = device_region(region);
+    const tida::Index3 ge = host.grown.extent();
+    const std::size_t pitch = static_cast<std::size_t>(ge.i) * sizeof(T);
+    const std::size_t slice = pitch * static_cast<std::size_t>(ge.j);
+    const bool h2d = kind == cuemMemcpyHostToDevice;
+    for (const tida::Box& b : boxes) {
+      if (b.empty()) {
+        continue;
+      }
+      const tida::Index3 e = b.extent();
+      const std::uint64_t bytes = b.volume() * sizeof(T);
+      for (int comp = 0; comp < this->ncomp(); ++comp) {
+        cuemMemcpy3DParms parms;
+        parms.dst = h2d ? static_cast<void*>(&dev.at(b.lo, comp))
+                        : static_cast<void*>(&host.at(b.lo, comp));
+        parms.src = h2d ? static_cast<const void*>(&host.at(b.lo, comp))
+                        : static_cast<const void*>(&dev.at(b.lo, comp));
+        parms.dst_pitch = parms.src_pitch = pitch;
+        parms.dst_slice_pitch = parms.src_slice_pitch = slice;
+        parms.width = static_cast<std::size_t>(e.i) * sizeof(T);
+        parms.height = static_cast<std::size_t>(e.j);
+        parms.depth = static_cast<std::size_t>(e.k);
+        parms.kind = kind;
+        TIDACC_CHECK(cuem::memcpy3d_async(
+                         parms, stream,
+                         (h2d ? "dH2D:R" : "dD2H:R") +
+                             std::to_string(region)) == cuemSuccess);
+        if (h2d) {
+          xfer_.h2d_bytes += bytes;
+          ++xfer_.delta_h2d_ops;
+        } else {
+          xfer_.d2h_bytes += bytes;
+          ++xfer_.delta_d2h_ops;
+        }
+      }
+    }
+  }
+
+  /// Brings the host copy of a device-current region up to date: ships the
+  /// device-dirty boxes as pitched copies when forced (host-dirty cells a
+  /// flat copy would clobber) or modeled cheaper, else one flat D2H.
+  /// Queues only — callers sync when they need the data on the host.
+  void drain_device(int region, T* dev, cuemStream_t stream) {
+    if (delta_transfers_) {
+      const std::vector<tida::Box>& dd = dirty_.dev_dirty(region);
+      if (!dirty_.host_clean(region) ||
+          delta_cheaper(region, dd, /*h2d=*/false)) {
+        copy_boxes(region, dd, cuemMemcpyDeviceToHost, stream);
+        dirty_.clear_device(region);
+        return;
+      }
+      dirty_.reset(region);  // flat D2H: both copies agree afterwards
+    }
+    copy_region(this->region(region).data, dev, region,
+                cuemMemcpyDeviceToHost, stream);
+  }
+
+  /// Brings the device copy of a resident region up to date with the host:
+  /// ships the host-dirty boxes as pitched copies when forced (the device
+  /// has newer cells of its own a flat copy would clobber) or modeled
+  /// cheaper, else one flat H2D.
+  void refresh_device(int region, T* dev, cuemStream_t stream) {
+    if (delta_transfers_) {
+      const std::vector<tida::Box>& hd = dirty_.host_dirty(region);
+      if (!dirty_.device_clean(region) ||
+          delta_cheaper(region, hd, /*h2d=*/true)) {
+        copy_boxes(region, hd, cuemMemcpyHostToDevice, stream);
+        dirty_.clear_host(region);
+        return;
+      }
+      dirty_.reset(region);  // flat H2D: both copies agree afterwards
+    }
+    copy_region(dev, this->region(region).data, region,
+                cuemMemcpyHostToDevice, stream);
   }
 
   /// Applies one planned ghost copy between device slot buffers, all
@@ -368,9 +659,13 @@ class AccTileArray : public tida::TileArray<T> {
 
   DevicePool pool_;
   LocationTracker loc_;
+  DirtyTracker dirty_;
+  TransferAccounting xfer_;
   std::uint64_t device_ghost_updates_ = 0;
   std::uint64_t prefetches_issued_ = 0;
+  std::uint64_t streaming_exchanges_ = 0;
   bool disable_caching_ = false;
+  bool delta_transfers_ = false;
 };
 
 /// A tile bound to its AccTileArray plus the traversal's GPU flag — what

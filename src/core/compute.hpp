@@ -150,6 +150,9 @@ void compute_range(const tida::Box& range, const oacc::LoopCost& cost,
   p.enqueue_kernel(kstream, prof, p.config().oacc_dispatch_extra_ns,
                    std::move(action),
                    "C:R" + std::to_string(first.tile.region.id));
+  // Dirty tracking is conservative: the kernel may write any involved
+  // tile's cells in `range`, so every array records a device write there.
+  (tiles.array->note_device_write(tiles.tile.region.id, range), ...);
   // No synchronization after the launch (§IV-B5): stream order protects
   // later operations on the same region.
 }

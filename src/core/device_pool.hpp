@@ -9,15 +9,43 @@
 // out-of-core execution); Lru/BeladyOracle place regions dynamically.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <memory>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/cache_table.hpp"
 #include "core/slot_policy.hpp"
 #include "cuem/cuem.hpp"
 
 namespace tidacc::core {
+
+/// Streams collected in first-use order, deduplicated. Batched drains sync
+/// through this instead of a std::set: with FIFO copy engines the stream
+/// whose transfer was queued last also finishes last, so syncing in issue
+/// order lets every sync but the final one return while later transfers are
+/// still in flight. Handle-order iteration would instead trail the batch
+/// with one idle-stream sync round-trip for every stream that happens to
+/// sort after the last finisher — a cost that depends on which slots the
+/// scheduler picked rather than on the work done.
+class StreamSyncList {
+ public:
+  void add(cuemStream_t s) {
+    if (std::find(streams_.begin(), streams_.end(), s) == streams_.end()) {
+      streams_.push_back(s);
+    }
+  }
+
+  void sync_all() const {
+    for (const cuemStream_t s : streams_) {
+      TIDACC_CHECK(cuemStreamSynchronize(s) == cuemSuccess);
+    }
+  }
+
+ private:
+  std::vector<cuemStream_t> streams_;
+};
 
 class DevicePool {
  public:

@@ -28,6 +28,7 @@
 #include "common/error.hpp"
 #include "core/compute.hpp"
 #include "core/device_pool.hpp"
+#include "core/dirty_tracker.hpp"
 #include "cuem/cuem.hpp"
 #include "oacc/oacc.hpp"
 #include "tida/tile_array.hpp"
@@ -60,6 +61,9 @@ struct MultiAccOptions {
   int ncomp = 1;
   /// Region→slot scheduling policy within each device's pool.
   SlotPolicyKind slot_policy = SlotPolicyKind::kStaticModulo;
+  /// Enables dirty-region tracking and delta transfers, exactly as
+  /// AccOptions::delta_transfers does for the single-device array.
+  bool delta_transfers = false;
 };
 
 template <typename T>
@@ -71,7 +75,9 @@ class MultiAccTileArray : public tida::TileArray<T> {
                     int ghost, MultiAccOptions opts = {})
       : Base(domain, region_size, ghost, opts.host_alloc, opts.ncomp),
         loc_(this->num_regions()),
-        placement_(opts.placement) {
+        dirty_(this->num_regions()),
+        placement_(opts.placement),
+        delta_transfers_(opts.delta_transfers) {
     const int avail = cuem::device_count();
     num_devices_ = opts.devices == 0 ? avail : opts.devices;
     TIDACC_CHECK_MSG(num_devices_ >= 1 && num_devices_ <= avail,
@@ -191,6 +197,9 @@ class MultiAccTileArray : public tida::TileArray<T> {
   void assume_host_initialized() {
     for (int r = 0; r < this->num_regions(); ++r) {
       loc_.set(r, Loc::kHost);
+      if (delta_transfers_) {
+        dirty_.mark_all_host(r, this->region(r).grown);
+      }
     }
   }
 
@@ -202,6 +211,9 @@ class MultiAccTileArray : public tida::TileArray<T> {
                      "host access to a device-current region — call "
                      "acquire_on_host first (paper §IV-B3)");
     loc_.set(id, Loc::kHost);
+    if (delta_transfers_) {
+      dirty_.note_host_write(id, tida::Box{cell, cell});
+    }
     return Base::at(cell);
   }
 
@@ -233,8 +245,7 @@ class MultiAccTileArray : public tida::TileArray<T> {
 
     if (cache.resident(slot) == lr) {
       if (loc_.location(region) == Loc::kHost) {
-        copy_region(dev_ptr, this->region(region).data, region,
-                    cuemMemcpyHostToDevice, stream);
+        refresh_device(region, dev_ptr, stream);
       }
       loc_.set(region, Loc::kDevice);
       return dev_ptr;
@@ -246,13 +257,17 @@ class MultiAccTileArray : public tida::TileArray<T> {
       const int victim =
           shard(dev).regions[static_cast<std::size_t>(cache.resident(slot))];
       if (loc_.location(victim) == Loc::kDevice) {
-        copy_region(this->region(victim).data, dev_ptr, victim,
-                    cuemMemcpyDeviceToHost, stream);
+        drain_device(victim, dev_ptr, stream);
         loc_.set(victim, Loc::kHost);
       }
       cache.evict(slot);
     }
 
+    // A miss leaves no device copy to delta against: the flat upload (or
+    // the absent upload of a kUninit region) re-baselines both sides.
+    if (delta_transfers_) {
+      dirty_.reset(region);
+    }
     if (needs_upload) {
       copy_region(dev_ptr, this->region(region).data, region,
                   cuemMemcpyHostToDevice, stream);
@@ -281,18 +296,24 @@ class MultiAccTileArray : public tida::TileArray<T> {
       const int victim =
           shard(dev).regions[static_cast<std::size_t>(cache.resident(slot))];
       if (loc_.location(victim) == Loc::kDevice) {
-        copy_region(this->region(victim).data, dev_ptr, victim,
-                    cuemMemcpyDeviceToHost, stream);
+        drain_device(victim, dev_ptr, stream);
         loc_.set(victim, Loc::kHost);
       }
       cache.evict(slot);
     }
 
+    // Like a demand miss, the prefetch upload is a full flat transfer that
+    // re-baselines the dirty bookkeeping.
+    if (delta_transfers_) {
+      dirty_.reset(region);
+    }
     if (loc_.location(region) == Loc::kHost) {
       TIDACC_CHECK(cuem::prefetch_h2d_async(
                        dev_ptr, this->region(region).data,
                        this->region_bytes(region), stream,
                        "P:R" + std::to_string(region)) == cuemSuccess);
+      xfer_.h2d_bytes += this->region_bytes(region);
+      ++xfer_.prefetch_ops;
       ++prefetches_issued_;
     }
     cache.set(slot, lr);
@@ -305,7 +326,7 @@ class MultiAccTileArray : public tida::TileArray<T> {
   /// Makes the host copy of `region` current; blocks on the transfer.
   void acquire_on_host(int region) {
     if (loc_.location(region) != Loc::kDevice) {
-      loc_.set(region, Loc::kHost);
+      set_host_authoritative(region);
       return;
     }
     const int dev = owner_[checked(region)];
@@ -316,18 +337,36 @@ class MultiAccTileArray : public tida::TileArray<T> {
     const cuemStream_t stream = pool.stream_of_slot(slot);
     TIDACC_CHECK_MSG(pool.cache().resident(slot) == lr,
                      "region marked on-device but not resident");
-    copy_region(this->region(region).data,
-                static_cast<T*>(pool.slot_ptr(slot)), region,
-                cuemMemcpyDeviceToHost, stream);
+    drain_device(region, static_cast<T*>(pool.slot_ptr(slot)), stream);
     TIDACC_CHECK(cuemStreamSynchronize(stream) == cuemSuccess);
-    loc_.set(region, Loc::kHost);
+    set_host_authoritative(region);
   }
 
-  /// Brings every device-held region home and waits.
+  /// Brings every device-held region home and waits. All downloads are
+  /// queued first — pipelined across every device's slot streams — then
+  /// each stream is synchronized exactly once (same batching as
+  /// AccTileArray::release_all_to_host, so the 1-device traces stay
+  /// identical).
   void release_all_to_host() {
+    StreamSyncList streams;
     for (int r = 0; r < this->num_regions(); ++r) {
-      acquire_on_host(r);
+      if (loc_.location(r) != Loc::kDevice) {
+        set_host_authoritative(r);
+        continue;
+      }
+      const int dev = owner_[checked(r)];
+      cuem::DeviceGuard guard(dev);
+      DevicePool& pool = *shard(dev).pool;
+      const int lr = local_[static_cast<std::size_t>(r)];
+      const int slot = pool.slot_of_region(lr);
+      TIDACC_CHECK_MSG(pool.cache().resident(slot) == lr,
+                       "region marked on-device but not resident");
+      const cuemStream_t stream = pool.stream_of_slot(slot);
+      drain_device(r, static_cast<T*>(pool.slot_ptr(slot)), stream);
+      streams.add(stream);
+      set_host_authoritative(r);
     }
+    streams.sync_all();
   }
 
   // --- distributed ghost exchange (paper §IV-B6, extended across devices)
@@ -343,9 +382,83 @@ class MultiAccTileArray : public tida::TileArray<T> {
       fill_boundary_device(bc);
       return;
     }
+    if (delta_transfers_) {
+      fill_boundary_streaming(bc);
+      return;
+    }
     release_all_to_host();
     this->fill_boundary_host(bc);
   }
+
+  /// Out-of-core ghost exchange without the full drain (delta mode only) —
+  /// the multi-device mirror of AccTileArray::fill_boundary_streaming:
+  /// pull only the device-written source cells the plan reads, exchange on
+  /// the host, eagerly push the freshened ghost boxes back to resident
+  /// regions on their owners' slot streams.
+  void fill_boundary_streaming(tida::Boundary bc) {
+    TIDACC_CHECK_MSG(delta_transfers_,
+                     "streaming exchange requires delta_transfers");
+    const auto& plan = this->exchange_plan(bc);
+
+    std::vector<std::vector<tida::Box>> pulls(
+        static_cast<std::size_t>(this->num_regions()));
+    for (const auto& c : plan) {
+      if (loc_.location(c.src_region) != Loc::kDevice) {
+        continue;
+      }
+      auto& list = pulls[static_cast<std::size_t>(c.src_region)];
+      for (const tida::Box& d : dirty_.dev_dirty(c.src_region)) {
+        const tida::Box x = d.intersect(c.src_box);
+        if (x.empty()) {
+          continue;
+        }
+        std::vector<tida::Box> fresh = tida::subtract_box(x, list);
+        list.insert(list.end(), fresh.begin(), fresh.end());
+      }
+    }
+    StreamSyncList streams;
+    for (int r = 0; r < this->num_regions(); ++r) {
+      const auto& list = pulls[static_cast<std::size_t>(r)];
+      if (list.empty()) {
+        continue;
+      }
+      const int dev = owner_[checked(r)];
+      const DevicePool& pool = pool_of(dev);
+      const int slot =
+          pool.slot_of_region(local_[static_cast<std::size_t>(r)]);
+      TIDACC_CHECK_MSG(pool.cache().resident(slot) ==
+                           local_[static_cast<std::size_t>(r)],
+                       "region marked on-device but not resident");
+      const cuemStream_t stream = pool.stream_of_slot(slot);
+      copy_boxes(r, list, cuemMemcpyDeviceToHost, stream);
+      for (const tida::Box& b : list) {
+        dirty_.note_device_shipped(r, b);
+      }
+      streams.add(stream);
+    }
+    streams.sync_all();
+
+    this->fill_boundary_host(bc);
+    for (const auto& c : plan) {
+      dirty_.note_host_write(c.dst_region, c.dst_box);
+    }
+
+    for (int r = 0; r < this->num_regions(); ++r) {
+      if (loc_.location(r) != Loc::kDevice) {
+        continue;
+      }
+      const auto& hd = dirty_.host_dirty(r);
+      if (hd.empty()) {
+        continue;
+      }
+      copy_boxes(r, hd, cuemMemcpyHostToDevice, stream_of_region(r));
+      dirty_.clear_host(r);
+    }
+    ++streaming_exchanges_;
+  }
+
+  /// Number of streaming (delta) ghost exchanges performed so far.
+  std::uint64_t streaming_exchanges() const { return streaming_exchanges_; }
 
   /// Device-side exchange across all devices: `acc wait`, then per
   /// destination region the CPU computes the index lists while the device
@@ -423,6 +536,9 @@ class MultiAccTileArray : public tida::TileArray<T> {
                          std::move(action)) == cuemSuccess);
         ++peer_ghost_copies_;
       }
+      for (std::size_t c = begin; c < end; ++c) {
+        note_device_write(dst, plan[c].dst_box);
+      }
       begin = end;
     }
     // Stream order on each destination protects later kernels, exactly as
@@ -434,6 +550,29 @@ class MultiAccTileArray : public tida::TileArray<T> {
   /// Number of cross-device ghost transfers issued so far (direct or
   /// host-staged, depending on peer access).
   std::uint64_t peer_ghost_copies() const { return peer_ghost_copies_; }
+
+  // --- dirty tracking / delta transfers (see AccTileArray) ---
+
+  bool delta_transfers() const { return delta_transfers_; }
+  const DirtyTracker& dirty() const { return dirty_; }
+  const TransferAccounting& transfers() const { return xfer_; }
+  std::uint64_t h2d_bytes() const { return xfer_.h2d_bytes; }
+  std::uint64_t d2h_bytes() const { return xfer_.d2h_bytes; }
+
+  /// Records that a device kernel wrote `box` of `region`; no-op unless
+  /// delta transfers are on.
+  void note_device_write(int region, const tida::Box& box) {
+    if (delta_transfers_) {
+      dirty_.note_device_write(region, box);
+    }
+  }
+
+  /// Records a host-side write into `box` of `region`.
+  void note_host_write(int region, const tida::Box& box) {
+    if (delta_transfers_) {
+      dirty_.note_host_write(region, box);
+    }
+  }
 
  private:
   struct DeviceShard {
@@ -465,6 +604,135 @@ class MultiAccTileArray : public tida::TileArray<T> {
     const std::size_t bytes = this->region_bytes(region);
     TIDACC_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream) ==
                  cuemSuccess);
+    if (kind == cuemMemcpyHostToDevice) {
+      xfer_.h2d_bytes += bytes;
+      ++xfer_.flat_h2d_ops;
+    } else {
+      xfer_.d2h_bytes += bytes;
+      ++xfer_.flat_d2h_ops;
+    }
+  }
+
+  /// Protocol bookkeeping of handing a region to host code (see
+  /// AccTileArray::set_host_authoritative).
+  void set_host_authoritative(int region) {
+    loc_.set(region, Loc::kHost);
+    if (delta_transfers_) {
+      dirty_.mark_all_host(region, this->region(region).grown);
+    }
+  }
+
+  /// Chunk count of a pitched copy of `box` out of the grown-box layout,
+  /// mirroring the cuem coalescing rules.
+  static std::uint64_t chunks_for(const tida::Box& grown,
+                                  const tida::Box& box) {
+    const tida::Index3 e = box.extent();
+    const tida::Index3 ge = grown.extent();
+    if (e.i != ge.i) {
+      return static_cast<std::uint64_t>(e.j) * static_cast<std::uint64_t>(e.k);
+    }
+    return e.j == ge.j ? 1 : static_cast<std::uint64_t>(e.k);
+  }
+
+  /// True when shipping `boxes` as pitched sub-box copies is modeled
+  /// cheaper than one flat whole-region transfer in direction `h2d`.
+  bool delta_cheaper(int region, const std::vector<tida::Box>& boxes,
+                     bool h2d) const {
+    const sim::DeviceConfig& cfg = sim::Platform::instance().config();
+    const double gbps = h2d ? cfg.pinned_h2d_gbps : cfg.pinned_d2h_gbps;
+    const SimTime flat =
+        cfg.transfer_latency_ns +
+        transfer_time_ns(this->region_bytes(region), gbps);
+    const tida::Box& grown = this->region(region).grown;
+    SimTime delta = 0;
+    for (const tida::Box& b : boxes) {
+      const std::uint64_t bytes = b.volume() * sizeof(T);
+      delta += static_cast<SimTime>(this->ncomp()) *
+               (cfg.transfer_latency_ns +
+                cfg.memcpy3d_overhead_ns(bytes, chunks_for(grown, b)) +
+                transfer_time_ns(bytes, gbps));
+      if (delta >= flat) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Queues one pitched sub-box copy per box per component between the
+  /// host buffer and the owner-device slot buffer of `region`.
+  void copy_boxes(int region, const std::vector<tida::Box>& boxes,
+                  cuemMemcpyKind kind, cuemStream_t stream) {
+    const tida::Region<T> host = this->region(region);
+    const tida::Region<T> dev = device_region(region);
+    const tida::Index3 ge = host.grown.extent();
+    const std::size_t pitch = static_cast<std::size_t>(ge.i) * sizeof(T);
+    const std::size_t slice = pitch * static_cast<std::size_t>(ge.j);
+    const bool h2d = kind == cuemMemcpyHostToDevice;
+    for (const tida::Box& b : boxes) {
+      if (b.empty()) {
+        continue;
+      }
+      const tida::Index3 e = b.extent();
+      const std::uint64_t bytes = b.volume() * sizeof(T);
+      for (int comp = 0; comp < this->ncomp(); ++comp) {
+        cuemMemcpy3DParms parms;
+        parms.dst = h2d ? static_cast<void*>(&dev.at(b.lo, comp))
+                        : static_cast<void*>(&host.at(b.lo, comp));
+        parms.src = h2d ? static_cast<const void*>(&host.at(b.lo, comp))
+                        : static_cast<const void*>(&dev.at(b.lo, comp));
+        parms.dst_pitch = parms.src_pitch = pitch;
+        parms.dst_slice_pitch = parms.src_slice_pitch = slice;
+        parms.width = static_cast<std::size_t>(e.i) * sizeof(T);
+        parms.height = static_cast<std::size_t>(e.j);
+        parms.depth = static_cast<std::size_t>(e.k);
+        parms.kind = kind;
+        TIDACC_CHECK(cuem::memcpy3d_async(
+                         parms, stream,
+                         (h2d ? "dH2D:R" : "dD2H:R") +
+                             std::to_string(region)) == cuemSuccess);
+        if (h2d) {
+          xfer_.h2d_bytes += bytes;
+          ++xfer_.delta_h2d_ops;
+        } else {
+          xfer_.d2h_bytes += bytes;
+          ++xfer_.delta_d2h_ops;
+        }
+      }
+    }
+  }
+
+  /// Brings the host copy of a device-current region up to date (see
+  /// AccTileArray::drain_device). Queues only.
+  void drain_device(int region, T* dev, cuemStream_t stream) {
+    if (delta_transfers_) {
+      const std::vector<tida::Box>& dd = dirty_.dev_dirty(region);
+      if (!dirty_.host_clean(region) ||
+          delta_cheaper(region, dd, /*h2d=*/false)) {
+        copy_boxes(region, dd, cuemMemcpyDeviceToHost, stream);
+        dirty_.clear_device(region);
+        return;
+      }
+      dirty_.reset(region);  // flat D2H: both copies agree afterwards
+    }
+    copy_region(this->region(region).data, dev, region,
+                cuemMemcpyDeviceToHost, stream);
+  }
+
+  /// Brings the device copy of a resident region up to date with the host
+  /// (see AccTileArray::refresh_device).
+  void refresh_device(int region, T* dev, cuemStream_t stream) {
+    if (delta_transfers_) {
+      const std::vector<tida::Box>& hd = dirty_.host_dirty(region);
+      if (!dirty_.device_clean(region) ||
+          delta_cheaper(region, hd, /*h2d=*/true)) {
+        copy_boxes(region, hd, cuemMemcpyHostToDevice, stream);
+        dirty_.clear_host(region);
+        return;
+      }
+      dirty_.reset(region);  // flat H2D: both copies agree afterwards
+    }
+    copy_region(dev, this->region(region).data, region,
+                cuemMemcpyHostToDevice, stream);
   }
 
   /// Applies one planned ghost copy between slot buffers (the functional
@@ -490,11 +758,15 @@ class MultiAccTileArray : public tida::TileArray<T> {
   std::vector<int> owner_;
   std::vector<int> local_;
   LocationTracker loc_;
+  DirtyTracker dirty_;
+  TransferAccounting xfer_;
   DevicePlacement placement_;
   int num_devices_ = 1;
   std::uint64_t device_ghost_updates_ = 0;
   std::uint64_t peer_ghost_copies_ = 0;
   std::uint64_t prefetches_issued_ = 0;
+  std::uint64_t streaming_exchanges_ = 0;
+  bool delta_transfers_ = false;
 };
 
 // --- whole-region compute on the owning device ---
@@ -532,6 +804,7 @@ void compute_gpu(MultiAccTileArray<T>& a, int region,
   };
   p.enqueue_kernel(kstream, prof, p.config().oacc_dispatch_extra_ns,
                    std::move(action), "C:R" + std::to_string(region));
+  a.note_device_write(region, reg.valid);
 }
 
 /// Two-array variant (Jacobi-style in/out). Both arrays must place the
@@ -584,6 +857,8 @@ void compute_gpu(MultiAccTileArray<T>& in, MultiAccTileArray<T>& out,
   };
   p.enqueue_kernel(kstream, prof, p.config().oacc_dispatch_extra_ns,
                    std::move(action), "C:R" + std::to_string(region));
+  in.note_device_write(region, rin.valid);
+  out.note_device_write(region, rout.valid);
 }
 
 }  // namespace tidacc::core

@@ -20,6 +20,7 @@
 #include "core/cache_table.hpp"      // IWYU pragma: export
 #include "core/compute.hpp"          // IWYU pragma: export
 #include "core/device_pool.hpp"      // IWYU pragma: export
+#include "core/dirty_tracker.hpp"    // IWYU pragma: export
 #include "core/multi_acc_array.hpp"  // IWYU pragma: export
 #include "core/slot_policy.hpp"      // IWYU pragma: export
 #include "cuem/cuem.hpp"             // IWYU pragma: export

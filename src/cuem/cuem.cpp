@@ -345,6 +345,91 @@ cuemError_t do_memcpy(void* dst, const void* src, std::size_t count,
   return cuemSuccess;
 }
 
+/// Contiguous runs of a pitched transfer after coalescing: full-pitch rows
+/// merge into slices, full-pitch slices into one flat burst.
+std::uint64_t memcpy3d_chunks(const cuemMemcpy3DParms& parms) {
+  const bool rows_contiguous = parms.width == parms.src_pitch &&
+                               parms.width == parms.dst_pitch;
+  if (!rows_contiguous) {
+    return static_cast<std::uint64_t>(parms.height) * parms.depth;
+  }
+  const std::size_t slice = parms.width * parms.height;
+  const bool slices_contiguous =
+      slice == parms.src_slice_pitch && slice == parms.dst_slice_pitch;
+  return slices_contiguous ? 1 : static_cast<std::uint64_t>(parms.depth);
+}
+
+cuemError_t do_memcpy3d(const cuemMemcpy3DParms& parms, cuemStream_t stream,
+                        std::string label) {
+  if (parms.dst == nullptr || parms.src == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  if (parms.width == 0 || parms.height == 0 || parms.depth == 0) {
+    return cuemSuccess;
+  }
+  if (parms.src_pitch < parms.width || parms.dst_pitch < parms.width ||
+      parms.src_slice_pitch < parms.src_pitch * parms.height ||
+      parms.dst_slice_pitch < parms.dst_pitch * parms.height) {
+    return fail(cuemErrorInvalidValue,
+                "cuemMemcpy3DAsync: pitch smaller than transfer extent");
+  }
+  Platform& p = Platform::instance();
+  stream = resolve_stream(stream);
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  const MemSpace dst_space = space_of(parms.dst);
+  const MemSpace src_space = space_of(parms.src);
+  cuemMemcpyKind kind = parms.kind;
+  if (kind == cuemMemcpyDefault) {
+    kind = infer_kind(dst_space, src_space);
+  }
+
+  CopyRequest req;
+  req.bytes = static_cast<std::uint64_t>(parms.width) * parms.height *
+              parms.depth;
+  req.chunks = memcpy3d_chunks(parms);
+  switch (kind) {
+    case cuemMemcpyHostToDevice:
+      if (!is_device_space(dst_space) || !is_host_space(src_space)) {
+        return cuemErrorInvalidMemcpyDirection;
+      }
+      req.kind = OpKind::kMemcpy3DH2D;
+      req.host_mem = host_kind_of(src_space);
+      break;
+    case cuemMemcpyDeviceToHost:
+      if (!is_host_space(dst_space) || !is_device_space(src_space)) {
+        return cuemErrorInvalidMemcpyDirection;
+      }
+      req.kind = OpKind::kMemcpy3DD2H;
+      req.host_mem = host_kind_of(dst_space);
+      break;
+    default:
+      // Only the delta-transfer directions are modeled; H2H/D2D pitched
+      // copies have no consumer and no cost model.
+      return cuemErrorInvalidMemcpyDirection;
+  }
+  req.label = std::move(label);
+
+  std::function<void()> action;
+  if (p.functional()) {
+    const cuemMemcpy3DParms pr = parms;  // capture by value
+    action = [pr] {
+      auto* d = static_cast<unsigned char*>(pr.dst);
+      const auto* s = static_cast<const unsigned char*>(pr.src);
+      for (std::size_t k = 0; k < pr.depth; ++k) {
+        for (std::size_t j = 0; j < pr.height; ++j) {
+          std::memcpy(d + k * pr.dst_slice_pitch + j * pr.dst_pitch,
+                      s + k * pr.src_slice_pitch + j * pr.src_pitch,
+                      pr.width);
+        }
+      }
+    };
+  }
+  p.enqueue_copy(stream, req, std::move(action));
+  return cuemSuccess;
+}
+
 }  // namespace
 
 // --- C++ extensions ---
@@ -530,6 +615,11 @@ cuemError_t prefetch_h2d_async(void* dst, const void* src, std::size_t count,
   req.label = std::move(label);
   p.enqueue_copy(stream, req, std::move(action));
   return cuemSuccess;
+}
+
+cuemError_t memcpy3d_async(const cuemMemcpy3DParms& parms,
+                           cuemStream_t stream, std::string label) {
+  return do_memcpy3d(parms, stream, std::move(label));
 }
 
 cuemError_t host_touch(void* ptr, std::size_t bytes) {
@@ -718,6 +808,16 @@ cuemError_t cuemMemsetAsync(void* dev_ptr, int value, std::size_t count,
 cuemError_t cuemMemcpyAsync(void* dst, const void* src, std::size_t count,
                             cuemMemcpyKind kind, cuemStream_t stream) {
   return do_memcpy(dst, src, count, kind, stream, /*blocking=*/false);
+}
+
+cuemError_t cuemMemcpy3DAsync(const cuemMemcpy3DParms* parms,
+                              cuemStream_t stream) {
+  if (parms == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  return do_memcpy3d(*parms, stream,
+                     parms->kind == cuemMemcpyDeviceToHost ? "3D-D2H"
+                                                           : "3D-H2D");
 }
 
 cuemError_t cuemMemPrefetchAsync(const void* ptr, std::size_t count,

@@ -82,6 +82,34 @@ cuemError_t cuemMemcpy(void* dst, const void* src, std::size_t count,
 cuemError_t cuemMemcpyAsync(void* dst, const void* src, std::size_t count,
                             cuemMemcpyKind kind, cuemStream_t stream);
 
+/// Pitched (strided) 3D copy descriptor, the cudaMemcpy3DParms analogue.
+/// `dst`/`src` point at the first byte of the transferred sub-box (any base
+/// offset is already applied); rows of `width` bytes are `*_pitch` bytes
+/// apart, slices of `height` rows are `*_slice_pitch` bytes apart, `depth`
+/// slices in total. Only HostToDevice and DeviceToHost directions are
+/// supported (the delta-transfer paths); other kinds are rejected with
+/// cuemErrorInvalidMemcpyDirection.
+struct cuemMemcpy3DParms {
+  void* dst = nullptr;
+  std::size_t dst_pitch = 0;        ///< bytes between row starts
+  std::size_t dst_slice_pitch = 0;  ///< bytes between slice starts
+  const void* src = nullptr;
+  std::size_t src_pitch = 0;
+  std::size_t src_slice_pitch = 0;
+  std::size_t width = 0;   ///< bytes per row
+  std::size_t height = 1;  ///< rows per slice
+  std::size_t depth = 1;   ///< slices
+  cuemMemcpyKind kind = cuemMemcpyDefault;
+};
+
+/// Queues a pitched sub-box copy (kMemcpy3DH2D / kMemcpy3DD2H trace ops).
+/// Contiguous runs coalesce: when rows span the full pitch on both sides a
+/// slice is one chunk, and when slices abut too the whole transfer is one
+/// flat burst. Each remaining chunk pays DeviceConfig::memcpy3d_chunk_ns
+/// (or the pack-kernel fallback) on top of the flat-copy cost model.
+cuemError_t cuemMemcpy3DAsync(const cuemMemcpy3DParms* parms,
+                              cuemStream_t stream);
+
 /// Fills device memory (cudaMemset): synchronous and stream-ordered async.
 cuemError_t cuemMemset(void* dev_ptr, int value, std::size_t count);
 cuemError_t cuemMemsetAsync(void* dev_ptr, int value, std::size_t count,
@@ -184,6 +212,11 @@ cuemError_t launch(cuemStream_t stream, const LaunchGeometry& geom,
 /// charts. `label` names the op in the trace (e.g. "P:R3").
 cuemError_t prefetch_h2d_async(void* dst, const void* src, std::size_t count,
                                cuemStream_t stream, std::string label);
+
+/// cuemMemcpy3DAsync with a caller-supplied trace label (e.g. "dH2D:R3" for
+/// a delta upload of region 3) — what the dirty-tracking array layers use.
+cuemError_t memcpy3d_async(const cuemMemcpy3DParms& parms,
+                           cuemStream_t stream, std::string label);
 
 /// Declares that host code is about to read/write `bytes` at `ptr` inside a
 /// managed allocation. Stands in for the CPU-side page fault: blocks until

@@ -34,6 +34,17 @@ double DeviceConfig::math_factor(MathClass m) const {
   return 0.0;
 }
 
+SimTime DeviceConfig::memcpy3d_overhead_ns(std::uint64_t bytes,
+                                           std::uint64_t chunks) const {
+  if (chunks <= 1) {
+    return 0;
+  }
+  const SimTime strided = static_cast<SimTime>(chunks) * memcpy3d_chunk_ns;
+  const SimTime packed =
+      memcpy3d_pack_ns + 2 * transfer_time_ns(bytes, device_mem_gbps);
+  return strided < packed ? strided : packed;
+}
+
 std::uint64_t DeviceConfig::usable_memory() const {
   TIDACC_CHECK_MSG(memory_bytes > reserved_bytes,
                    "device memory smaller than runtime reservation");

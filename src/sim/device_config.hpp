@@ -45,6 +45,24 @@ struct DeviceConfig {
       12 * kMicrosecond;  ///< extra staging setup per pageable transfer
   int copy_engines = 2;   ///< K40m has separate H2D and D2H DMA engines
 
+  // --- pitched (3D / sub-box) transfers (cuemMemcpy3DAsync) ---
+  /// Per-chunk DMA descriptor cost of a strided transfer: every
+  /// non-contiguous run of bytes (a row, or a slice when rows coalesce) is
+  /// one descriptor the copy engine processes before bursting its payload.
+  SimTime memcpy3d_chunk_ns = 250;
+  /// Cost of the pack/unpack kernel the driver falls back to when a
+  /// transfer has so many chunks that gathering it into a contiguous
+  /// staging buffer and bursting once is cheaper than per-chunk DMA
+  /// (launch overhead; the gather itself is priced at device_mem_gbps).
+  SimTime memcpy3d_pack_ns = 6 * kMicrosecond;
+
+  /// Extra duration a pitched transfer of `bytes` split into `chunks`
+  /// contiguous runs pays on top of the flat-copy model: the cheaper of
+  /// per-chunk descriptor processing and pack-kernel + contiguous burst
+  /// (read + write through device memory). 0 for contiguous transfers.
+  SimTime memcpy3d_overhead_ns(std::uint64_t bytes,
+                               std::uint64_t chunks) const;
+
   /// Concurrent-kernel lanes on the compute engine. 1 (default) serializes
   /// kernels — the model that matches the paper's era, where large kernels
   /// fill the device. >1 models Hyper-Q style concurrent kernels.

@@ -97,10 +97,12 @@ EngineId Platform::copy_engine_for(OpKind kind) const {
   switch (kind) {
     case OpKind::kCopyH2D:
     case OpKind::kPrefetchH2D:
+    case OpKind::kMemcpy3DH2D:
     case OpKind::kCopyD2D:
     case OpKind::kUvmMigration:
       return EngineId::kCopyH2D;
     case OpKind::kCopyD2H:
+    case OpKind::kMemcpy3DD2H:
       return cfg_.copy_engines == 2 ? EngineId::kCopyD2H : EngineId::kCopyH2D;
     default:
       TIDACC_FAIL("not a copy kind");
@@ -136,6 +138,9 @@ SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
   SimTime setup = cfg_.transfer_latency_ns;
   bool host_participates = req.blocking;
   switch (req.kind) {
+    case OpKind::kMemcpy3DH2D:
+      setup += cfg_.memcpy3d_overhead_ns(req.bytes, req.chunks);
+      [[fallthrough]];
     case OpKind::kCopyH2D:
     case OpKind::kPrefetchH2D:
       if (req.host_mem == HostMemKind::kPinned) {
@@ -146,6 +151,9 @@ SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
         host_participates = true;  // pageable async copies stage via the host
       }
       break;
+    case OpKind::kMemcpy3DD2H:
+      setup += cfg_.memcpy3d_overhead_ns(req.bytes, req.chunks);
+      [[fallthrough]];
     case OpKind::kCopyD2H:
       if (req.host_mem == HostMemKind::kPinned) {
         gbps = cfg_.pinned_d2h_gbps;

@@ -49,6 +49,10 @@ const char* to_string(HostMemKind k);
 struct CopyRequest {
   OpKind kind = OpKind::kCopyH2D;  ///< kCopyH2D/kCopyD2H/kCopyD2D/kUvmMigration
   std::uint64_t bytes = 0;
+  /// Contiguous runs of a pitched transfer (kMemcpy3D kinds): each chunk
+  /// pays DeviceConfig::memcpy3d_chunk_ns of DMA descriptor cost (or the
+  /// pack-kernel fallback, whichever is cheaper). 1 = contiguous.
+  std::uint64_t chunks = 1;
   HostMemKind host_mem = HostMemKind::kPinned;
   bool blocking = false;  ///< synchronous API (cuemMemcpy): host waits
   SimTime extra_ns = 0;   ///< additive cost (e.g. UVM page-fault latency)

@@ -39,6 +39,10 @@ const char* to_string(OpKind k) {
       return "prefetchH2D";
     case OpKind::kCopyP2P:
       return "P2P";
+    case OpKind::kMemcpy3DH2D:
+      return "3D-H2D";
+    case OpKind::kMemcpy3DD2H:
+      return "3D-D2H";
   }
   return "?";
 }
@@ -60,9 +64,21 @@ void Trace::add(TraceEvent ev) {
       stats_.h2d_bytes += ev.bytes;
       stats_.copy_busy += busy;
       break;
+    case OpKind::kMemcpy3DH2D:
+      ++stats_.num_copies;
+      stats_.h2d_bytes += ev.bytes;
+      stats_.memcpy3d_h2d_bytes += ev.bytes;
+      stats_.copy_busy += busy;
+      break;
     case OpKind::kCopyD2H:
       ++stats_.num_copies;
       stats_.d2h_bytes += ev.bytes;
+      stats_.copy_busy += busy;
+      break;
+    case OpKind::kMemcpy3DD2H:
+      ++stats_.num_copies;
+      stats_.d2h_bytes += ev.bytes;
+      stats_.memcpy3d_d2h_bytes += ev.bytes;
       stats_.copy_busy += busy;
       break;
     case OpKind::kCopyD2D:
@@ -137,6 +153,10 @@ std::string Trace::render_gantt(int columns) const {
         return 'P';
       case OpKind::kCopyP2P:
         return '*';
+      case OpKind::kMemcpy3DH2D:
+        return ')';
+      case OpKind::kMemcpy3DD2H:
+        return '(';
       case OpKind::kEventRecord:
         return '|';
     }
@@ -162,8 +182,8 @@ std::string Trace::render_gantt(int columns) const {
 
   std::ostringstream os;
   os << "time: " << format_time(t0) << " .. " << format_time(t1)
-     << "   ('>' H2D, 'P' prefetch H2D, '<' D2H, 'C' kernel, '=' D2D, "
-        "'u' UVM";
+     << "   ('>' H2D, 'P' prefetch H2D, '<' D2H, ')'/'(' pitched 3D "
+        "H2D/D2H, 'C' kernel, '=' D2D, 'u' UVM";
   if (max_device > 0) {
     os << ", '*' P2P";
   }

@@ -26,6 +26,10 @@ const char* to_string(EngineId e);
 /// kCopyP2P is a direct device-to-device copy over the inter-device
 /// interconnect (multi-device platforms only); it occupies DMA engines on
 /// both endpoints but is recorded once, on the destination device.
+/// kMemcpy3DH2D/kMemcpy3DD2H are pitched (strided sub-box) transfers issued
+/// by cuemMemcpy3DAsync — priced with per-chunk DMA overhead on top of the
+/// flat-copy model, routed like their flat counterparts, and kept
+/// distinguishable so delta-transfer traffic is visible in traces.
 enum class OpKind : int {
   kKernel = 0,
   kCopyH2D,
@@ -34,7 +38,9 @@ enum class OpKind : int {
   kEventRecord,
   kUvmMigration,
   kPrefetchH2D,
-  kCopyP2P
+  kCopyP2P,
+  kMemcpy3DH2D,
+  kMemcpy3DD2H
 };
 
 const char* to_string(OpKind k);
@@ -57,6 +63,10 @@ struct TraceStats {
   std::uint64_t d2h_bytes = 0;
   /// Share of h2d_bytes moved by scheduler prefetches (kPrefetchH2D).
   std::uint64_t prefetch_h2d_bytes = 0;
+  /// Share of h2d_bytes / d2h_bytes moved by pitched sub-box transfers
+  /// (kMemcpy3DH2D / kMemcpy3DD2H — the delta-transfer paths).
+  std::uint64_t memcpy3d_h2d_bytes = 0;
+  std::uint64_t memcpy3d_d2h_bytes = 0;
   /// Direct peer-to-peer traffic over the inter-device interconnect.
   std::uint64_t p2p_bytes = 0;
   std::uint64_t num_kernels = 0;

@@ -30,4 +30,85 @@ std::ostream& operator<<(std::ostream& os, const Box& b) {
   return os << '[' << b.lo << ".." << b.hi << ']';
 }
 
+std::vector<Box> subtract(const Box& b, const Box& a) {
+  if (b.empty()) {
+    return {};
+  }
+  const Box x = b.intersect(a);
+  if (x.empty()) {
+    return {b};
+  }
+  if (x == b) {
+    return {};
+  }
+  std::vector<Box> out;
+  const auto push = [&out](const Box& piece) {
+    if (!piece.empty()) {
+      out.push_back(piece);
+    }
+  };
+  // k-slabs below and above the overlap.
+  push(Box{b.lo, {b.hi.i, b.hi.j, x.lo.k - 1}});
+  push(Box{{b.lo.i, b.lo.j, x.hi.k + 1}, b.hi});
+  // j-slabs within the overlap's k-range.
+  push(Box{{b.lo.i, b.lo.j, x.lo.k}, {b.hi.i, x.lo.j - 1, x.hi.k}});
+  push(Box{{b.lo.i, x.hi.j + 1, x.lo.k}, {b.hi.i, b.hi.j, x.hi.k}});
+  // i-slabs within the overlap's j/k-range.
+  push(Box{{b.lo.i, x.lo.j, x.lo.k}, {x.lo.i - 1, x.hi.j, x.hi.k}});
+  push(Box{{x.hi.i + 1, x.lo.j, x.lo.k}, {b.hi.i, x.hi.j, x.hi.k}});
+  return out;
+}
+
+void subtract_from_list(std::vector<Box>& list, const Box& b) {
+  std::vector<Box> out;
+  out.reserve(list.size());
+  for (const Box& piece : list) {
+    for (const Box& rest : subtract(piece, b)) {
+      out.push_back(rest);
+    }
+  }
+  list = std::move(out);
+}
+
+std::vector<Box> subtract_box(const Box& b, const std::vector<Box>& list) {
+  std::vector<Box> pieces{b};
+  if (b.empty()) {
+    pieces.clear();
+  }
+  for (const Box& cut : list) {
+    subtract_from_list(pieces, cut);
+    if (pieces.empty()) {
+      break;
+    }
+  }
+  return pieces;
+}
+
+std::uint64_t list_volume(const std::vector<Box>& list) {
+  std::uint64_t cells = 0;
+  for (const Box& b : list) {
+    cells += b.volume();
+  }
+  return cells;
+}
+
+Box bounding_box(const std::vector<Box>& list) {
+  Box bb;  // empty
+  for (const Box& b : list) {
+    if (b.empty()) {
+      continue;
+    }
+    if (bb.empty()) {
+      bb = b;
+    } else {
+      bb = Box{Index3::min(bb.lo, b.lo), Index3::max(bb.hi, b.hi)};
+    }
+  }
+  return bb;
+}
+
+std::vector<Box> ghost_shells(const Box& valid, int g) {
+  return subtract(valid.grow(g), valid);
+}
+
 }  // namespace tidacc::tida

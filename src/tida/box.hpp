@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "tida/index.hpp"
 
@@ -67,5 +68,29 @@ struct Box {
 };
 
 std::ostream& operator<<(std::ostream& os, const Box& b);
+
+/// Set difference b \ a as at most 6 disjoint boxes (k-slabs first, then
+/// j-slabs, then i-slabs within the overlap range). Returns {b} when the
+/// boxes do not intersect and {} when a covers b. The pieces tile b's cells
+/// outside a exactly — the primitive behind dirty-region bookkeeping and
+/// ghost-shell decomposition.
+std::vector<Box> subtract(const Box& b, const Box& a);
+
+/// Removes `b` from every box in `list`, keeping the list disjoint (each
+/// affected box is replaced by its subtract() pieces).
+void subtract_from_list(std::vector<Box>& list, const Box& b);
+
+/// Cells of `b` not covered by any box in `list` (successive subtraction).
+std::vector<Box> subtract_box(const Box& b, const std::vector<Box>& list);
+
+/// Total cells across a box list (boxes assumed disjoint).
+std::uint64_t list_volume(const std::vector<Box>& list);
+
+/// Smallest box containing every box of the list (empty for an empty list).
+Box bounding_box(const std::vector<Box>& list);
+
+/// The ghost ring of `valid` grown by `g`, decomposed into at most 6
+/// disjoint face shells — subtract(valid.grow(g), valid).
+std::vector<Box> ghost_shells(const Box& valid, int g);
 
 }  // namespace tidacc::tida

@@ -212,6 +212,177 @@ TEST_F(CuemTest, MemcpyInteriorPointersResolve) {
   EXPECT_EQ(cuemFree(d), cuemSuccess);
 }
 
+// --- pitched 3D copies (delta-transfer substrate) ---
+
+TEST_F(CuemTest, Memcpy3DRoundTripMatchesReferenceLoops) {
+  // A 3x2x2 sub-box of a 4x4x4 pinned host block, packed tightly on the
+  // device, then scattered back into a second 4x4x4 block at a different
+  // offset; every byte must land where reference loops would put it.
+  constexpr int n = 4;
+  constexpr std::size_t row = n * sizeof(double);
+  std::vector<double> src(n * n * n), back(n * n * n, -1.0);
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    src[i] = static_cast<double>(i);
+  }
+  void* h = nullptr;
+  ASSERT_EQ(cuemMallocHost(&h, src.size() * sizeof(double)), cuemSuccess);
+  std::memcpy(h, src.data(), src.size() * sizeof(double));
+  void* d = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 3 * 2 * 2 * sizeof(double)), cuemSuccess);
+
+  const auto at = [&](void* base, int i, int j, int k) {
+    return static_cast<char*>(base) +
+           sizeof(double) * (static_cast<std::size_t>(i) + n * (j + n * k));
+  };
+  cuemMemcpy3DParms down;
+  down.dst = d;
+  down.dst_pitch = 3 * sizeof(double);
+  down.dst_slice_pitch = 3 * 2 * sizeof(double);
+  down.src = at(h, 1, 1, 1);
+  down.src_pitch = row;
+  down.src_slice_pitch = row * n;
+  down.width = 3 * sizeof(double);
+  down.height = 2;
+  down.depth = 2;
+  down.kind = cuemMemcpyHostToDevice;
+  ASSERT_EQ(cuemMemcpy3DAsync(&down, 0), cuemSuccess);
+
+  std::memcpy(h, back.data(), back.size() * sizeof(double));
+  cuemMemcpy3DParms up;
+  up.dst = at(h, 0, 2, 1);
+  up.dst_pitch = row;
+  up.dst_slice_pitch = row * n;
+  up.src = d;
+  up.src_pitch = 3 * sizeof(double);
+  up.src_slice_pitch = 3 * 2 * sizeof(double);
+  up.width = 3 * sizeof(double);
+  up.height = 2;
+  up.depth = 2;
+  up.kind = cuemMemcpyDeviceToHost;
+  ASSERT_EQ(cuemMemcpy3DAsync(&up, 0), cuemSuccess);
+  ASSERT_EQ(cuemStreamSynchronize(0), cuemSuccess);
+
+  std::memcpy(back.data(), h, back.size() * sizeof(double));
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        const std::size_t idx =
+            static_cast<std::size_t>(i) + n * (j + n * k);
+        const bool written = i < 3 && j >= 2 && j < 4 && k >= 1 && k < 3;
+        const double expect =
+            written ? src[static_cast<std::size_t>(i + 1) +
+                          n * ((j - 2 + 1) + n * (k - 1 + 1))]
+                    : -1.0;
+        EXPECT_EQ(back[idx], expect)
+            << "(" << i << "," << j << "," << k << ")";
+      }
+    }
+  }
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
+}
+
+TEST_F(CuemTest, Memcpy3DDefaultKindInfersDirectionAndCountsBytes) {
+  void* h = nullptr;
+  void* d = nullptr;
+  ASSERT_EQ(cuemMallocHost(&h, 256), cuemSuccess);
+  ASSERT_EQ(cuemMalloc(&d, 256), cuemSuccess);
+  const auto before = platform().trace().stats();
+  cuemMemcpy3DParms p;
+  p.dst = d;
+  p.dst_pitch = 16;
+  p.dst_slice_pitch = 64;
+  p.src = h;
+  p.src_pitch = 32;
+  p.src_slice_pitch = 128;
+  p.width = 16;
+  p.height = 4;
+  p.depth = 2;
+  ASSERT_EQ(cuemMemcpy3DAsync(&p, 0), cuemSuccess);
+  ASSERT_EQ(cuemStreamSynchronize(0), cuemSuccess);
+  const auto after = platform().trace().stats();
+  EXPECT_EQ(after.h2d_bytes - before.h2d_bytes, 128u);
+  EXPECT_EQ(after.memcpy3d_h2d_bytes - before.memcpy3d_h2d_bytes, 128u);
+  EXPECT_EQ(after.memcpy3d_d2h_bytes, before.memcpy3d_d2h_bytes);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
+}
+
+TEST_F(CuemTest, Memcpy3DStridedCostsMoreThanContiguous) {
+  // Same byte volume, one transfer chunked row-by-row, one fully
+  // contiguous (width == both pitches, slices abutting): the chunked copy
+  // must pay the per-chunk penalty, the contiguous one must price exactly
+  // like a flat memcpy.
+  constexpr std::size_t rows = 64;
+  constexpr std::size_t width = 256;
+  void* h = nullptr;
+  void* d = nullptr;
+  ASSERT_EQ(cuemMallocHost(&h, 2 * rows * width), cuemSuccess);
+  ASSERT_EQ(cuemMalloc(&d, rows * width), cuemSuccess);
+
+  const auto timed = [&](std::size_t src_pitch) {
+    cuemMemcpy3DParms p;
+    p.dst = d;
+    p.dst_pitch = width;
+    p.dst_slice_pitch = width * rows;
+    p.src = h;
+    p.src_pitch = src_pitch;
+    p.src_slice_pitch = src_pitch * rows;
+    p.width = width;
+    p.height = rows;
+    p.depth = 1;
+    p.kind = cuemMemcpyHostToDevice;
+    const SimTime before = platform().now();
+    EXPECT_EQ(cuemMemcpy3DAsync(&p, 0), cuemSuccess);
+    EXPECT_EQ(cuemStreamSynchronize(0), cuemSuccess);
+    return platform().now() - before;
+  };
+  const SimTime contiguous = timed(width);
+  const SimTime strided = timed(2 * width);
+  EXPECT_EQ(contiguous, transfer_time_ns(rows * width, 10.5));
+  EXPECT_GT(strided, contiguous);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
+}
+
+TEST_F(CuemTest, Memcpy3DRejectsBadArguments) {
+  void* h = nullptr;
+  void* d = nullptr;
+  ASSERT_EQ(cuemMallocHost(&h, 256), cuemSuccess);
+  ASSERT_EQ(cuemMalloc(&d, 256), cuemSuccess);
+  EXPECT_EQ(cuemMemcpy3DAsync(nullptr, 0), cuemErrorInvalidValue);
+
+  cuemMemcpy3DParms p;
+  p.dst = d;
+  p.dst_pitch = 16;
+  p.dst_slice_pitch = 64;
+  p.src = h;
+  p.src_pitch = 16;
+  p.src_slice_pitch = 64;
+  p.width = 16;
+  p.height = 4;
+  p.depth = 2;
+  p.kind = cuemMemcpyHostToDevice;
+
+  cuemMemcpy3DParms bad = p;
+  bad.src_pitch = 8;  // pitch smaller than a row
+  EXPECT_EQ(cuemMemcpy3DAsync(&bad, 0), cuemErrorInvalidValue);
+  bad = p;
+  bad.dst_slice_pitch = 32;  // slice pitch smaller than height rows
+  EXPECT_EQ(cuemMemcpy3DAsync(&bad, 0), cuemErrorInvalidValue);
+  bad = p;
+  bad.src = d;  // device->device unsupported
+  EXPECT_EQ(cuemMemcpy3DAsync(&bad, 0), cuemErrorInvalidMemcpyDirection);
+  EXPECT_EQ(cuemMemcpy3DAsync(&p, 999), cuemErrorInvalidResourceHandle);
+
+  cuemMemcpy3DParms zero = p;
+  zero.depth = 0;  // zero extent is a no-op, not an error
+  EXPECT_EQ(cuemMemcpy3DAsync(&zero, 0), cuemSuccess);
+
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
+}
+
 TEST_F(CuemTest, SyncMemcpyBlocksHost) {
   void* d = nullptr;
   void* h = nullptr;

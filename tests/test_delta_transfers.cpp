@@ -1,0 +1,425 @@
+// Tests for dirty-region tracking and delta transfers: DirtyTracker box
+// bookkeeping, the delta-off guarantee (no pitched copies, seed transfer
+// shapes), batched release_all_to_host, functional equivalence of the
+// streaming out-of-core ghost exchange against the full-drain reference,
+// and eviction invariants across slot policies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/tidacc.hpp"
+
+namespace tidacc::core {
+namespace {
+
+using oacc::LoopCost;
+using sim::DeviceConfig;
+using tida::Boundary;
+using tida::Box;
+using tida::Index3;
+
+DeviceConfig fast_config() {
+  DeviceConfig cfg = DeviceConfig::k40m();
+  cfg.transfer_latency_ns = 0;
+  cfg.pageable_staging_ns = 0;
+  cfg.kernel_launch_ns = 0;
+  cfg.host_api_overhead_ns = 0;
+  cfg.sync_overhead_ns = 0;
+  cfg.oacc_dispatch_extra_ns = 0;
+  return cfg;
+}
+
+class DeltaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cuem::configure(fast_config(), /*functional=*/true);
+    oacc::reset();
+  }
+};
+
+// --- DirtyTracker unit tests ---
+
+TEST(DirtyTrackerTest, WriteSupersedesTheOtherSide) {
+  DirtyTracker t(1);
+  const Box host{{0, 0, 0}, {7, 7, 0}};
+  t.note_host_write(0, host);
+  EXPECT_EQ(t.host_dirty_volume(0), 64u);
+  EXPECT_TRUE(t.device_clean(0));
+
+  const Box dev{{2, 2, 0}, {5, 5, 0}};
+  t.note_device_write(0, dev);
+  // The device write erases the overlapping host dirtiness; the two sides
+  // stay disjoint.
+  EXPECT_EQ(t.dev_dirty_volume(0), 16u);
+  EXPECT_EQ(t.host_dirty_volume(0), 48u);
+  for (const Box& h : t.host_dirty(0)) {
+    EXPECT_TRUE(h.intersect(dev).empty());
+  }
+}
+
+TEST(DirtyTrackerTest, CoveringWriteAbsorbsPieces) {
+  DirtyTracker t(1);
+  t.note_device_write(0, Box{{0, 0, 0}, {1, 1, 1}});
+  t.note_device_write(0, Box{{4, 4, 4}, {5, 5, 5}});
+  t.note_device_write(0, Box{{0, 0, 0}, {7, 7, 7}});
+  EXPECT_EQ(t.dev_dirty(0).size(), 1u);
+  EXPECT_EQ(t.dev_dirty(0).front(), (Box{{0, 0, 0}, {7, 7, 7}}));
+}
+
+TEST(DirtyTrackerTest, OverlappingWritesStayDisjoint) {
+  DirtyTracker t(1);
+  t.note_host_write(0, Box{{0, 0, 0}, {3, 3, 3}});
+  t.note_host_write(0, Box{{2, 2, 2}, {5, 5, 5}});
+  EXPECT_EQ(t.host_dirty_volume(0), 64u + 64u - 8u);
+  const auto& list = t.host_dirty(0);
+  for (std::size_t a = 0; a < list.size(); ++a) {
+    for (std::size_t b = a + 1; b < list.size(); ++b) {
+      EXPECT_TRUE(list[a].intersect(list[b]).empty());
+    }
+  }
+}
+
+TEST(DirtyTrackerTest, ShippedSubtractsOneSideOnly) {
+  DirtyTracker t(2);
+  t.note_device_write(1, Box{{0, 0, 0}, {3, 3, 3}});
+  t.note_host_write(1, Box{{10, 10, 10}, {11, 11, 11}});
+  t.note_device_shipped(1, Box{{0, 0, 0}, {3, 3, 1}});
+  EXPECT_EQ(t.dev_dirty_volume(1), 64u - 32u);
+  EXPECT_EQ(t.host_dirty_volume(1), 8u);  // untouched
+}
+
+TEST(DirtyTrackerTest, MarkAllHostAndReset) {
+  DirtyTracker t(1);
+  const Box grown{{-1, -1, -1}, {4, 4, 4}};
+  t.note_device_write(0, Box{{0, 0, 0}, {2, 2, 2}});
+  t.mark_all_host(0, grown);
+  EXPECT_TRUE(t.device_clean(0));
+  EXPECT_EQ(t.host_dirty(0), (std::vector<Box>{grown}));
+  t.reset(0);
+  EXPECT_TRUE(t.host_clean(0));
+  EXPECT_TRUE(t.device_clean(0));
+}
+
+TEST(DirtyTrackerTest, FragmentationCapNeverSwallowsTheOtherSide) {
+  DirtyTracker t(1);
+  const Box dev{{50, 0, 0}, {55, 0, 0}};
+  t.note_device_write(0, dev);
+  // More single-cell host writes than the cap allows; the host list must
+  // collapse to something coarser that still excludes the device cells.
+  for (int i = 0; i < 2 * static_cast<int>(DirtyTracker::kMaxPiecesPerSide);
+       ++i) {
+    t.note_host_write(0, Box{{2 * i, 2, 0}, {2 * i, 2, 0}});
+  }
+  EXPECT_LE(t.host_dirty(0).size(), DirtyTracker::kMaxPiecesPerSide + 6);
+  EXPECT_GE(t.host_dirty_volume(0),
+            2u * DirtyTracker::kMaxPiecesPerSide);  // nothing lost
+  for (const Box& h : t.host_dirty(0)) {
+    EXPECT_TRUE(h.intersect(dev).empty());
+  }
+  EXPECT_EQ(t.dev_dirty_volume(0), 6u);
+}
+
+// --- delta-off guarantee ---
+
+TEST_F(DeltaTest, DeltaOffIssuesNoPitchedCopies) {
+  cuem::configure(DeviceConfig::k40m(), /*functional=*/false);
+  oacc::reset();
+  AccOptions opts;
+  opts.max_slots = 2;
+  AccTileArray<double> u(Box::cube(8), Index3::uniform(4), 1, opts);
+  u.assume_host_initialized();
+  LoopCost cost;
+  cost.flops_per_iter = 4;
+  cost.dev_bytes_per_iter = 16;
+  AccTileIterator<double> it(u);
+  for (int s = 0; s < 3; ++s) {
+    u.fill_boundary(Boundary::kPeriodic);
+    for (it.reset(true); it.isValid(); it.next()) {
+      compute(it.tile(), cost, [](DeviceView<double>, int, int, int) {});
+    }
+  }
+  u.release_all_to_host();
+  const auto st = sim::Platform::instance().trace().stats();
+  EXPECT_FALSE(u.delta_transfers());
+  EXPECT_EQ(st.memcpy3d_h2d_bytes, 0u);
+  EXPECT_EQ(st.memcpy3d_d2h_bytes, 0u);
+  EXPECT_EQ(u.transfers().delta_h2d_ops, 0u);
+  EXPECT_EQ(u.transfers().delta_d2h_ops, 0u);
+  EXPECT_EQ(u.streaming_exchanges(), 0u);
+  // The per-array accounting agrees with the platform trace.
+  EXPECT_EQ(u.h2d_bytes(), st.h2d_bytes);
+  EXPECT_EQ(u.d2h_bytes(), st.d2h_bytes);
+}
+
+// --- batched release ---
+
+TEST_F(DeltaTest, BatchedReleaseMovesEachRegionOnceThenIsFree) {
+  AccTileArray<double> arr(Box::cube(8), Index3::uniform(4), 0);
+  arr.fill([](const Index3& p) { return static_cast<double>(p.i); });
+  for (int r = 0; r < arr.num_regions(); ++r) {
+    arr.acquire_on_device(r);
+  }
+  const auto d2h0 = sim::Platform::instance().trace().stats().d2h_bytes;
+  arr.release_all_to_host();
+  const auto d2h1 = sim::Platform::instance().trace().stats().d2h_bytes;
+  std::uint64_t expected = 0;
+  for (int r = 0; r < arr.num_regions(); ++r) {
+    expected += arr.region_bytes(r);
+    EXPECT_EQ(arr.location(r), Loc::kHost);
+  }
+  EXPECT_EQ(d2h1 - d2h0, expected);
+  arr.release_all_to_host();  // already home: no traffic
+  EXPECT_EQ(sim::Platform::instance().trace().stats().d2h_bytes, d2h1);
+}
+
+TEST_F(DeltaTest, BatchedReleaseIsNoSlowerThanSerialAcquires) {
+  // Virtual-time comparison under the real cost model: one release with a
+  // single sync per stream vs the serial per-region acquire_on_host loop.
+  const auto run = [](bool batched) {
+    cuem::configure(DeviceConfig::k40m(), /*functional=*/false);
+    oacc::reset();
+    AccTileArray<double> arr(Box::cube(16), Index3{16, 16, 2}, 1);
+    arr.assume_host_initialized();
+    for (int r = 0; r < arr.num_regions(); ++r) {
+      arr.acquire_on_device(r);
+    }
+    oacc::wait_all();
+    const SimTime t0 = sim::Platform::instance().now();
+    if (batched) {
+      arr.release_all_to_host();
+    } else {
+      for (int r = 0; r < arr.num_regions(); ++r) {
+        arr.acquire_on_host(r);
+      }
+    }
+    return sim::Platform::instance().now() - t0;
+  };
+  const SimTime serial = run(false);
+  const SimTime batched = run(true);
+  EXPECT_LE(batched, serial);
+}
+
+// --- functional equivalence: streaming exchange vs full drain ---
+
+/// One periodic 3D heat step on a flat array (reference).
+void reference_heat_step(std::vector<double>& u, std::vector<double>& un,
+                         int n, double fac) {
+  const auto idx = [n](int i, int j, int k) {
+    const auto w = [n](int v) { return ((v % n) + n) % n; };
+    return (static_cast<std::size_t>(w(k)) * n + w(j)) * n + w(i);
+  };
+  for (int k = 0; k < n; ++k) {
+    for (int j = 0; j < n; ++j) {
+      for (int i = 0; i < n; ++i) {
+        un[idx(i, j, k)] =
+            u[idx(i, j, k)] +
+            fac * (u[idx(i - 1, j, k)] + u[idx(i + 1, j, k)] +
+                   u[idx(i, j - 1, k)] + u[idx(i, j + 1, k)] +
+                   u[idx(i, j, k - 1)] + u[idx(i, j, k + 1)] -
+                   6.0 * u[idx(i, j, k)]);
+      }
+    }
+  }
+  u.swap(un);
+}
+
+struct HeatRun {
+  std::vector<double> data;
+  std::uint64_t streaming_exchanges = 0;
+  std::uint64_t h2d = 0;
+  std::uint64_t d2h = 0;
+};
+
+HeatRun run_tida_heat(int n, int steps, double fac, AccOptions opts) {
+  AccTileArray<double> u(Box::cube(n), Index3{n, n, 2}, 1, opts);
+  AccTileArray<double> un(Box::cube(n), Index3{n, n, 2}, 1, opts);
+  u.fill([n](const Index3& p) {
+    return std::sin(0.1 * p.i) + 0.5 * std::cos(0.2 * p.j) + 0.01 * p.k;
+  });
+  LoopCost cost;
+  cost.flops_per_iter = 8;
+  cost.dev_bytes_per_iter = 16;
+  AccTileIterator<double> it(u);
+  AccTileArray<double>* src = &u;
+  AccTileArray<double>* dst = &un;
+  for (int s = 0; s < steps; ++s) {
+    src->fill_boundary(Boundary::kPeriodic);
+    for (it.reset(/*gpu=*/true); it.isValid(); it.next()) {
+      compute(it.tile_in(*src), it.tile_in(*dst), cost,
+              [fac](DeviceView<double> us, DeviceView<double> uns, int i,
+                    int j, int k) {
+                uns(i, j, k) =
+                    us(i, j, k) +
+                    fac * (us(i - 1, j, k) + us(i + 1, j, k) +
+                           us(i, j - 1, k) + us(i, j + 1, k) +
+                           us(i, j, k - 1) + us(i, j, k + 1) -
+                           6.0 * us(i, j, k));
+              });
+    }
+    std::swap(src, dst);
+  }
+  src->release_all_to_host();
+  HeatRun out;
+  out.data.resize(Box::cube(n).volume());
+  src->copy_out(out.data.data());
+  out.streaming_exchanges =
+      u.streaming_exchanges() + un.streaming_exchanges();
+  out.h2d = u.h2d_bytes() + un.h2d_bytes();
+  out.d2h = u.d2h_bytes() + un.d2h_bytes();
+  return out;
+}
+
+TEST_F(DeltaTest, StreamingExchangeMatchesFullDrainBitForBit) {
+  constexpr int n = 8;
+  constexpr int steps = 4;
+  constexpr double fac = 0.15;
+  AccOptions opts;
+  opts.max_slots = 2;  // 4 regions, 2 slots: every exchange is out-of-core
+  const HeatRun drain = run_tida_heat(n, steps, fac, opts);
+  EXPECT_EQ(drain.streaming_exchanges, 0u);
+
+  cuem::configure(fast_config(), /*functional=*/true);
+  oacc::reset();
+  AccOptions delta = opts;
+  delta.delta_transfers = true;
+  const HeatRun streamed = run_tida_heat(n, steps, fac, delta);
+  EXPECT_GT(streamed.streaming_exchanges, 0u);
+  // Same kernels in the same order over identical ghost values: the fields
+  // must agree to the last bit, not just to a tolerance.
+  EXPECT_EQ(streamed.data, drain.data);
+
+  // And against the flat reference, with an FP tolerance.
+  std::vector<double> ref(static_cast<std::size_t>(n) * n * n);
+  std::vector<double> tmp(ref.size());
+  {
+    std::size_t ix = 0;
+    for (int k = 0; k < n; ++k) {
+      for (int j = 0; j < n; ++j) {
+        for (int i = 0; i < n; ++i, ++ix) {
+          ref[ix] = std::sin(0.1 * i) + 0.5 * std::cos(0.2 * j) + 0.01 * k;
+        }
+      }
+    }
+  }
+  for (int s = 0; s < steps; ++s) {
+    reference_heat_step(ref, tmp, n, fac);
+  }
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_NEAR(streamed.data[i], ref[i], 1e-12) << "cell " << i;
+  }
+}
+
+TEST_F(DeltaTest, DeltaReducesOutOfCoreTraffic) {
+  // Timing mode at a size where the shells are much smaller than the
+  // regions: delta must move strictly fewer bytes than the full drain.
+  constexpr int n = 32;
+  constexpr int steps = 4;
+  const auto traffic = [&](bool delta) {
+    cuem::configure(DeviceConfig::k40m(), /*functional=*/false);
+    oacc::reset();
+    // 16 regions of 32x32x2 on 15 slots: out-of-core with light slot
+    // collisions, so the per-step ghost exchange dominates the traffic.
+    // (Under heavy thrashing — e.g. 7 slots — every acquire is a full
+    // eviction round-trip in both modes and deltas cannot win; the
+    // abl_delta_transfers bench maps out that regime.)
+    AccOptions opts;
+    opts.max_slots = 15;
+    opts.delta_transfers = delta;
+    AccTileArray<double> u(Box::cube(n), Index3{n, n, 2}, 1, opts);
+    u.assume_host_initialized();
+    LoopCost cost;
+    cost.flops_per_iter = 8;
+    cost.dev_bytes_per_iter = 16;
+    AccTileIterator<double> it(u);
+    for (int s = 0; s < steps; ++s) {
+      u.fill_boundary(Boundary::kPeriodic);
+      for (it.reset(true); it.isValid(); it.next()) {
+        compute(it.tile(), cost, [](DeviceView<double>, int, int, int) {});
+      }
+    }
+    u.release_all_to_host();
+    return u.h2d_bytes() + u.d2h_bytes();
+  };
+  const std::uint64_t full = traffic(false);
+  const std::uint64_t delta = traffic(true);
+  EXPECT_LT(delta, full);
+}
+
+// --- eviction invariants across policies ---
+
+class DeltaPolicySweep
+    : public ::testing::TestWithParam<std::tuple<SlotPolicyKind, bool>> {};
+
+TEST_P(DeltaPolicySweep, DeltaOnStaysCorrectAndEndsClean) {
+  const auto [policy, disable_caching] = GetParam();
+  constexpr int n = 8;
+  constexpr int steps = 3;
+  constexpr double fac = 0.1;
+
+  cuem::configure(fast_config(), /*functional=*/true);
+  oacc::reset();
+  AccOptions base;
+  base.max_slots = 2;
+  const HeatRun reference = run_tida_heat(n, steps, fac, base);
+
+  cuem::configure(fast_config(), /*functional=*/true);
+  oacc::reset();
+  AccOptions opts = base;
+  opts.delta_transfers = true;
+  opts.slot_policy = policy;
+  opts.disable_caching = disable_caching;
+  const HeatRun got = run_tida_heat(n, steps, fac, opts);
+  EXPECT_EQ(got.data, reference.data);
+}
+
+TEST_P(DeltaPolicySweep, ReleaseLeavesNoDeviceDirt) {
+  const auto [policy, disable_caching] = GetParam();
+  cuem::configure(fast_config(), /*functional=*/true);
+  oacc::reset();
+  AccOptions opts;
+  opts.max_slots = 3;
+  opts.delta_transfers = true;
+  opts.slot_policy = policy;
+  opts.disable_caching = disable_caching;
+  AccTileArray<double> u(Box::cube(8), Index3::uniform(4), 1, opts);
+  u.fill([](const Index3& p) { return static_cast<double>(p.i + p.j); });
+  LoopCost cost;
+  cost.flops_per_iter = 2;
+  cost.dev_bytes_per_iter = 16;
+  AccTileIterator<double> it(u);
+  for (int s = 0; s < 2; ++s) {
+    u.fill_boundary(Boundary::kPeriodic);
+    for (it.reset(true); it.isValid(); it.next()) {
+      compute(it.tile(), cost,
+              [](DeviceView<double> v, int i, int j, int k) {
+                v(i, j, k) += 1.0;
+              });
+    }
+  }
+  u.release_all_to_host();
+  for (int r = 0; r < u.num_regions(); ++r) {
+    EXPECT_EQ(u.location(r), Loc::kHost);
+    // Host authoritative again: no pending device dirtiness anywhere.
+    EXPECT_TRUE(u.dirty().device_clean(r)) << "region " << r;
+  }
+  // Every valid cell took both increments.
+  for (int k = 0; k < 8; ++k) {
+    for (int j = 0; j < 8; ++j) {
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_DOUBLE_EQ(u.at({i, j, k}),
+                         static_cast<double>(i + j) + 2.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, DeltaPolicySweep,
+    ::testing::Combine(::testing::Values(SlotPolicyKind::kStaticModulo,
+                                         SlotPolicyKind::kLru,
+                                         SlotPolicyKind::kBeladyOracle),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace tidacc::core

@@ -95,6 +95,113 @@ TEST(Box, ToString) {
   EXPECT_EQ(Box{}.to_string(), "[empty]");
 }
 
+// --- box set algebra (dirty-region bookkeeping primitives) ---
+
+// Enumerates the cells of every box in `list` into a set, asserting
+// pairwise disjointness along the way.
+std::set<std::tuple<int, int, int>> cells_of(const std::vector<Box>& list) {
+  std::set<std::tuple<int, int, int>> cells;
+  for (const Box& b : list) {
+    for (int k = b.lo.k; k <= b.hi.k; ++k) {
+      for (int j = b.lo.j; j <= b.hi.j; ++j) {
+        for (int i = b.lo.i; i <= b.hi.i; ++i) {
+          EXPECT_TRUE(cells.insert({i, j, k}).second)
+              << "cell (" << i << "," << j << "," << k
+              << ") covered by two boxes";
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+TEST(BoxSubtract, PiecesTileTheDifferenceExactly) {
+  const Box b{{0, 0, 0}, {5, 5, 5}};
+  const Box a{{2, 2, 2}, {7, 3, 4}};
+  const auto pieces = subtract(b, a);
+  EXPECT_LE(pieces.size(), 6u);
+  const auto cells = cells_of(pieces);
+  std::uint64_t expected = 0;
+  for (int k = b.lo.k; k <= b.hi.k; ++k) {
+    for (int j = b.lo.j; j <= b.hi.j; ++j) {
+      for (int i = b.lo.i; i <= b.hi.i; ++i) {
+        const bool outside = !a.contains(Index3{i, j, k});
+        EXPECT_EQ(cells.count({i, j, k}), outside ? 1u : 0u);
+        expected += outside;
+      }
+    }
+  }
+  EXPECT_EQ(cells.size(), expected);
+  EXPECT_EQ(list_volume(pieces), expected);
+}
+
+TEST(BoxSubtract, DisjointAndCoveredEdgeCases) {
+  const Box b{{0, 0, 0}, {3, 3, 3}};
+  EXPECT_EQ(subtract(b, Box{{10, 10, 10}, {12, 12, 12}}),
+            (std::vector<Box>{b}));
+  EXPECT_TRUE(subtract(b, b.grow(1)).empty());
+  EXPECT_TRUE(subtract(b, b).empty());
+  EXPECT_TRUE(subtract(Box{}, b).empty());
+}
+
+TEST(BoxSubtract, InteriorHoleYieldsSixSlabs) {
+  const Box b = Box::cube(5);
+  const auto pieces = subtract(b, Box{{1, 1, 1}, {3, 3, 3}});
+  EXPECT_EQ(pieces.size(), 6u);
+  EXPECT_EQ(list_volume(pieces), 125u - 27u);
+}
+
+TEST(BoxSubtract, ListStaysDisjointUnderRepeatedSubtraction) {
+  std::vector<Box> list{Box::cube(6)};
+  subtract_from_list(list, Box{{0, 0, 0}, {2, 5, 5}});
+  subtract_from_list(list, Box{{4, 4, 0}, {5, 5, 5}});
+  subtract_from_list(list, Box{{3, 0, 3}, {3, 0, 3}});
+  const auto cells = cells_of(list);  // asserts disjointness
+  EXPECT_EQ(cells.size(), list_volume(list));
+  EXPECT_EQ(cells.count({3, 0, 3}), 0u);
+  EXPECT_EQ(cells.count({3, 1, 3}), 1u);
+}
+
+TEST(BoxSubtract, SubtractBoxLeavesOnlyUncoveredCells) {
+  const Box b = Box::cube(4);
+  const std::vector<Box> covered{Box{{0, 0, 0}, {3, 3, 1}},
+                                 Box{{0, 0, 2}, {1, 3, 3}}};
+  const auto rest = subtract_box(b, covered);
+  const auto cells = cells_of(rest);
+  EXPECT_EQ(cells.size(), 64u - 32u - 16u);
+  for (const auto& c : cells) {
+    EXPECT_GE(std::get<0>(c), 2);
+    EXPECT_GE(std::get<2>(c), 2);
+  }
+  EXPECT_TRUE(subtract_box(b, {b}).empty());
+  EXPECT_EQ(subtract_box(b, {}), (std::vector<Box>{b}));
+}
+
+TEST(BoxAlgebra, ListVolumeAndBoundingBox) {
+  const std::vector<Box> list{Box{{0, 0, 0}, {1, 1, 1}},
+                              Box{{4, 4, 4}, {4, 6, 4}}};
+  EXPECT_EQ(list_volume(list), 8u + 3u);
+  EXPECT_EQ(bounding_box(list), (Box{{0, 0, 0}, {4, 6, 4}}));
+  EXPECT_EQ(list_volume({}), 0u);
+  EXPECT_TRUE(bounding_box({}).empty());
+}
+
+TEST(BoxAlgebra, GhostShellsTileTheRingExactly) {
+  for (const int g : {1, 2, 3}) {
+    const Box valid{{2, 3, 4}, {9, 8, 7}};
+    const auto shells = ghost_shells(valid, g);
+    EXPECT_LE(shells.size(), 6u);
+    const auto cells = cells_of(shells);
+    EXPECT_EQ(cells.size(),
+              valid.grow(g).volume() - valid.volume());
+    for (const Box& s : shells) {
+      EXPECT_TRUE(valid.grow(g).contains(s));
+      EXPECT_TRUE(valid.intersect(s).empty());
+    }
+  }
+  EXPECT_TRUE(ghost_shells(Box::cube(4), 0).empty());
+}
+
 // --- Partition ---
 
 TEST(Partition, ExactDivision) {
