@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over every src/ translation unit
+# using the compile database of an existing build directory (default:
+# build). Degrades to a no-op with a notice when clang-tidy is not
+# installed so environments without it can still run the full pipeline —
+# the CI clang-tidy job installs it explicitly and therefore always checks.
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+tidy_bin="${CLANG_TIDY:-}"
+if [[ -z "${tidy_bin}" ]]; then
+  for cand in clang-tidy clang-tidy-19 clang-tidy-18 clang-tidy-17 \
+              clang-tidy-16 clang-tidy-15 clang-tidy-14; do
+    if command -v "${cand}" >/dev/null 2>&1; then
+      tidy_bin="${cand}"
+      break
+    fi
+  done
+fi
+if [[ -z "${tidy_bin}" ]]; then
+  echo "run_clang_tidy: clang-tidy not installed; skipping static analysis" >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy: ${build_dir}/compile_commands.json not found —" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+sources=()
+while IFS= read -r f; do
+  sources+=("${f}")
+done < <(find src -name '*.cpp' | sort)
+
+echo "run_clang_tidy: ${tidy_bin} over ${#sources[@]} files" >&2
+"${tidy_bin}" -p "${build_dir}" --quiet "${sources[@]}"

@@ -50,3 +50,28 @@ std::string format_location(std::string_view file, int line);
 /// Unconditional failure for unreachable branches.
 #define TIDACC_FAIL(msg) \
   ::tidacc::detail::throw_error(__FILE__, __LINE__, "failure", (msg))
+
+/// Checks a cuem runtime call: throws tidacc::Error with the runtime's
+/// error string and last detailed message on anything but cuemSuccess.
+/// Purely textual, so this header needs no cuem dependency — the expansion
+/// site must include cuem/cuem.hpp (which declares ::cuemGetErrorString,
+/// ::cuemGetLastErrorMessage, and the [[nodiscard]] cuemError_t). This is
+/// the intended way to consume a status that "cannot fail here": it
+/// satisfies [[nodiscard]] and still fails fast if the impossible happens.
+#define CUEM_CHECK(call)                                                  \
+  do {                                                                    \
+    const auto cuem_check_err_ = (call);                                  \
+    if (cuem_check_err_ != cuemSuccess) [[unlikely]] {                    \
+      std::string cuem_check_msg_ =                                       \
+          std::string(#call) + " failed: " +                              \
+          ::cuemGetErrorString(cuem_check_err_);                          \
+      const char* cuem_check_detail_ = ::cuemGetLastErrorMessage();       \
+      if (cuem_check_detail_ != nullptr && *cuem_check_detail_ != '\0') { \
+        cuem_check_msg_ += " (";                                          \
+        cuem_check_msg_ += cuem_check_detail_;                            \
+        cuem_check_msg_ += ")";                                           \
+      }                                                                   \
+      ::tidacc::detail::throw_error(__FILE__, __LINE__, #call,            \
+                                    cuem_check_msg_);                     \
+    }                                                                     \
+  } while (false)

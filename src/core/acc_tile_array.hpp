@@ -15,6 +15,7 @@
 //     because the caller touches the data immediately (§IV-B3).
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "common/error.hpp"
 #include "core/device_pool.hpp"
 #include "core/dirty_tracker.hpp"
+#include "cuem/san.hpp"
 #include "oacc/oacc.hpp"
 #include "tida/tile_array.hpp"
 #include "tida/tile_iterator.hpp"
@@ -67,8 +69,16 @@ class AccTileArray : public tida::TileArray<T> {
               make_slot_policy(opts.slot_policy)),
         loc_(this->num_regions()),
         dirty_(this->num_regions()),
+        pending_xfer_(static_cast<std::size_t>(this->num_regions()), -1),
         disable_caching_(opts.disable_caching),
-        delta_transfers_(opts.delta_transfers) {}
+        delta_transfers_(opts.delta_transfers) {
+    if (cuem::san::enabled()) {
+      for (int r = 0; r < this->num_regions(); ++r) {
+        CUEM_CHECK(cuemSanAnnotate(this->region(r).data,
+                                   ("host:R" + std::to_string(r)).c_str()));
+      }
+    }
+  }
 
   // --- device topology ---
 
@@ -96,6 +106,8 @@ class AccTileArray : public tida::TileArray<T> {
   /// region now has authoritative host data).
   template <typename Fn>
   void fill(Fn&& fn) {
+    sync_all_pending_host();
+    note_host_buffers("fill");
     Base::fill(std::forward<Fn>(fn));
     assume_host_initialized();
   }
@@ -103,6 +115,8 @@ class AccTileArray : public tida::TileArray<T> {
   /// Per-component fill; same host-ownership bookkeeping as fill().
   template <typename Fn>
   void fill_components(Fn&& fn) {
+    sync_all_pending_host();
+    note_host_buffers("fill_components");
     Base::fill_components(std::forward<Fn>(fn));
     assume_host_initialized();
   }
@@ -129,6 +143,13 @@ class AccTileArray : public tida::TileArray<T> {
     TIDACC_CHECK_MSG(loc_.location(id) != Loc::kDevice,
                      "host access to a device-current region — call "
                      "acquire_on_host first (paper §IV-B3)");
+    // An async transfer may still be touching this region's host buffer
+    // (e.g. the D2H queued when it was evicted): wait for it before the
+    // caller dereferences.
+    sync_pending_host(id);
+    cuem::san::note_host_access(this->region(id).data,
+                                this->region_bytes(id),
+                                /*write=*/true, "TileArray::at");
     loc_.set(id, Loc::kHost);
     if (delta_transfers_) {
       dirty_.note_host_write(id, tida::Box{cell, cell});
@@ -198,6 +219,7 @@ class AccTileArray : public tida::TileArray<T> {
     // there is nothing meaningful to upload. Output arrays of Jacobi-style
     // solvers hit this path and save half the upload traffic.
     if (needs_upload) {
+      order_after_pending(region, stream);
       copy_region(dev, this->region(region).data, region,
                   cuemMemcpyHostToDevice, stream);
     }
@@ -243,10 +265,11 @@ class AccTileArray : public tida::TileArray<T> {
       dirty_.reset(region);
     }
     if (loc_.location(region) == Loc::kHost) {
-      TIDACC_CHECK(cuem::prefetch_h2d_async(
-                       dev, this->region(region).data,
-                       this->region_bytes(region), stream,
-                       "P:R" + std::to_string(region)) == cuemSuccess);
+      order_after_pending(region, stream);
+      CUEM_CHECK(cuem::prefetch_h2d_async(dev, this->region(region).data,
+                                          this->region_bytes(region), stream,
+                                          "P:R" + std::to_string(region)));
+      pending_xfer_[static_cast<std::size_t>(region)] = stream;
       xfer_.h2d_bytes += this->region_bytes(region);
       ++xfer_.prefetch_ops;
       ++prefetches_issued_;
@@ -265,7 +288,12 @@ class AccTileArray : public tida::TileArray<T> {
   void acquire_on_host(int region) {
     if (loc_.location(region) != Loc::kDevice) {
       // The caller is about to read or write host data; either way the host
-      // now holds the authoritative copy.
+      // now holds the authoritative copy. An earlier eviction may have left
+      // an async D2H in flight into this buffer — wait for it first.
+      sync_pending_host(region);
+      cuem::san::note_host_access(this->region(region).data,
+                                  this->region_bytes(region),
+                                  /*write=*/true, "acquire_on_host");
       set_host_authoritative(region);
       return;
     }
@@ -273,8 +301,18 @@ class AccTileArray : public tida::TileArray<T> {
     const cuemStream_t stream = pool_.stream_of_slot(slot);
     TIDACC_CHECK_MSG(pool_.cache().resident(slot) == region,
                      "region marked on-device but not resident");
+    if (pending_xfer_[static_cast<std::size_t>(region)] >= 0 &&
+        pending_xfer_[static_cast<std::size_t>(region)] != stream) {
+      // A stale transfer on another stream (the region migrated slots) still
+      // references this host buffer; the drain below would race it.
+      sync_pending_host(region);
+    }
     drain_device(region, static_cast<T*>(pool_.slot_ptr(slot)), stream);
-    TIDACC_CHECK(cuemStreamSynchronize(stream) == cuemSuccess);
+    CUEM_CHECK(cuemStreamSynchronize(stream));
+    pending_xfer_[static_cast<std::size_t>(region)] = -1;
+    cuem::san::note_host_access(this->region(region).data,
+                                this->region_bytes(region),
+                                /*write=*/true, "acquire_on_host");
     set_host_authoritative(region);
   }
 
@@ -286,6 +324,14 @@ class AccTileArray : public tida::TileArray<T> {
     StreamSyncList streams;
     for (int r = 0; r < this->num_regions(); ++r) {
       if (loc_.location(r) != Loc::kDevice) {
+        // Not drained now, but an earlier eviction may have queued a D2H
+        // into this host buffer that is still in flight — its stream must
+        // join the batched sync below or later host reads race it.
+        const cuemStream_t pending =
+            pending_xfer_[static_cast<std::size_t>(r)];
+        if (pending >= 0) {
+          streams.add(pending);
+        }
         set_host_authoritative(r);
         continue;
       }
@@ -298,6 +344,11 @@ class AccTileArray : public tida::TileArray<T> {
       set_host_authoritative(r);
     }
     streams.sync_all();
+    for (int r = 0; r < this->num_regions(); ++r) {
+      pending_xfer_[static_cast<std::size_t>(r)] = -1;
+      cuem::san::note_host_access(this->region(r).data, this->region_bytes(r),
+                                  /*write=*/true, "release_all_to_host");
+    }
   }
 
   // --- ghost exchange (paper §IV-B6) ---
@@ -309,6 +360,8 @@ class AccTileArray : public tida::TileArray<T> {
   /// host exchange after draining the device.
   void fill_boundary(tida::Boundary bc) {
     if (!loc_.any_on_device()) {
+      sync_all_pending_host();
+      note_host_buffers("fill_boundary_host");
       this->fill_boundary_host(bc);
       return;
     }
@@ -323,6 +376,7 @@ class AccTileArray : public tida::TileArray<T> {
     }
     // Mixed/limited-memory: drain to host and exchange there.
     release_all_to_host();
+    note_host_buffers("fill_boundary_host");
     this->fill_boundary_host(bc);
   }
 
@@ -375,9 +429,15 @@ class AccTileArray : public tida::TileArray<T> {
       streams.add(pool_.stream_of_slot(slot));
     }
     streams.sync_all();
+    // The pulls above synced their own streams; still-pending pushes from
+    // the *previous* exchange (phase 3 queues without a trailing sync) may
+    // sit on streams that pulled nothing this round — the host exchange
+    // below would race them.
+    sync_all_pending_host();
 
     // Phase 2: exchange on the host. The freshened ghost boxes are host
     // writes the device copies have not seen yet.
+    note_host_buffers("fill_boundary_streaming");
     this->fill_boundary_host(bc);
     for (const auto& c : plan) {
       dirty_.note_host_write(c.dst_region, c.dst_box);
@@ -440,23 +500,50 @@ class AccTileArray : public tida::TileArray<T> {
       prof.flops_per_element = 0.0;
       prof.tuned_geometry = false;  // OpenACC-generated update kernel
 
+      const cuemStream_t kstream = stream_of_region(dst);
       auto action = [this, bc, dst, begin, end]() {
         const auto& pl = this->exchange_plan(bc);
         for (std::size_t c = begin; c < end; ++c) {
           apply_copy_device(pl[c]);
         }
       };
-      p.enqueue_kernel(stream_of_region(dst), prof,
-                       p.config().oacc_dispatch_extra_ns, std::move(action),
-                       "ghost:R" + std::to_string(dst));
+      p.enqueue_kernel(kstream, prof, p.config().oacc_dispatch_extra_ns,
+                       std::move(action), "ghost:R" + std::to_string(dst));
+      if (cuem::san::enabled()) {
+        const std::string op = "ghost:R" + std::to_string(dst);
+        for (std::size_t c = begin; c < end; ++c) {
+          note_ghost_copy_access(kstream, plan[c], op.c_str());
+        }
+      }
       for (std::size_t c = begin; c < end; ++c) {
         note_device_write(dst, plan[c].dst_box);
+      }
+      // Stream order protects the *destination*: its stream runs this
+      // update before later kernels on that region. The *sources* sit on
+      // other streams, though — without an edge, the next compute kernel on
+      // a source's stream could overwrite the cells this kernel is still
+      // reading. Record an event here and make each source stream wait.
+      std::vector<cuemStream_t> src_streams;
+      for (std::size_t c = begin; c < end; ++c) {
+        const cuemStream_t s = stream_of_region(plan[c].src_region);
+        if (s != kstream &&
+            std::find(src_streams.begin(), src_streams.end(), s) ==
+                src_streams.end()) {
+          src_streams.push_back(s);
+        }
+      }
+      if (!src_streams.empty()) {
+        cuemEvent_t ev = 0;
+        CUEM_CHECK(cuemEventCreate(&ev));
+        CUEM_CHECK(cuemEventRecord(ev, kstream));
+        for (const cuemStream_t s : src_streams) {
+          CUEM_CHECK(cuemStreamWaitEvent(s, ev, 0));
+        }
+        CUEM_CHECK(cuemEventDestroy(ev));
       }
       ++device_ghost_updates_;
       begin = end;
     }
-    // No synchronization needed afterwards: each region's stream orders the
-    // update kernel before later kernels on that region (paper §IV-B6).
   }
 
   /// Number of device-side ghost-update kernels launched so far.
@@ -494,12 +581,95 @@ class AccTileArray : public tida::TileArray<T> {
   }
 
  private:
+  /// Waits for the last async transfer still touching `region`'s host
+  /// buffer, if any. A successful query is enough (the transfer already
+  /// completed — nothing to wait for and no host time spent); only a
+  /// genuinely in-flight transfer costs a synchronize.
+  void sync_pending_host(int region) {
+    cuemStream_t& s = pending_xfer_[static_cast<std::size_t>(region)];
+    if (s < 0) {
+      return;
+    }
+    if (cuemStreamQuery(s) != cuemSuccess) {
+      CUEM_CHECK(cuemStreamSynchronize(s));
+    }
+    s = -1;
+  }
+
+  void sync_all_pending_host() {
+    for (int r = 0; r < this->num_regions(); ++r) {
+      sync_pending_host(r);
+    }
+  }
+
+  /// Orders `stream` after the last async transfer still touching
+  /// `region`'s host buffer from a *different* stream — the D2H queued when
+  /// a dynamic policy evicted the region out of another slot. Without the
+  /// edge the re-acquire's H2D would read the host buffer mid-eviction.
+  /// Device-side only (event wait), so the host never blocks; under the
+  /// paper's StaticModulo mapping a region never changes streams and this
+  /// is a no-op.
+  void order_after_pending(int region, cuemStream_t stream) {
+    cuemStream_t& pending = pending_xfer_[static_cast<std::size_t>(region)];
+    if (pending < 0 || pending == stream) {
+      return;
+    }
+    if (cuemStreamQuery(pending) == cuemSuccess) {
+      pending = -1;  // already done; the query observed completion
+      return;
+    }
+    cuemEvent_t ev = 0;
+    CUEM_CHECK(cuemEventCreate(&ev));
+    CUEM_CHECK(cuemEventRecord(ev, pending));
+    CUEM_CHECK(cuemStreamWaitEvent(stream, ev, 0));
+    CUEM_CHECK(cuemEventDestroy(ev));
+  }
+
+  /// Sanitizer bookkeeping: conservative whole-buffer host access note for
+  /// every region (no-op when the sanitizer is off or disabled).
+  void note_host_buffers(const char* op) {
+    if (!cuem::san::enabled()) {
+      return;
+    }
+    for (int r = 0; r < this->num_regions(); ++r) {
+      cuem::san::note_host_access(this->region(r).data, this->region_bytes(r),
+                                  /*write=*/true, op);
+    }
+  }
+
+  /// Sanitizer bookkeeping: the exact byte boxes one planned ghost copy
+  /// touches in the source and destination slot buffers, per component.
+  /// Box-precise so concurrent update kernels into *disjoint* ghost shells
+  /// do not read as racing.
+  void note_ghost_copy_access(cuemStream_t stream, const tida::GhostCopy& c,
+                              const char* op) {
+    const tida::Region<T> src = device_region(c.src_region);
+    const tida::Region<T> dst = device_region(c.dst_region);
+    const tida::Index3 e = c.dst_box.extent();
+    for (int comp = 0; comp < this->ncomp(); ++comp) {
+      cuem::san::BoxShape box;
+      box.width = static_cast<std::size_t>(e.i) * sizeof(T);
+      box.height = static_cast<std::size_t>(e.j);
+      box.depth = static_cast<std::size_t>(e.k);
+      const tida::Index3 de = dst.grown.extent();
+      box.row_pitch = static_cast<std::size_t>(de.i) * sizeof(T);
+      box.slice_pitch = box.row_pitch * static_cast<std::size_t>(de.j);
+      cuem::san::note_kernel_box_access(stream, &dst.at(c.dst_box.lo, comp),
+                                        box, /*write=*/true, op);
+      const tida::Index3 se = src.grown.extent();
+      box.row_pitch = static_cast<std::size_t>(se.i) * sizeof(T);
+      box.slice_pitch = box.row_pitch * static_cast<std::size_t>(se.j);
+      cuem::san::note_kernel_box_access(stream, &src.at(c.src_box.lo, comp),
+                                        box, /*write=*/false, op);
+    }
+  }
+
   /// Queues one whole-region transfer on `stream`.
   void copy_region(T* dst, const T* src, int region, cuemMemcpyKind kind,
                    cuemStream_t stream) {
     const std::size_t bytes = this->region_bytes(region);
-    TIDACC_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream) ==
-                 cuemSuccess);
+    CUEM_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream));
+    pending_xfer_[static_cast<std::size_t>(region)] = stream;
     if (kind == cuemMemcpyHostToDevice) {
       xfer_.h2d_bytes += bytes;
       ++xfer_.flat_h2d_ops;
@@ -586,10 +756,10 @@ class AccTileArray : public tida::TileArray<T> {
         parms.height = static_cast<std::size_t>(e.j);
         parms.depth = static_cast<std::size_t>(e.k);
         parms.kind = kind;
-        TIDACC_CHECK(cuem::memcpy3d_async(
-                         parms, stream,
-                         (h2d ? "dH2D:R" : "dD2H:R") +
-                             std::to_string(region)) == cuemSuccess);
+        CUEM_CHECK(cuem::memcpy3d_async(parms, stream,
+                                        (h2d ? "dH2D:R" : "dD2H:R") +
+                                            std::to_string(region)));
+        pending_xfer_[static_cast<std::size_t>(region)] = stream;
         if (h2d) {
           xfer_.h2d_bytes += bytes;
           ++xfer_.delta_h2d_ops;
@@ -660,6 +830,10 @@ class AccTileArray : public tida::TileArray<T> {
   DevicePool pool_;
   LocationTracker loc_;
   DirtyTracker dirty_;
+  /// Per region: stream of the last queued async transfer that reads or
+  /// writes the region's *host* buffer, or -1. Host code must synchronize
+  /// (sync_pending_host) before touching the buffer.
+  std::vector<cuemStream_t> pending_xfer_;
   TransferAccounting xfer_;
   std::uint64_t device_ghost_updates_ = 0;
   std::uint64_t prefetches_issued_ = 0;

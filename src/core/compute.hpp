@@ -119,10 +119,10 @@ void compute_range(const tida::Box& range, const oacc::LoopCost& cost,
       const cuemStream_t s = t.array->stream_of_region(t.tile.region.id);
       if (s != kstream) {
         cuemEvent_t ev = 0;
-        TIDACC_CHECK(cuemEventCreate(&ev) == cuemSuccess);
-        TIDACC_CHECK(cuemEventRecord(ev, s) == cuemSuccess);
-        TIDACC_CHECK(cuemStreamWaitEvent(kstream, ev, 0) == cuemSuccess);
-        TIDACC_CHECK(cuemEventDestroy(ev) == cuemSuccess);
+        CUEM_CHECK(cuemEventCreate(&ev));
+        CUEM_CHECK(cuemEventRecord(ev, s));
+        CUEM_CHECK(cuemStreamWaitEvent(kstream, ev, 0));
+        CUEM_CHECK(cuemEventDestroy(ev));
       }
     };
     (order_against(tiles), ...);
@@ -153,8 +153,41 @@ void compute_range(const tida::Box& range, const oacc::LoopCost& cost,
   // Dirty tracking is conservative: the kernel may write any involved
   // tile's cells in `range`, so every array records a device write there.
   (tiles.array->note_device_write(tiles.tile.region.id, range), ...);
+  if (cuem::san::enabled()) {
+    // Sanitizer racecheck bookkeeping: the kernel may read or write any
+    // involved slot buffer (conservative whole-buffer claim; ordering
+    // across streams is explicit above/below, so this cannot false-flag).
+    const std::string op = "C:R" + std::to_string(first.tile.region.id);
+    const auto note_tile = [&](const auto& t) {
+      const auto& reg = t.tile.region;
+      const std::size_t bytes =
+          static_cast<std::size_t>(reg.grown.volume()) *
+          static_cast<std::size_t>(reg.ncomp) *
+          sizeof(*t.array->device_region(reg.id).data);
+      cuem::san::note_kernel_access(kstream,
+                                    t.array->device_region(reg.id).data,
+                                    bytes, /*write=*/true, op.c_str());
+    };
+    (note_tile(tiles), ...);
+  }
   // No synchronization after the launch (§IV-B5): stream order protects
-  // later operations on the same region.
+  // later operations on the same region. Cross-array ordering needs the
+  // mirror of the opening edges, though: the kernel may write the *other*
+  // tiles' regions, so work queued later on their streams (their next
+  // kernel, an eviction D2H) must wait for this launch.
+  if constexpr (kN > 1) {
+    const auto order_after = [&](const auto& t) {
+      const cuemStream_t s = t.array->stream_of_region(t.tile.region.id);
+      if (s != kstream) {
+        cuemEvent_t ev = 0;
+        CUEM_CHECK(cuemEventCreate(&ev));
+        CUEM_CHECK(cuemEventRecord(ev, kstream));
+        CUEM_CHECK(cuemStreamWaitEvent(s, ev, 0));
+        CUEM_CHECK(cuemEventDestroy(ev));
+      }
+    };
+    (order_after(tiles), ...);
+  }
 }
 
 }  // namespace detail
@@ -230,8 +263,8 @@ double compute_reduce(const AccTile<T0>& t0, const oacc::LoopCost& cost,
   sim::Platform& p = sim::Platform::instance();
   p.host_advance(p.config().transfer_latency_ns);
   if (t0.gpu) {
-    TIDACC_CHECK(cuemStreamSynchronize(t0.array->stream_of_region(
-                     t0.tile.region.id)) == cuemSuccess);
+    CUEM_CHECK(cuemStreamSynchronize(
+        t0.array->stream_of_region(t0.tile.region.id)));
   }
   return *partial;
 }
@@ -254,8 +287,8 @@ double compute_reduce(const AccTile<T0>& t0, const AccTile<T1>& t1,
   sim::Platform& p = sim::Platform::instance();
   p.host_advance(p.config().transfer_latency_ns);
   if (t0.gpu) {
-    TIDACC_CHECK(cuemStreamSynchronize(t0.array->stream_of_region(
-                     t0.tile.region.id)) == cuemSuccess);
+    CUEM_CHECK(cuemStreamSynchronize(
+        t0.array->stream_of_region(t0.tile.region.id)));
   }
   return *partial;
 }

@@ -1,9 +1,11 @@
 #include "core/device_pool.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "cuem/san.hpp"
 #include "oacc/oacc.hpp"
 
 namespace tidacc::core {
@@ -17,7 +19,7 @@ int discover_slot_count(std::size_t slot_bytes, int num_regions,
   TIDACC_CHECK_MSG(max_slots > 0, "max_slots must be positive");
   std::size_t free_bytes = 0;
   std::size_t total_bytes = 0;
-  TIDACC_CHECK(cuemMemGetInfo(&free_bytes, &total_bytes) == cuemSuccess);
+  CUEM_CHECK(cuemMemGetInfo(&free_bytes, &total_bytes));
   const int fits = static_cast<int>(
       std::min<std::size_t>(free_bytes / slot_bytes, 1u << 20));
   const int slots = std::min({num_regions, fits, max_slots});
@@ -43,9 +45,12 @@ DevicePool::DevicePool(std::size_t slot_bytes, int num_regions, int max_slots,
     TIDACC_CHECK_MSG(err == cuemSuccess,
                      "device allocation failed after capacity discovery");
     slots_.push_back(ptr);
+    if (cuem::san::enabled()) {
+      CUEM_CHECK(cuemSanAnnotate(ptr, ("slot:S" + std::to_string(s)).c_str()));
+    }
     // Materialize the slot's stream eagerly (paper: each device memory
     // pointer has a CUDA stream assigned to it at setup).
-    (void)oacc::get_cuem_stream(s);
+    streams_.push_back(oacc::get_cuem_stream(s));
   }
   TIDACC_LOG(kInfo) << "DevicePool: " << num_slots() << " slot(s) of "
                     << slot_bytes_ << " B for " << num_regions_
@@ -53,9 +58,16 @@ DevicePool::DevicePool(std::size_t slot_bytes, int num_regions, int max_slots,
 }
 
 DevicePool::~DevicePool() {
+  // cudaFree synchronizes with outstanding work on the freed memory; drain
+  // each slot's stream before releasing its buffer so in-flight transfers
+  // and kernels never outlive their target. Best effort throughout: the
+  // platform may have been rebuilt underneath us during test
+  // reconfiguration, in which case streams and pointers are already gone
+  // and both calls return handle errors we deliberately ignore.
+  for (const cuemStream_t s : streams_) {
+    (void)cuemStreamSynchronize(s);
+  }
   for (void* ptr : slots_) {
-    // Best effort: the platform may have been rebuilt underneath us during
-    // test reconfiguration, in which case the pointers are already gone.
     (void)cuemFree(ptr);
   }
 }

@@ -39,7 +39,7 @@ class StreamSyncList {
 
   void sync_all() const {
     for (const cuemStream_t s : streams_) {
-      TIDACC_CHECK(cuemStreamSynchronize(s) == cuemSuccess);
+      CUEM_CHECK(cuemStreamSynchronize(s));
     }
   }
 
@@ -98,6 +98,7 @@ class DevicePool {
   std::size_t slot_bytes_;
   int num_regions_;
   std::vector<void*> slots_;
+  std::vector<cuemStream_t> streams_;
   CacheTable cache_;
   SlotScheduler sched_;
 };

@@ -18,6 +18,7 @@
 // the golden-trace equality test in tests/test_multi_gpu.cpp pins that.
 #pragma once
 
+#include <algorithm>
 #include <cstring>
 #include <limits>
 #include <memory>
@@ -30,6 +31,7 @@
 #include "core/device_pool.hpp"
 #include "core/dirty_tracker.hpp"
 #include "cuem/cuem.hpp"
+#include "cuem/san.hpp"
 #include "oacc/oacc.hpp"
 #include "tida/tile_array.hpp"
 
@@ -76,8 +78,15 @@ class MultiAccTileArray : public tida::TileArray<T> {
       : Base(domain, region_size, ghost, opts.host_alloc, opts.ncomp),
         loc_(this->num_regions()),
         dirty_(this->num_regions()),
+        pending_xfer_(static_cast<std::size_t>(this->num_regions()), -1),
         placement_(opts.placement),
         delta_transfers_(opts.delta_transfers) {
+    if (cuem::san::enabled()) {
+      for (int r = 0; r < this->num_regions(); ++r) {
+        CUEM_CHECK(cuemSanAnnotate(this->region(r).data,
+                                   ("host:R" + std::to_string(r)).c_str()));
+      }
+    }
     const int avail = cuem::device_count();
     num_devices_ = opts.devices == 0 ? avail : opts.devices;
     TIDACC_CHECK_MSG(num_devices_ >= 1 && num_devices_ <= avail,
@@ -183,12 +192,16 @@ class MultiAccTileArray : public tida::TileArray<T> {
   /// AccTileArray::fill does).
   template <typename Fn>
   void fill(Fn&& fn) {
+    sync_all_pending_host();
+    note_host_buffers("fill");
     Base::fill(std::forward<Fn>(fn));
     assume_host_initialized();
   }
 
   template <typename Fn>
   void fill_components(Fn&& fn) {
+    sync_all_pending_host();
+    note_host_buffers("fill_components");
     Base::fill_components(std::forward<Fn>(fn));
     assume_host_initialized();
   }
@@ -210,6 +223,13 @@ class MultiAccTileArray : public tida::TileArray<T> {
     TIDACC_CHECK_MSG(loc_.location(id) != Loc::kDevice,
                      "host access to a device-current region — call "
                      "acquire_on_host first (paper §IV-B3)");
+    // An async transfer may still be touching this region's host buffer
+    // (e.g. the D2H queued when it was evicted): wait for it before the
+    // caller dereferences.
+    sync_pending_host(id);
+    cuem::san::note_host_access(this->region(id).data,
+                                this->region_bytes(id),
+                                /*write=*/true, "TileArray::at");
     loc_.set(id, Loc::kHost);
     if (delta_transfers_) {
       dirty_.note_host_write(id, tida::Box{cell, cell});
@@ -269,6 +289,7 @@ class MultiAccTileArray : public tida::TileArray<T> {
       dirty_.reset(region);
     }
     if (needs_upload) {
+      order_after_pending(region, stream);
       copy_region(dev_ptr, this->region(region).data, region,
                   cuemMemcpyHostToDevice, stream);
     }
@@ -308,10 +329,11 @@ class MultiAccTileArray : public tida::TileArray<T> {
       dirty_.reset(region);
     }
     if (loc_.location(region) == Loc::kHost) {
-      TIDACC_CHECK(cuem::prefetch_h2d_async(
-                       dev_ptr, this->region(region).data,
-                       this->region_bytes(region), stream,
-                       "P:R" + std::to_string(region)) == cuemSuccess);
+      order_after_pending(region, stream);
+      CUEM_CHECK(cuem::prefetch_h2d_async(dev_ptr, this->region(region).data,
+                                          this->region_bytes(region), stream,
+                                          "P:R" + std::to_string(region)));
+      pending_xfer_[static_cast<std::size_t>(region)] = stream;
       xfer_.h2d_bytes += this->region_bytes(region);
       ++xfer_.prefetch_ops;
       ++prefetches_issued_;
@@ -326,6 +348,12 @@ class MultiAccTileArray : public tida::TileArray<T> {
   /// Makes the host copy of `region` current; blocks on the transfer.
   void acquire_on_host(int region) {
     if (loc_.location(region) != Loc::kDevice) {
+      // The caller is about to read or write host data; an earlier eviction
+      // may have left an async D2H in flight into this buffer — wait first.
+      sync_pending_host(region);
+      cuem::san::note_host_access(this->region(region).data,
+                                  this->region_bytes(region),
+                                  /*write=*/true, "acquire_on_host");
       set_host_authoritative(region);
       return;
     }
@@ -337,8 +365,18 @@ class MultiAccTileArray : public tida::TileArray<T> {
     const cuemStream_t stream = pool.stream_of_slot(slot);
     TIDACC_CHECK_MSG(pool.cache().resident(slot) == lr,
                      "region marked on-device but not resident");
+    if (pending_xfer_[static_cast<std::size_t>(region)] >= 0 &&
+        pending_xfer_[static_cast<std::size_t>(region)] != stream) {
+      // A stale transfer on another stream (the region migrated slots) still
+      // references this host buffer; the drain below would race it.
+      sync_pending_host(region);
+    }
     drain_device(region, static_cast<T*>(pool.slot_ptr(slot)), stream);
-    TIDACC_CHECK(cuemStreamSynchronize(stream) == cuemSuccess);
+    CUEM_CHECK(cuemStreamSynchronize(stream));
+    pending_xfer_[static_cast<std::size_t>(region)] = -1;
+    cuem::san::note_host_access(this->region(region).data,
+                                this->region_bytes(region),
+                                /*write=*/true, "acquire_on_host");
     set_host_authoritative(region);
   }
 
@@ -351,6 +389,14 @@ class MultiAccTileArray : public tida::TileArray<T> {
     StreamSyncList streams;
     for (int r = 0; r < this->num_regions(); ++r) {
       if (loc_.location(r) != Loc::kDevice) {
+        // Not drained now, but an earlier eviction may have queued a D2H
+        // into this host buffer that is still in flight — its stream must
+        // join the batched sync below or later host reads race it.
+        const cuemStream_t pending =
+            pending_xfer_[static_cast<std::size_t>(r)];
+        if (pending >= 0) {
+          streams.add(pending);
+        }
         set_host_authoritative(r);
         continue;
       }
@@ -367,6 +413,11 @@ class MultiAccTileArray : public tida::TileArray<T> {
       set_host_authoritative(r);
     }
     streams.sync_all();
+    for (int r = 0; r < this->num_regions(); ++r) {
+      pending_xfer_[static_cast<std::size_t>(r)] = -1;
+      cuem::san::note_host_access(this->region(r).data, this->region_bytes(r),
+                                  /*write=*/true, "release_all_to_host");
+    }
   }
 
   // --- distributed ghost exchange (paper §IV-B6, extended across devices)
@@ -375,6 +426,8 @@ class MultiAccTileArray : public tida::TileArray<T> {
   /// AccTileArray::fill_boundary does.
   void fill_boundary(tida::Boundary bc) {
     if (!loc_.any_on_device()) {
+      sync_all_pending_host();
+      note_host_buffers("fill_boundary_host");
       this->fill_boundary_host(bc);
       return;
     }
@@ -387,6 +440,7 @@ class MultiAccTileArray : public tida::TileArray<T> {
       return;
     }
     release_all_to_host();
+    note_host_buffers("fill_boundary_host");
     this->fill_boundary_host(bc);
   }
 
@@ -437,7 +491,13 @@ class MultiAccTileArray : public tida::TileArray<T> {
       streams.add(stream);
     }
     streams.sync_all();
+    // The pulls above synced their own streams; still-pending pushes from
+    // the *previous* exchange (phase 3 queues without a trailing sync) may
+    // sit on streams that pulled nothing this round — the host exchange
+    // below would race them.
+    sync_all_pending_host();
 
+    note_host_buffers("fill_boundary_streaming");
     this->fill_boundary_host(bc);
     for (const auto& c : plan) {
       dirty_.note_host_write(c.dst_region, c.dst_box);
@@ -529,20 +589,47 @@ class MultiAccTileArray : public tida::TileArray<T> {
         auto action = [this, bc, c]() {
           apply_copy_device(this->exchange_plan(bc)[c]);
         };
-        TIDACC_CHECK(cuem::peer_copy_async(
-                         dst_dev, src_dev, bytes, dstream,
-                         "G:R" + std::to_string(gc.src_region) + ">R" +
-                             std::to_string(dst),
-                         std::move(action)) == cuemSuccess);
+        CUEM_CHECK(cuem::peer_copy_async(
+            dst_dev, src_dev, bytes, dstream,
+            "G:R" + std::to_string(gc.src_region) + ">R" +
+                std::to_string(dst),
+            std::move(action)));
         ++peer_ghost_copies_;
+      }
+      if (cuem::san::enabled()) {
+        const std::string op = "ghost:R" + std::to_string(dst);
+        for (std::size_t c = begin; c < end; ++c) {
+          note_ghost_copy_access(dstream, plan[c], op.c_str());
+        }
       }
       for (std::size_t c = begin; c < end; ++c) {
         note_device_write(dst, plan[c].dst_box);
       }
+      // Stream order protects the *destination*; the sources sit on other
+      // streams (possibly other devices). Record an event after this
+      // group's update kernel and peer copies and make each source stream
+      // wait, so later kernels there cannot overwrite cells still being
+      // read (mirrors AccTileArray::fill_boundary_device exactly).
+      std::vector<cuemStream_t> src_streams;
+      for (std::size_t c = begin; c < end; ++c) {
+        const cuemStream_t s = stream_of_region(plan[c].src_region);
+        if (s != dstream &&
+            std::find(src_streams.begin(), src_streams.end(), s) ==
+                src_streams.end()) {
+          src_streams.push_back(s);
+        }
+      }
+      if (!src_streams.empty()) {
+        cuemEvent_t ev = 0;
+        CUEM_CHECK(cuemEventCreate(&ev));
+        CUEM_CHECK(cuemEventRecord(ev, dstream));
+        for (const cuemStream_t s : src_streams) {
+          CUEM_CHECK(cuemStreamWaitEvent(s, ev, 0));
+        }
+        CUEM_CHECK(cuemEventDestroy(ev));
+      }
       begin = end;
     }
-    // Stream order on each destination protects later kernels, exactly as
-    // in the single-device exchange.
   }
 
   std::uint64_t device_ghost_updates() const { return device_ghost_updates_; }
@@ -598,12 +685,93 @@ class MultiAccTileArray : public tida::TileArray<T> {
     return static_cast<std::size_t>(region);
   }
 
+  /// Waits for the last async transfer still touching `region`'s host
+  /// buffer, if any (see AccTileArray::sync_pending_host — a successful
+  /// query costs nothing; only an in-flight transfer pays a synchronize).
+  void sync_pending_host(int region) {
+    cuemStream_t& s = pending_xfer_[static_cast<std::size_t>(region)];
+    if (s < 0) {
+      return;
+    }
+    if (cuemStreamQuery(s) != cuemSuccess) {
+      CUEM_CHECK(cuemStreamSynchronize(s));
+    }
+    s = -1;
+  }
+
+  void sync_all_pending_host() {
+    for (int r = 0; r < this->num_regions(); ++r) {
+      sync_pending_host(r);
+    }
+  }
+
+  /// Orders `stream` after the last async transfer still touching
+  /// `region`'s host buffer from a *different* stream — the D2H queued when
+  /// a dynamic policy evicted the region out of another slot. Without the
+  /// edge the re-acquire's H2D would read the host buffer mid-eviction.
+  /// Device-side only (event wait), so the host never blocks; under the
+  /// paper's StaticModulo mapping a region never changes streams and this
+  /// is a no-op.
+  void order_after_pending(int region, cuemStream_t stream) {
+    cuemStream_t& pending = pending_xfer_[static_cast<std::size_t>(region)];
+    if (pending < 0 || pending == stream) {
+      return;
+    }
+    if (cuemStreamQuery(pending) == cuemSuccess) {
+      pending = -1;  // already done; the query observed completion
+      return;
+    }
+    cuemEvent_t ev = 0;
+    CUEM_CHECK(cuemEventCreate(&ev));
+    CUEM_CHECK(cuemEventRecord(ev, pending));
+    CUEM_CHECK(cuemStreamWaitEvent(stream, ev, 0));
+    CUEM_CHECK(cuemEventDestroy(ev));
+  }
+
+  /// Sanitizer bookkeeping: conservative whole-buffer host access note for
+  /// every region (no-op when the sanitizer is off or disabled).
+  void note_host_buffers(const char* op) {
+    if (!cuem::san::enabled()) {
+      return;
+    }
+    for (int r = 0; r < this->num_regions(); ++r) {
+      cuem::san::note_host_access(this->region(r).data, this->region_bytes(r),
+                                  /*write=*/true, op);
+    }
+  }
+
+  /// Sanitizer bookkeeping: the exact byte boxes one planned ghost copy
+  /// touches in the source and destination slot buffers, per component
+  /// (see AccTileArray::note_ghost_copy_access).
+  void note_ghost_copy_access(cuemStream_t stream, const tida::GhostCopy& c,
+                              const char* op) {
+    const tida::Region<T> src = device_region(c.src_region);
+    const tida::Region<T> dst = device_region(c.dst_region);
+    const tida::Index3 e = c.dst_box.extent();
+    for (int comp = 0; comp < this->ncomp(); ++comp) {
+      cuem::san::BoxShape box;
+      box.width = static_cast<std::size_t>(e.i) * sizeof(T);
+      box.height = static_cast<std::size_t>(e.j);
+      box.depth = static_cast<std::size_t>(e.k);
+      const tida::Index3 de = dst.grown.extent();
+      box.row_pitch = static_cast<std::size_t>(de.i) * sizeof(T);
+      box.slice_pitch = box.row_pitch * static_cast<std::size_t>(de.j);
+      cuem::san::note_kernel_box_access(stream, &dst.at(c.dst_box.lo, comp),
+                                        box, /*write=*/true, op);
+      const tida::Index3 se = src.grown.extent();
+      box.row_pitch = static_cast<std::size_t>(se.i) * sizeof(T);
+      box.slice_pitch = box.row_pitch * static_cast<std::size_t>(se.j);
+      cuem::san::note_kernel_box_access(stream, &src.at(c.src_box.lo, comp),
+                                        box, /*write=*/false, op);
+    }
+  }
+
   /// Queues one whole-region transfer on `stream` (owner's device).
   void copy_region(T* dst, const T* src, int region, cuemMemcpyKind kind,
                    cuemStream_t stream) {
     const std::size_t bytes = this->region_bytes(region);
-    TIDACC_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream) ==
-                 cuemSuccess);
+    CUEM_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream));
+    pending_xfer_[static_cast<std::size_t>(region)] = stream;
     if (kind == cuemMemcpyHostToDevice) {
       xfer_.h2d_bytes += bytes;
       ++xfer_.flat_h2d_ops;
@@ -686,10 +854,10 @@ class MultiAccTileArray : public tida::TileArray<T> {
         parms.height = static_cast<std::size_t>(e.j);
         parms.depth = static_cast<std::size_t>(e.k);
         parms.kind = kind;
-        TIDACC_CHECK(cuem::memcpy3d_async(
-                         parms, stream,
-                         (h2d ? "dH2D:R" : "dD2H:R") +
-                             std::to_string(region)) == cuemSuccess);
+        CUEM_CHECK(cuem::memcpy3d_async(parms, stream,
+                                        (h2d ? "dH2D:R" : "dD2H:R") +
+                                            std::to_string(region)));
+        pending_xfer_[static_cast<std::size_t>(region)] = stream;
         if (h2d) {
           xfer_.h2d_bytes += bytes;
           ++xfer_.delta_h2d_ops;
@@ -759,6 +927,9 @@ class MultiAccTileArray : public tida::TileArray<T> {
   std::vector<int> local_;
   LocationTracker loc_;
   DirtyTracker dirty_;
+  /// Per region: stream of the last queued async transfer that reads or
+  /// writes the region's *host* buffer, or -1 (see AccTileArray).
+  std::vector<cuemStream_t> pending_xfer_;
   TransferAccounting xfer_;
   DevicePlacement placement_;
   int num_devices_ = 1;
@@ -805,6 +976,14 @@ void compute_gpu(MultiAccTileArray<T>& a, int region,
   p.enqueue_kernel(kstream, prof, p.config().oacc_dispatch_extra_ns,
                    std::move(action), "C:R" + std::to_string(region));
   a.note_device_write(region, reg.valid);
+  if (cuem::san::enabled()) {
+    const std::string op = "C:R" + std::to_string(region);
+    cuem::san::note_kernel_access(
+        kstream, view.data,
+        static_cast<std::size_t>(reg.grown.volume()) *
+            static_cast<std::size_t>(reg.ncomp) * sizeof(T),
+        /*write=*/true, op.c_str());
+  }
 }
 
 /// Two-array variant (Jacobi-style in/out). Both arrays must place the
@@ -830,10 +1009,10 @@ void compute_gpu(MultiAccTileArray<T>& in, MultiAccTileArray<T>& out,
   const cuemStream_t ostream = out.stream_of_region(region);
   if (ostream != kstream) {
     cuemEvent_t ev = 0;
-    TIDACC_CHECK(cuemEventCreate(&ev) == cuemSuccess);
-    TIDACC_CHECK(cuemEventRecord(ev, ostream) == cuemSuccess);
-    TIDACC_CHECK(cuemStreamWaitEvent(kstream, ev, 0) == cuemSuccess);
-    TIDACC_CHECK(cuemEventDestroy(ev) == cuemSuccess);
+    CUEM_CHECK(cuemEventCreate(&ev));
+    CUEM_CHECK(cuemEventRecord(ev, ostream));
+    CUEM_CHECK(cuemStreamWaitEvent(kstream, ev, 0));
+    CUEM_CHECK(cuemEventDestroy(ev));
   }
 
   sim::KernelProfile prof;
@@ -859,6 +1038,28 @@ void compute_gpu(MultiAccTileArray<T>& in, MultiAccTileArray<T>& out,
                    std::move(action), "C:R" + std::to_string(region));
   in.note_device_write(region, rin.valid);
   out.note_device_write(region, rout.valid);
+  if (cuem::san::enabled()) {
+    const std::string op = "C:R" + std::to_string(region);
+    cuem::san::note_kernel_access(
+        kstream, vin.data,
+        static_cast<std::size_t>(rin.grown.volume()) *
+            static_cast<std::size_t>(rin.ncomp) * sizeof(T),
+        /*write=*/true, op.c_str());
+    cuem::san::note_kernel_access(
+        kstream, vout.data,
+        static_cast<std::size_t>(rout.grown.volume()) *
+            static_cast<std::size_t>(rout.ncomp) * sizeof(T),
+        /*write=*/true, op.c_str());
+  }
+  // Close the cross-stream edge: the kernel writes the output array's slot,
+  // so later work on the output's stream must wait for this launch.
+  if (ostream != kstream) {
+    cuemEvent_t ev = 0;
+    CUEM_CHECK(cuemEventCreate(&ev));
+    CUEM_CHECK(cuemEventRecord(ev, kstream));
+    CUEM_CHECK(cuemStreamWaitEvent(ostream, ev, 0));
+    CUEM_CHECK(cuemEventDestroy(ev));
+  }
 }
 
 }  // namespace tidacc::core

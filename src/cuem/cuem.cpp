@@ -13,6 +13,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "cuem/registry.hpp"
+#include "cuem/san.hpp"
 
 namespace tidacc::cuem {
 namespace {
@@ -103,7 +104,7 @@ void* allocate(std::size_t size, MemSpace space) {
       os << "allocation of " << size << " bytes exceeds device " << dev
          << " capacity (" << device_used(dev) << " of "
          << p.config().usable_memory() << " bytes in use)";
-      fail(cuemErrorMemoryAllocation, os.str());
+      (void)fail(cuemErrorMemoryAllocation, os.str());
       return nullptr;
     }
   }
@@ -124,6 +125,7 @@ void* allocate(std::size_t size, MemSpace space) {
     rt().synthetic_next += 4096;  // guard gap
   }
   rt().registry.add(alloc);
+  san::hook::on_alloc(alloc);
   if (space == MemSpace::kDevice || space == MemSpace::kManaged) {
     rt().device_used += size;
     device_used(dev) += size;
@@ -131,9 +133,10 @@ void* allocate(std::size_t size, MemSpace space) {
   return reinterpret_cast<void*>(alloc.base);
 }
 
-cuemError_t release(void* ptr, MemSpace expected) {
+cuemError_t release(void* ptr, MemSpace expected, const char* op) {
   const Allocation* found = rt().registry.find(ptr);
   if (found == nullptr || found->base != reinterpret_cast<std::uintptr_t>(ptr)) {
+    san::hook::on_free(ptr, /*ok=*/false, op);
     return cuemErrorInvalidValue;
   }
   // cudaFree releases managed allocations too.
@@ -144,6 +147,7 @@ cuemError_t release(void* ptr, MemSpace expected) {
     return expected == MemSpace::kDevice ? cuemErrorInvalidDevicePointer
                                          : cuemErrorInvalidValue;
   }
+  san::hook::on_free(ptr, /*ok=*/true, op);
   const Allocation removed = rt().registry.remove(ptr);
   if (removed.space == MemSpace::kDevice ||
       removed.space == MemSpace::kManaged) {
@@ -246,6 +250,7 @@ cuemError_t peer_transfer(int dst_device, int src_device, std::size_t count,
   }
   // No peer access: stage through host. The driver bounces through pinned
   // staging buffers, so both hops run at pinned PCIe rates.
+  san::hook::on_peer_staged(src_device, dst_device, label.c_str());
   CopyRequest d2h;
   d2h.kind = OpKind::kCopyD2H;
   d2h.bytes = count;
@@ -283,6 +288,13 @@ cuemError_t do_memcpy(void* dst, const void* src, std::size_t count,
   if (kind == cuemMemcpyDefault) {
     kind = infer_kind(dst_space, src_space);
   }
+  const char* op = blocking ? "cuemMemcpy" : "cuemMemcpyAsync";
+  // Bounds/lifetime check before the enqueue: in functional mode the copy
+  // closure runs at enqueue time, so a bad endpoint must suppress the op.
+  if (!san::hook::precheck_range(dst, count, op) ||
+      !san::hook::precheck_range(src, count, op)) {
+    return cuemErrorInvalidValue;
+  }
 
   std::function<void()> action;
   if (p.functional()) {
@@ -299,6 +311,8 @@ cuemError_t do_memcpy(void* dst, const void* src, std::size_t count,
       }
       // Host-local copy: no engine involved; charge host time at a
       // DRAM-copy-class bandwidth and perform the move.
+      san::note_host_access(src, count, /*write=*/false, op);
+      san::note_host_access(dst, count, /*write=*/true, op);
       if (action) {
         action();
       }
@@ -331,8 +345,13 @@ cuemError_t do_memcpy(void* dst, const void* src, std::size_t count,
       const int dst_dev = da != nullptr ? da->device : 0;
       const int src_dev = sa != nullptr ? sa->device : 0;
       if (dst_dev != src_dev) {
-        return peer_transfer(dst_dev, src_dev, count, stream, blocking,
-                             "P2P", std::move(action));
+        const cuemError_t perr = peer_transfer(
+            dst_dev, src_dev, count, stream, blocking, "P2P",
+            std::move(action));
+        if (perr == cuemSuccess) {
+          san::hook::note_op_access(stream, dst, src, count, op);
+        }
+        return perr;
       }
       req.kind = OpKind::kCopyD2D;
       req.label = "D2D";
@@ -341,7 +360,12 @@ cuemError_t do_memcpy(void* dst, const void* src, std::size_t count,
     default:
       return cuemErrorInvalidMemcpyDirection;
   }
+  if (!blocking && req.host_mem == HostMemKind::kPageable &&
+      (req.kind == OpKind::kCopyH2D || req.kind == OpKind::kCopyD2H)) {
+    san::hook::on_pageable_async(stream, op);
+  }
   p.enqueue_copy(stream, req, std::move(action));
+  san::hook::note_op_access(stream, dst, src, count, op);
   return cuemSuccess;
 }
 
@@ -383,6 +407,17 @@ cuemError_t do_memcpy3d(const cuemMemcpy3DParms& parms, cuemStream_t stream,
   cuemMemcpyKind kind = parms.kind;
   if (kind == cuemMemcpyDefault) {
     kind = infer_kind(dst_space, src_space);
+  }
+  const std::string op = label;
+  const std::size_t dst_span = (parms.depth - 1) * parms.dst_slice_pitch +
+                               (parms.height - 1) * parms.dst_pitch +
+                               parms.width;
+  const std::size_t src_span = (parms.depth - 1) * parms.src_slice_pitch +
+                               (parms.height - 1) * parms.src_pitch +
+                               parms.width;
+  if (!san::hook::precheck_range(parms.dst, dst_span, op.c_str()) ||
+      !san::hook::precheck_range(parms.src, src_span, op.c_str())) {
+    return cuemErrorInvalidValue;
   }
 
   CopyRequest req;
@@ -426,7 +461,24 @@ cuemError_t do_memcpy3d(const cuemMemcpy3DParms& parms, cuemStream_t stream,
       }
     };
   }
+  if (req.host_mem == HostMemKind::kPageable) {
+    san::hook::on_pageable_async(stream, op.c_str());
+  }
   p.enqueue_copy(stream, req, std::move(action));
+  san::BoxShape dst_box;
+  dst_box.width = parms.width;
+  dst_box.height = parms.height;
+  dst_box.depth = parms.depth;
+  dst_box.row_pitch = parms.dst_pitch;
+  dst_box.slice_pitch = parms.dst_slice_pitch;
+  san::BoxShape src_box;
+  src_box.width = parms.width;
+  src_box.height = parms.height;
+  src_box.depth = parms.depth;
+  src_box.row_pitch = parms.src_pitch;
+  src_box.slice_pitch = parms.src_slice_pitch;
+  san::hook::note_op_box_access(stream, parms.dst, dst_box, parms.src,
+                                src_box, op.c_str());
   return cuemSuccess;
 }
 
@@ -441,12 +493,14 @@ bool functional() { return Platform::instance().functional(); }
 void configure(const DeviceConfig& cfg, bool functional_mode) {
   reset_runtime();
   Platform::reset_instance(cfg, functional_mode);
+  san::hook::on_configure();
 }
 
 void configure(const DeviceConfig& cfg, bool functional_mode,
                int num_devices, const sim::Interconnect& interconnect) {
   reset_runtime();
   Platform::reset_instance(cfg, functional_mode, num_devices, interconnect);
+  san::hook::on_configure();
 }
 
 int device_count() { return Platform::instance().num_devices(); }
@@ -474,7 +528,7 @@ DeviceGuard::DeviceGuard(int device) : prev_(rt().current_device) {
                    cuemGetLastErrorMessage());
 }
 
-DeviceGuard::~DeviceGuard() { cuemSetDevice(prev_); }
+DeviceGuard::~DeviceGuard() { (void)cuemSetDevice(prev_); }
 
 cuemError_t peer_copy_async(int dst_device, int src_device,
                             std::size_t bytes, cuemStream_t stream,
@@ -524,7 +578,7 @@ void host_free(void* ptr) {
   TIDACC_CHECK_MSG(space == MemSpace::kHostPinned ||
                        space == MemSpace::kHostPageable,
                    "host_free of non-host pointer");
-  TIDACC_CHECK(release(ptr, space) == cuemSuccess);
+  TIDACC_CHECK(release(ptr, space, "host_free") == cuemSuccess);
 }
 
 std::size_t device_bytes_in_use() { return rt().device_used; }
@@ -604,6 +658,11 @@ cuemError_t prefetch_h2d_async(void* dst, const void* src, std::size_t count,
   if (!is_device_space(dst_space) || !is_host_space(src_space)) {
     return cuemErrorInvalidMemcpyDirection;
   }
+  const std::string op = label;
+  if (!san::hook::precheck_range(dst, count, op.c_str()) ||
+      !san::hook::precheck_range(src, count, op.c_str())) {
+    return cuemErrorInvalidValue;
+  }
   std::function<void()> action;
   if (p.functional()) {
     action = [dst, src, count] { std::memcpy(dst, src, count); };
@@ -613,7 +672,11 @@ cuemError_t prefetch_h2d_async(void* dst, const void* src, std::size_t count,
   req.bytes = count;
   req.host_mem = host_kind_of(src_space);
   req.label = std::move(label);
+  if (req.host_mem == HostMemKind::kPageable) {
+    san::hook::on_pageable_async(stream, op.c_str());
+  }
   p.enqueue_copy(stream, req, std::move(action));
+  san::hook::note_op_access(stream, dst, src, count, op.c_str());
   return cuemSuccess;
 }
 
@@ -641,6 +704,7 @@ cuemError_t host_touch(void* ptr, std::size_t bytes) {
   p.host_advance(pages * cfg.uvm_page_fault_ns +
                  transfer_time_ns(bytes, cfg.uvm_migrate_gbps));
   alloc->device_resident = false;
+  san::note_host_access(ptr, bytes, /*write=*/true, "host_touch");
   return cuemSuccess;
 }
 
@@ -694,7 +758,7 @@ cuemError_t cuemFree(void* dev_ptr) {
   if (dev_ptr == nullptr) {
     return cuemSuccess;  // CUDA: freeing nullptr is a no-op
   }
-  return release(dev_ptr, MemSpace::kDevice);
+  return release(dev_ptr, MemSpace::kDevice, "cuemFree");
 }
 
 cuemError_t cuemMallocHost(void** host_ptr, std::size_t size) {
@@ -709,7 +773,7 @@ cuemError_t cuemFreeHost(void* host_ptr) {
   if (host_ptr == nullptr) {
     return cuemSuccess;
   }
-  return release(host_ptr, MemSpace::kHostPinned);
+  return release(host_ptr, MemSpace::kHostPinned, "cuemFreeHost");
 }
 
 cuemError_t cuemMallocManaged(void** ptr, std::size_t size) {
@@ -777,6 +841,10 @@ cuemError_t do_memset(void* dev_ptr, int value, std::size_t count,
   if (count == 0) {
     return cuemSuccess;
   }
+  const char* op = blocking ? "cuemMemset" : "cuemMemsetAsync";
+  if (!san::hook::precheck_range(dev_ptr, count, op)) {
+    return cuemErrorInvalidValue;
+  }
   if (!tidacc::cuem::is_device_ptr(dev_ptr) &&
       !tidacc::cuem::is_managed_ptr(dev_ptr)) {
     return cuemErrorInvalidDevicePointer;
@@ -791,6 +859,7 @@ cuemError_t do_memset(void* dev_ptr, int value, std::size_t count,
     action = [dev_ptr, value, count] { std::memset(dev_ptr, value, count); };
   }
   p.enqueue_copy(stream, req, std::move(action));
+  san::hook::note_op_access(stream, dev_ptr, nullptr, count, op);
   return cuemSuccess;
 }
 
@@ -873,6 +942,14 @@ cuemError_t cuemStreamDestroy(cuemStream_t stream) {
   if (!p.stream_valid(stream) || stream < p.num_devices()) {
     return cuemErrorInvalidResourceHandle;  // default streams included
   }
+  if (!p.stream_idle(stream)) {
+    // CUDA semantics: destroying a busy stream lets queued work complete
+    // (the handle just becomes invalid). The host must observe that work as
+    // finished, so drain before invalidating. Idle streams skip the sync
+    // and pay nothing.
+    san::hook::on_stream_destroy_pending(stream);
+    p.sync_stream(stream);
+  }
   p.destroy_stream(stream);
   return cuemSuccess;
 }
@@ -893,7 +970,15 @@ cuemError_t cuemStreamQuery(cuemStream_t stream) {
   if (!p.stream_valid(stream)) {
     return cuemErrorInvalidResourceHandle;
   }
-  return p.stream_idle(stream) ? cuemSuccess : cuemErrorNotReady;
+  if (!p.stream_idle(stream)) {
+    return cuemErrorNotReady;
+  }
+  if (p.hb_tracking()) {
+    // A successful query is a visibility edge in real CUDA: the host may
+    // rely on the stream's memory effects afterwards.
+    p.hb_note_stream_query_success(stream);
+  }
+  return cuemSuccess;
 }
 
 cuemError_t cuemStreamWaitEvent(cuemStream_t stream, cuemEvent_t event,
@@ -935,8 +1020,13 @@ cuemError_t cuemEventQuery(cuemEvent_t event) {
     return cuemSuccess;  // CUDA: unrecorded events report complete
   }
   Platform& p = Platform::instance();
-  return p.event_finish(it->second) <= p.now() ? cuemSuccess
-                                               : cuemErrorNotReady;
+  if (p.event_finish(it->second) > p.now()) {
+    return cuemErrorNotReady;
+  }
+  if (p.hb_tracking()) {
+    p.hb_note_event_query_success(it->second);
+  }
+  return cuemSuccess;
 }
 
 cuemError_t cuemEventDestroy(cuemEvent_t event) {
@@ -1127,6 +1217,11 @@ cuemError_t do_memcpy_peer(void* dst, int dst_device, const void* src,
   if (dst == nullptr || src == nullptr) {
     return cuemErrorInvalidValue;
   }
+  const char* op = blocking ? "cuemMemcpyPeer" : "cuemMemcpyPeerAsync";
+  if (!san::hook::precheck_range(dst, count, op) ||
+      !san::hook::precheck_range(src, count, op)) {
+    return cuemErrorInvalidValue;
+  }
   cuemError_t err = check_peer_ptr(dst, dst_device, "destination");
   if (err != cuemSuccess) {
     return err;
@@ -1139,8 +1234,13 @@ cuemError_t do_memcpy_peer(void* dst, int dst_device, const void* src,
   if (Platform::instance().functional()) {
     action = [dst, src, count] { std::memcpy(dst, src, count); };
   }
-  return peer_transfer(dst_device, src_device, count, stream, blocking,
-                       "P2P", std::move(action));
+  const cuemError_t perr = peer_transfer(dst_device, src_device, count,
+                                         stream, blocking, "P2P",
+                                         std::move(action));
+  if (perr == cuemSuccess && count > 0) {
+    san::hook::note_op_access(resolve_stream(stream), dst, src, count, op);
+  }
+  return perr;
 }
 
 }  // namespace
@@ -1164,10 +1264,21 @@ cuemError_t cuemDeviceSynchronize() {
 }
 
 cuemError_t cuemDeviceReset() {
+  // Leak sweep before teardown: live allocations and user streams at reset
+  // are reported, then the shadow state is rebuilt with the platform.
+  san::hook::on_device_reset();
   const sim::DeviceConfig cfg = Platform::instance().config();
   const bool functional_mode = Platform::instance().functional();
   const int devices = Platform::instance().num_devices();
   const sim::Interconnect ic = Platform::instance().interconnect();
   tidacc::cuem::configure(cfg, functional_mode, devices, ic);
+  return cuemSuccess;
+}
+
+cuemError_t cuemSanAnnotate(const void* ptr, const char* label) {
+  if (ptr == nullptr || label == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  tidacc::cuem::san::annotate(ptr, label);
   return cuemSuccess;
 }

@@ -28,7 +28,10 @@
 // C-shaped API (global scope, like the CUDA runtime)
 // ---------------------------------------------------------------------------
 
-enum cuemError_t {
+/// [[nodiscard]] on the enum makes every cuem* status return checked at
+/// compile time (with -Werror): dropping a cuemError_t is a build break.
+/// Deliberate discards must say so with (void) or CUEM_CHECK.
+enum [[nodiscard]] cuemError_t {
   cuemSuccess = 0,
   cuemErrorMemoryAllocation,
   cuemErrorInvalidValue,
@@ -180,8 +183,17 @@ cuemError_t cuemMemcpyPeerAsync(void* dst, int dst_device, const void* src,
 
 cuemError_t cuemDeviceSynchronize();
 /// Frees every allocation and rebuilds the platform with the same config
-/// (all devices — the simulator models a whole-process reset).
+/// (all devices — the simulator models a whole-process reset). When the
+/// cuem sanitizer is built in, this is also its leak-sweep point: live
+/// allocations and user streams are reported before teardown.
 cuemError_t cuemDeviceReset();
+
+// --- sanitizer hook ---
+/// Names the allocation containing `ptr` in sanitizer reports (e.g.
+/// "host:R3" for region 3's host buffer). A no-op returning cuemSuccess
+/// when TIDACC_CUEM_SANITIZER is off or the checker is disabled; returns
+/// cuemErrorInvalidValue for null pointers. See docs/SANITIZER.md.
+cuemError_t cuemSanAnnotate(const void* ptr, const char* label);
 
 // ---------------------------------------------------------------------------
 // C++ extensions

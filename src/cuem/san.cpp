@@ -1,0 +1,778 @@
+// cuem::san implementation: shadow allocation map, interval/box access
+// history, happens-before race engine, and JSON reporting. See san.hpp for
+// the model overview. Everything here is shadow bookkeeping — no call in
+// this file advances the platform's virtual clock.
+#include "cuem/san.hpp"
+
+#ifdef TIDACC_CUEM_SANITIZER
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "sim/platform.hpp"
+
+namespace tidacc::cuem::san {
+namespace {
+
+/// Cap on retired (freed) allocations kept for use-after-free diagnosis.
+constexpr std::size_t kMaxTombstones = 256;
+/// Cap on retained access records per allocation after pruning; beyond it
+/// the oldest half is dropped (documented soundness bound — in practice
+/// sync points prune long before this).
+constexpr std::size_t kMaxAccessesPerAlloc = 1024;
+/// Cap on exact row-pair enumeration in the generic box-overlap test;
+/// beyond it the test degrades to conservative span overlap.
+constexpr std::size_t kMaxRowPairs = 1 << 16;
+
+struct AccessRecord {
+  sim::HbClock clock;       ///< vector clock of the access
+  BoxShape box;             ///< footprint, offset relative to the base
+  bool write = false;
+  int owner = -1;           ///< stream id, -1 = host
+  std::string op;
+  SimTime t_start = 0;
+  SimTime t_finish = 0;
+};
+
+struct ShadowAlloc {
+  Allocation info;
+  std::string label;
+  std::vector<AccessRecord> accesses;
+};
+
+struct State {
+  Options opts;
+  std::map<std::uintptr_t, ShadowAlloc> allocs;  ///< keyed by base
+  std::deque<Allocation> tombstones;
+  std::vector<Finding> findings;
+  std::size_t counts[3] = {0, 0, 0};  ///< indexed by Severity
+  std::set<std::string> dedupe;
+  std::uint64_t world_gen = ~0ull;  ///< platform generation shadowed
+
+  // Coalescing key for consecutive identical host-access notes (at()-style
+  // element loops): skip the note when nothing enqueued since the last one.
+  std::uintptr_t last_host_base = 0;
+  bool last_host_write = false;
+  std::uint64_t last_host_comp = ~0ull;
+
+  State() {
+    if (const char* e = std::getenv("TIDACC_CUEM_SAN")) {
+      const std::string v(e);
+      if (v == "0" || v == "off" || v == "false") {
+        opts.enabled = false;
+      } else {
+        opts.enabled = true;
+        if (v == "fatal") opts.fatal = true;
+      }
+    }
+    if (const char* j = std::getenv("TIDACC_CUEM_SAN_JSON")) {
+      opts.json_path = j;
+    }
+  }
+};
+
+State& state() {
+  static State st;
+  return st;
+}
+
+sim::Platform& platform() { return sim::Platform::instance(); }
+
+/// Re-syncs shadow state with the live platform: wipes stale pointers after
+/// a runtime reset and (re-)arms happens-before tracking.
+void ensure_world(State& st) {
+  const std::uint64_t gen = sim::Platform::generation();
+  if (st.world_gen != gen) {
+    st.allocs.clear();
+    st.tombstones.clear();
+    st.last_host_comp = ~0ull;
+    st.world_gen = gen;
+  }
+  if (st.opts.enabled && st.opts.racecheck) {
+    auto& p = platform();
+    if (!p.hb_tracking()) p.set_hb_tracking(true);
+  }
+}
+
+ShadowAlloc* find_shadow(State& st, const void* p) {
+  if (!p || st.allocs.empty()) return nullptr;
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  auto it = st.allocs.upper_bound(addr);
+  if (it == st.allocs.begin()) return nullptr;
+  --it;
+  ShadowAlloc& sa = it->second;
+  if (addr < sa.info.base || addr >= sa.info.base + sa.info.size) {
+    return nullptr;
+  }
+  return &sa;
+}
+
+const Allocation* find_tombstone(const State& st, const void* p) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(p);
+  for (const Allocation& t : st.tombstones) {
+    if (addr >= t.base && addr < t.base + t.size) return &t;
+  }
+  return nullptr;
+}
+
+
+std::string hex(std::uintptr_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+std::string name_of(const ShadowAlloc& sa) {
+  return sa.label.empty() ? hex(sa.info.base) : sa.label;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string render_json(const State& st) {
+  std::ostringstream os;
+  os << "{\n  \"sanitizer\": \"cuem-san\",\n";
+  os << "  \"errors\": " << st.counts[2] << ",\n";
+  os << "  \"warnings\": " << st.counts[1] << ",\n";
+  os << "  \"infos\": " << st.counts[0] << ",\n";
+  os << "  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : st.findings) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"kind\": \"" << to_string(f.kind) << "\", \"severity\": \""
+       << to_string(f.severity) << "\", \"op\": \"" << json_escape(f.op)
+       << "\", \"allocation\": \"" << json_escape(f.allocation)
+       << "\", \"base\": \"" << hex(f.base) << "\", \"offset\": " << f.offset
+       << ", \"bytes\": " << f.bytes << ", \"stream_a\": " << f.stream_a
+       << ", \"stream_b\": " << f.stream_b << ", \"device\": " << f.device
+       << ", \"time_start\": " << f.time_start << ", \"time_finish\": "
+       << f.time_finish << ", \"message\": \"" << json_escape(f.message)
+       << "\"}";
+  }
+  os << (first ? "]" : "\n  ]") << "\n}\n";
+  return os.str();
+}
+
+bool dump_report(const State& st, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << render_json(st);
+  return static_cast<bool>(out);
+}
+
+/// Appends `f` unless an identical situation was already reported. Fatal
+/// mode aborts (throws tidacc::Error) on errors only.
+void record(State& st, Finding f, const std::string& dedupe_key) {
+  if (!st.dedupe.insert(dedupe_key).second) return;
+  st.counts[static_cast<int>(f.severity)]++;
+  const std::string message = f.message;
+  const bool is_error = f.severity == Severity::kError;
+  if (st.findings.size() < st.opts.max_findings) {
+    st.findings.push_back(std::move(f));
+  }
+  if (!st.opts.json_path.empty()) dump_report(st, st.opts.json_path);
+  if (st.opts.fatal && is_error) {
+    TIDACC_FAIL("cuem-sanitizer: " + message);
+  }
+}
+
+// --- box footprints ------------------------------------------------------
+
+/// One-past-the-last byte the box can touch (relative to the allocation).
+std::size_t box_end(const BoxShape& b) {
+  if (b.width == 0 || b.height == 0 || b.depth == 0) return b.offset;
+  return b.offset + (b.depth - 1) * b.slice_pitch +
+         (b.height - 1) * b.row_pitch + b.width;
+}
+
+bool box_empty(const BoxShape& b) {
+  return b.width == 0 || b.height == 0 || b.depth == 0;
+}
+
+bool box_flat(const BoxShape& b) { return b.height <= 1 && b.depth <= 1; }
+
+/// Exact O(1) overlap test for two 2D boxes sharing one row pitch (the hot
+/// case: ghost halo vs interior boxes inside one slot allocation). Rows of
+/// `a` live at a.offset + i*P, rows of `b` at b.offset + j*P; with widths
+/// <= P the relative shift of any row pair is d mod P (or d mod P - P), so
+/// overlap reduces to two residue checks plus an index-range check.
+bool same_pitch_overlap(const BoxShape& a, const BoxShape& b,
+                        std::size_t pitch) {
+  const auto P = static_cast<std::int64_t>(pitch);
+  const std::int64_t d = static_cast<std::int64_t>(b.offset) -
+                         static_cast<std::int64_t>(a.offset);
+  std::int64_t q = d / P;
+  std::int64_t rr = d - q * P;
+  if (rr < 0) {
+    rr += P;
+    --q;
+  }
+  const auto ha = static_cast<std::int64_t>(a.height);
+  const auto hb = static_cast<std::int64_t>(b.height);
+  const auto wa = static_cast<std::int64_t>(a.width);
+  const auto wb = static_cast<std::int64_t>(b.width);
+  // Row j of b overlaps row i of a iff -wb < rr + (q + j - i)*P < wa.
+  // With wa, wb <= P only q + j - i in {0, -1} can land in that window.
+  const auto ji_feasible = [&](std::int64_t ji) {
+    return ji >= -(ha - 1) && ji <= hb - 1;
+  };
+  if (rr < wa && ji_feasible(-q)) return true;
+  if (P - rr < wb && ji_feasible(-q - 1)) return true;
+  return false;
+}
+
+/// True when the two footprints share at least one byte. Exact for flat
+/// ranges and same-pitch 2D boxes; the generic strided case enumerates row
+/// pairs up to kMaxRowPairs, then falls back to conservative span overlap.
+bool boxes_overlap(const BoxShape& a, const BoxShape& b) {
+  if (box_empty(a) || box_empty(b)) return false;
+  if (box_end(a) <= b.offset || box_end(b) <= a.offset) return false;
+  if (box_flat(a) && box_flat(b)) return true;
+  if (a.depth <= 1 && b.depth <= 1 && a.row_pitch == b.row_pitch &&
+      a.row_pitch > 0 && a.width <= a.row_pitch && b.width <= b.row_pitch) {
+    // Treat a flat range as a 1-row box: same test applies.
+    return same_pitch_overlap(a, b, a.row_pitch);
+  }
+  if (box_flat(a) && !box_flat(b) && b.row_pitch > 0 &&
+      b.width <= b.row_pitch && b.depth <= 1 && a.width <= b.row_pitch) {
+    BoxShape af = a;
+    af.row_pitch = b.row_pitch;
+    return same_pitch_overlap(af, b, b.row_pitch);
+  }
+  if (box_flat(b) && !box_flat(a) && a.row_pitch > 0 &&
+      a.width <= a.row_pitch && a.depth <= 1 && b.width <= a.row_pitch) {
+    BoxShape bf = b;
+    bf.row_pitch = a.row_pitch;
+    return same_pitch_overlap(a, bf, a.row_pitch);
+  }
+  const std::size_t rows_a = a.height * a.depth;
+  const std::size_t rows_b = b.height * b.depth;
+  if (rows_a * rows_b > kMaxRowPairs) return true;  // conservative
+  for (std::size_t sa = 0; sa < a.depth; ++sa) {
+    for (std::size_t ra = 0; ra < a.height; ++ra) {
+      const std::size_t astart =
+          a.offset + sa * a.slice_pitch + ra * a.row_pitch;
+      for (std::size_t sb = 0; sb < b.depth; ++sb) {
+        for (std::size_t rb = 0; rb < b.height; ++rb) {
+          const std::size_t bstart =
+              b.offset + sb * b.slice_pitch + rb * b.row_pitch;
+          if (astart < bstart + b.width && bstart < astart + a.width) {
+            return true;
+          }
+        }
+      }
+    }
+  }
+  return false;
+}
+
+/// Overlap summary of two footprints' spans, for the report.
+std::pair<std::size_t, std::size_t> overlap_span(const BoxShape& a,
+                                                 const BoxShape& b) {
+  const std::size_t lo = std::max(a.offset, b.offset);
+  const std::size_t hi = std::min(box_end(a), box_end(b));
+  return {lo, hi > lo ? hi - lo : 0};
+}
+
+// --- race engine ---------------------------------------------------------
+
+const char* timeline_name(int owner) { return owner < 0 ? "host" : "stream"; }
+
+std::string describe_timeline(int owner) {
+  if (owner < 0) return "host";
+  return "stream " + std::to_string(owner);
+}
+
+void report_race(State& st, const ShadowAlloc& sa, const AccessRecord& old_r,
+                 const AccessRecord& new_r) {
+  const auto [off, bytes] = overlap_span(old_r.box, new_r.box);
+  Finding f;
+  f.kind = FindingKind::kRace;
+  f.severity = Severity::kError;
+  f.op = new_r.op;
+  f.allocation = name_of(sa);
+  f.base = sa.info.base;
+  f.offset = off;
+  f.bytes = bytes;
+  f.stream_a = old_r.owner;
+  f.stream_b = new_r.owner;
+  f.device = sa.info.device;
+  f.time_start = static_cast<std::uint64_t>(new_r.t_start);
+  f.time_finish = static_cast<std::uint64_t>(new_r.t_finish);
+  std::ostringstream msg;
+  msg << "unsynchronized " << (old_r.write ? "write" : "read") << "/"
+      << (new_r.write ? "write" : "read") << " overlap on " << f.allocation
+      << " [" << off << ", " << off + bytes << "): " << old_r.op << " ("
+      << describe_timeline(old_r.owner) << ") vs " << new_r.op << " ("
+      << describe_timeline(new_r.owner) << ")";
+  f.message = msg.str();
+  std::ostringstream key;
+  key << "race|" << sa.info.base << "|" << timeline_name(old_r.owner)
+      << old_r.owner << "|" << timeline_name(new_r.owner) << new_r.owner
+      << "|" << old_r.op << "|" << new_r.op;
+  record(st, std::move(f), key.str());
+}
+
+/// Drops records that happened-before the host's current clock: every
+/// future access (host or op) carries a clock >= the host clock at its
+/// creation, and host components only grow, so such records can never race
+/// again.
+void prune(ShadowAlloc& sa) {
+  const sim::HbClock& host = platform().hb_host_clock();
+  auto& v = sa.accesses;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [&](const AccessRecord& r) {
+                           return sim::hb_leq(r.clock, host);
+                         }),
+          v.end());
+  if (v.size() > kMaxAccessesPerAlloc) {
+    v.erase(v.begin(),
+            v.begin() + static_cast<std::ptrdiff_t>(v.size() / 2));
+  }
+}
+
+/// Race-checks `rec` against the allocation's history, then appends it.
+void add_access(State& st, ShadowAlloc& sa, AccessRecord rec) {
+  prune(sa);
+  for (const AccessRecord& old_r : sa.accesses) {
+    if (old_r.owner == rec.owner) continue;        // same timeline: ordered
+    if (!old_r.write && !rec.write) continue;      // read/read is benign
+    if (sim::hb_leq(old_r.clock, rec.clock)) continue;
+    if (sim::hb_leq(rec.clock, old_r.clock)) continue;
+    if (!boxes_overlap(old_r.box, rec.box)) continue;
+    report_race(st, sa, old_r, rec);
+  }
+  sa.accesses.push_back(std::move(rec));
+}
+
+/// Race-checks without recording (used by on_free: the allocation is going
+/// away, but freeing memory an async op still touches is itself a race).
+void check_only(State& st, ShadowAlloc& sa, const AccessRecord& rec) {
+  prune(sa);
+  for (const AccessRecord& old_r : sa.accesses) {
+    if (old_r.owner == rec.owner) continue;
+    if (sim::hb_leq(old_r.clock, rec.clock)) continue;
+    if (sim::hb_leq(rec.clock, old_r.clock)) continue;
+    if (!boxes_overlap(old_r.box, rec.box)) continue;
+    report_race(st, sa, old_r, rec);
+  }
+}
+
+BoxShape flat_box(std::size_t offset, std::size_t bytes) {
+  BoxShape b;
+  b.offset = offset;
+  b.width = bytes;
+  return b;
+}
+
+/// Records one endpoint of an enqueued op. `box.offset` arrives relative to
+/// `ptr` and is rebased onto the allocation here.
+void note_endpoint(State& st, int stream, const void* ptr, BoxShape box,
+                   bool write, const char* op) {
+  ShadowAlloc* sa = find_shadow(st, ptr);
+  if (!sa) return;  // plain host memory: untracked on both sides
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  box.offset += addr - sa->info.base;
+  auto& p = platform();
+  AccessRecord rec;
+  rec.clock = p.hb_last_op_clock();
+  rec.box = box;
+  rec.write = write;
+  rec.owner = stream;
+  rec.op = op;
+  rec.t_start = p.last_op_start();
+  rec.t_finish = p.last_op_finish();
+  add_access(st, *sa, std::move(rec));
+}
+
+}  // namespace
+
+// --- public API ----------------------------------------------------------
+
+void configure(const Options& opts) {
+  State& st = state();
+  st.opts = opts;
+  st.findings.clear();
+  st.counts[0] = st.counts[1] = st.counts[2] = 0;
+  st.dedupe.clear();
+  st.allocs.clear();
+  st.tombstones.clear();
+  st.last_host_comp = ~0ull;
+  st.world_gen = sim::Platform::generation();
+  platform().set_hb_tracking(opts.enabled && opts.racecheck);
+}
+
+void clear_findings() {
+  State& st = state();
+  st.findings.clear();
+  st.counts[0] = st.counts[1] = st.counts[2] = 0;
+  st.dedupe.clear();
+  st.last_host_comp = ~0ull;
+  for (auto& [base, sa] : st.allocs) {
+    (void)base;
+    sa.accesses.clear();
+  }
+}
+
+bool enabled() { return state().opts.enabled; }
+
+const Options& options() { return state().opts; }
+
+const std::vector<Finding>& findings() { return state().findings; }
+
+std::size_t count(Severity s) {
+  return state().counts[static_cast<int>(s)];
+}
+
+bool clean() {
+  const State& st = state();
+  return st.counts[1] == 0 && st.counts[2] == 0;
+}
+
+std::string report_json() { return render_json(state()); }
+
+bool write_report(const std::string& path) {
+  return dump_report(state(), path);
+}
+
+void annotate(const void* ptr, std::string label) {
+  State& st = state();
+  if (!st.opts.enabled) return;
+  ensure_world(st);
+  if (ShadowAlloc* sa = find_shadow(st, ptr)) {
+    sa->label = std::move(label);
+  }
+}
+
+void note_host_access(const void* ptr, std::size_t bytes, bool write,
+                      const char* op) {
+  State& st = state();
+  if (!st.opts.enabled || !st.opts.racecheck) return;
+  ensure_world(st);
+  ShadowAlloc* sa = find_shadow(st, ptr);
+  if (!sa) return;
+  auto& p = platform();
+  // Coalesce repeated notes against the same buffer while nothing was
+  // enqueued in between (element-wise at() loops): the host component only
+  // moves on enqueues and our own ticks, so an unchanged component means an
+  // identical note would see exactly the same history.
+  const sim::HbClock& host = p.hb_host_clock();
+  const std::uint64_t comp = host.empty() ? 0 : host[0];
+  if (sa->info.base == st.last_host_base && write == st.last_host_write &&
+      comp == st.last_host_comp) {
+    return;
+  }
+  p.hb_tick_host();
+  AccessRecord rec;
+  rec.clock = p.hb_host_clock();
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  rec.box = flat_box(addr - sa->info.base, bytes);
+  rec.write = write;
+  rec.owner = -1;
+  rec.op = op;
+  rec.t_start = p.now();
+  rec.t_finish = p.now();
+  add_access(st, *sa, std::move(rec));
+  st.last_host_base = sa->info.base;
+  st.last_host_write = write;
+  const sim::HbClock& host2 = p.hb_host_clock();
+  st.last_host_comp = host2.empty() ? 0 : host2[0];
+}
+
+void note_kernel_access(int stream, const void* ptr, std::size_t bytes,
+                        bool write, const char* op) {
+  BoxShape box = flat_box(0, bytes);
+  note_kernel_box_access(stream, ptr, box, write, op);
+}
+
+void note_kernel_box_access(int stream, const void* ptr, const BoxShape& box,
+                            bool write, const char* op) {
+  State& st = state();
+  if (!st.opts.enabled || !st.opts.racecheck) return;
+  ensure_world(st);
+  ShadowAlloc* sa = find_shadow(st, ptr);
+  if (!sa) return;
+  auto& p = platform();
+  AccessRecord rec;
+  rec.clock = p.hb_stream_clock(stream);
+  rec.box = box;
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  rec.box.offset += addr - sa->info.base;
+  rec.write = write;
+  rec.owner = stream;
+  rec.op = op;
+  rec.t_start = p.last_op_start();
+  rec.t_finish = p.last_op_finish();
+  add_access(st, *sa, std::move(rec));
+}
+
+// --- hooks ---------------------------------------------------------------
+
+namespace hook {
+
+void on_configure() {
+  State& st = state();
+  if (!st.opts.enabled) return;
+  ensure_world(st);
+}
+
+void on_alloc(const Allocation& alloc) {
+  State& st = state();
+  if (!st.opts.enabled) return;
+  ensure_world(st);
+  // Recycled addresses invalidate any tombstone they land on.
+  const std::uintptr_t lo = alloc.base;
+  const std::uintptr_t hi = alloc.base + alloc.size;
+  auto& ts = st.tombstones;
+  ts.erase(std::remove_if(ts.begin(), ts.end(),
+                          [&](const Allocation& t) {
+                            return t.base < hi && lo < t.base + t.size;
+                          }),
+           ts.end());
+  ShadowAlloc sa;
+  sa.info = alloc;
+  st.allocs[alloc.base] = std::move(sa);
+}
+
+void on_free(const void* ptr, bool ok, const char* op) {
+  State& st = state();
+  if (!st.opts.enabled) return;
+  ensure_world(st);
+  if (!ok) {
+    if (!st.opts.memcheck || !ptr) return;
+    const Allocation* t = find_tombstone(st, ptr);
+    Finding f;
+    f.kind = t ? FindingKind::kDoubleFree : FindingKind::kInvalidFree;
+    f.severity = Severity::kError;
+    f.op = op;
+    f.base = reinterpret_cast<std::uintptr_t>(ptr);
+    f.allocation = hex(f.base);
+    if (t) f.device = t->device;
+    f.time_start = f.time_finish =
+        static_cast<std::uint64_t>(platform().now());
+    f.message = std::string(op) + ": " +
+                (t ? "double free of " : "free of unknown pointer ") +
+                f.allocation;
+    const std::string key =
+        std::string(to_string(f.kind)) + "|" + hex(f.base);
+    record(st, std::move(f), key);
+    return;
+  }
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  auto it = st.allocs.find(addr);
+  if (it == st.allocs.end()) return;
+  ShadowAlloc& sa = it->second;
+  if (st.opts.racecheck) {
+    // Freeing memory an in-flight async op still reads/writes is a race.
+    auto& p = platform();
+    p.hb_tick_host();
+    AccessRecord rec;
+    rec.clock = p.hb_host_clock();
+    rec.box = flat_box(0, sa.info.size);
+    rec.write = true;
+    rec.owner = -1;
+    rec.op = op;
+    rec.t_start = rec.t_finish = p.now();
+    check_only(st, sa, rec);
+  }
+  st.tombstones.push_back(sa.info);
+  if (st.tombstones.size() > kMaxTombstones) st.tombstones.pop_front();
+  st.allocs.erase(it);
+}
+
+bool precheck_range(const void* ptr, std::size_t bytes, const char* op) {
+  State& st = state();
+  if (!st.opts.enabled || !st.opts.memcheck) return true;
+  ensure_world(st);
+  if (!ptr || bytes == 0) return true;
+  const auto addr = reinterpret_cast<std::uintptr_t>(ptr);
+  if (const ShadowAlloc* sa = find_shadow(st, ptr)) {
+    const std::size_t offset = addr - sa->info.base;
+    if (offset + bytes <= sa->info.size) return true;
+    Finding f;
+    f.kind = FindingKind::kOobCopy;
+    f.severity = Severity::kError;
+    f.op = op;
+    f.allocation = name_of(*sa);
+    f.base = sa->info.base;
+    f.offset = offset;
+    f.bytes = bytes;
+    f.device = sa->info.device;
+    f.time_start = f.time_finish =
+        static_cast<std::uint64_t>(platform().now());
+    std::ostringstream msg;
+    msg << op << ": range [" << offset << ", " << offset + bytes
+        << ") runs past " << f.allocation << " (size " << sa->info.size
+        << ")";
+    f.message = msg.str();
+    std::ostringstream key;
+    key << "oob|" << f.base << "|" << op;
+    record(st, std::move(f), key.str());
+    return false;
+  }
+  if (const Allocation* t = find_tombstone(st, ptr)) {
+    Finding f;
+    f.kind = FindingKind::kUseAfterFree;
+    f.severity = Severity::kError;
+    f.op = op;
+    f.base = t->base;
+    f.allocation = hex(t->base);
+    f.offset = addr - t->base;
+    f.bytes = bytes;
+    f.device = t->device;
+    f.time_start = f.time_finish =
+        static_cast<std::uint64_t>(platform().now());
+    std::ostringstream msg;
+    msg << op << ": touches freed allocation " << f.allocation << " ("
+        << to_string(t->space) << ", size " << t->size << ")";
+    f.message = msg.str();
+    std::ostringstream key;
+    key << "uaf|" << f.base << "|" << op;
+    record(st, std::move(f), key.str());
+    return false;
+  }
+  return true;  // unregistered plain host memory
+}
+
+void note_op_access(int stream, const void* dst, const void* src,
+                    std::size_t bytes, const char* op) {
+  State& st = state();
+  if (!st.opts.enabled || !st.opts.racecheck || bytes == 0) return;
+  ensure_world(st);
+  if (dst) note_endpoint(st, stream, dst, flat_box(0, bytes), true, op);
+  if (src) note_endpoint(st, stream, src, flat_box(0, bytes), false, op);
+}
+
+void note_op_box_access(int stream, const void* dst, const BoxShape& dst_box,
+                        const void* src, const BoxShape& src_box,
+                        const char* op) {
+  State& st = state();
+  if (!st.opts.enabled || !st.opts.racecheck) return;
+  ensure_world(st);
+  if (dst) note_endpoint(st, stream, dst, dst_box, true, op);
+  if (src) note_endpoint(st, stream, src, src_box, false, op);
+}
+
+void on_pageable_async(int stream, const char* op) {
+  State& st = state();
+  if (!st.opts.enabled || !st.opts.memcheck) return;
+  ensure_world(st);
+  Finding f;
+  f.kind = FindingKind::kPageableAsync;
+  f.severity = Severity::kInfo;
+  f.op = op;
+  f.stream_a = stream;
+  f.time_start = f.time_finish = static_cast<std::uint64_t>(platform().now());
+  f.message = std::string(op) +
+              ": async copy through pageable host memory degrades to a "
+              "host-blocking staged transfer";
+  record(st, std::move(f), std::string("pageable|") + op);
+}
+
+void on_peer_staged(int src_device, int dst_device, const char* op) {
+  State& st = state();
+  if (!st.opts.enabled || !st.opts.memcheck) return;
+  ensure_world(st);
+  Finding f;
+  f.kind = FindingKind::kPeerStaged;
+  f.severity = Severity::kInfo;
+  f.op = op;
+  f.stream_a = src_device;
+  f.stream_b = dst_device;
+  f.time_start = f.time_finish = static_cast<std::uint64_t>(platform().now());
+  std::ostringstream msg;
+  msg << op << ": peer copy device " << src_device << " -> device "
+      << dst_device << " staged through the host (peer access not enabled)";
+  f.message = msg.str();
+  std::ostringstream key;
+  key << "peer|" << src_device << "|" << dst_device << "|" << op;
+  record(st, std::move(f), key.str());
+}
+
+void on_stream_destroy_pending(int stream) {
+  State& st = state();
+  if (!st.opts.enabled) return;
+  ensure_world(st);
+  Finding f;
+  f.kind = FindingKind::kStreamDestroyPending;
+  f.severity = Severity::kWarning;
+  f.op = "cuemStreamDestroy";
+  f.stream_a = stream;
+  f.time_start = f.time_finish = static_cast<std::uint64_t>(platform().now());
+  f.message = "cuemStreamDestroy: stream " + std::to_string(stream) +
+              " destroyed with work still pending (runtime drains it)";
+  record(st, std::move(f), "destroy-pending|" + std::to_string(stream));
+}
+
+void on_device_reset() {
+  State& st = state();
+  if (!st.opts.enabled) return;
+  ensure_world(st);
+  if (st.opts.memcheck) {
+    for (const auto& [base, sa] : st.allocs) {
+      Finding f;
+      f.kind = FindingKind::kLeakAllocation;
+      f.severity = Severity::kWarning;
+      f.op = "cuemDeviceReset";
+      f.allocation = name_of(sa);
+      f.base = base;
+      f.bytes = sa.info.size;
+      f.device = sa.info.device;
+      f.time_start = f.time_finish =
+          static_cast<std::uint64_t>(platform().now());
+      std::ostringstream msg;
+      msg << "cuemDeviceReset: leaked " << to_string(sa.info.space)
+          << " allocation " << f.allocation << " (" << sa.info.size
+          << " bytes)";
+      f.message = msg.str();
+      record(st, std::move(f), "leak-alloc|" + hex(base));
+    }
+    for (sim::StreamId s : platform().live_user_streams()) {
+      Finding f;
+      f.kind = FindingKind::kLeakStream;
+      f.severity = Severity::kWarning;
+      f.op = "cuemDeviceReset";
+      f.stream_a = s;
+      f.time_start = f.time_finish =
+          static_cast<std::uint64_t>(platform().now());
+      f.message =
+          "cuemDeviceReset: stream " + std::to_string(s) + " never destroyed";
+      record(st, std::move(f), "leak-stream|" + std::to_string(s));
+    }
+  }
+  if (!st.opts.json_path.empty()) dump_report(st, st.opts.json_path);
+}
+
+}  // namespace hook
+
+}  // namespace tidacc::cuem::san
+
+#endif  // TIDACC_CUEM_SANITIZER

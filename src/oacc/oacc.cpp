@@ -170,6 +170,16 @@ MemMode mem_mode() { return state().mode; }
 
 cuemStream_t get_cuem_stream(QueueId queue) { return stream_for(queue); }
 
+void release_queues() {
+  AccState& s = state();
+  for (const auto& [key, stream] : s.queues) {
+    (void)key;
+    acc_check(cuemStreamSynchronize(stream), "queue drain");
+    acc_check(cuemStreamDestroy(stream), "queue destroy");
+  }
+  s.queues.clear();
+}
+
 void wait(QueueId queue) {
   acc_check(cuemStreamSynchronize(stream_for(queue)), "acc wait(queue)");
 }

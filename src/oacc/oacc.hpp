@@ -55,6 +55,13 @@ MemMode mem_mode();
 /// (acc_get_cuda_stream analogue). kSyncQueue maps to the default stream.
 cuemStream_t get_cuem_stream(QueueId queue);
 
+/// Drains and destroys every stream the queue map has created (the streams
+/// backing explicit async queues / device-pool slots). Orderly teardown for
+/// programs that end with cuemDeviceReset: the reset-time leak sweep of the
+/// cuem sanitizer reports still-live user streams, and this is the sanctioned
+/// way to retire them first. Idempotent; queues recreate on next use.
+void release_queues();
+
 /// Waits for one queue / all queues (acc wait).
 void wait(QueueId queue);
 void wait_all();

@@ -8,6 +8,25 @@ namespace tidacc::sim {
 
 std::unique_ptr<Platform> Platform::g_instance;
 
+bool hb_leq(const HbClock& a, const HbClock& b) {
+  for (size_t i = 0; i < a.size(); ++i) {
+    const std::uint64_t bi = i < b.size() ? b[i] : 0;
+    if (a[i] > bi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void hb_join(HbClock& into, const HbClock& from) {
+  if (from.size() > into.size()) {
+    into.resize(from.size(), 0);
+  }
+  for (size_t i = 0; i < from.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
 const char* to_string(HostMemKind k) {
   switch (k) {
     case HostMemKind::kPageable:
@@ -60,7 +79,60 @@ StreamId Platform::create_stream(int device) {
   stream_avail_.push_back(host_clock_);
   stream_alive_.push_back(true);
   stream_device_.push_back(device);
+  if (hb_enabled_) {
+    // A new stream inherits everything the host has observed so far.
+    hb_streams_.resize(stream_avail_.size());
+    hb_streams_.back() = hb_host_;
+  }
   return static_cast<StreamId>(stream_avail_.size() - 1);
+}
+
+void Platform::set_hb_tracking(bool on) {
+  hb_enabled_ = on;
+  hb_host_.clear();
+  hb_streams_.assign(stream_avail_.size(), HbClock{});
+  hb_events_.clear();
+  hb_last_op_.clear();
+}
+
+const HbClock& Platform::hb_stream_clock(StreamId s) const {
+  check_stream(s);
+  static const HbClock kEmpty;
+  const auto si = static_cast<size_t>(s);
+  return si < hb_streams_.size() ? hb_streams_[si] : kEmpty;
+}
+
+void Platform::hb_tick_host() {
+  if (hb_enabled_) {
+    if (hb_host_.empty()) {
+      hb_host_.resize(1, 0);
+    }
+    ++hb_host_[0];
+  }
+}
+
+void Platform::hb_note_stream_query_success(StreamId s) {
+  check_stream(s);
+  if (hb_enabled_ && static_cast<size_t>(s) < hb_streams_.size()) {
+    hb_join(hb_host_, hb_streams_[static_cast<size_t>(s)]);
+  }
+}
+
+void Platform::hb_note_event_query_success(EventId e) {
+  if (hb_enabled_ && e >= 0 && static_cast<size_t>(e) < hb_events_.size()) {
+    hb_join(hb_host_, hb_events_[static_cast<size_t>(e)]);
+  }
+}
+
+std::vector<StreamId> Platform::live_user_streams() const {
+  std::vector<StreamId> out;
+  for (size_t s = static_cast<size_t>(num_devices_);
+       s < stream_alive_.size(); ++s) {
+    if (stream_alive_[s]) {
+      out.push_back(static_cast<StreamId>(s));
+    }
+  }
+  return out;
 }
 
 void Platform::destroy_stream(StreamId s) {
@@ -83,6 +155,9 @@ void Platform::sync_stream(StreamId s) {
   check_stream(s);
   host_clock_ = std::max(host_clock_ + cfg_.sync_overhead_ns,
                          stream_avail_[static_cast<size_t>(s)]);
+  if (hb_enabled_ && static_cast<size_t>(s) < hb_streams_.size()) {
+    hb_join(hb_host_, hb_streams_[static_cast<size_t>(s)]);
+  }
 }
 
 void Platform::sync_all() {
@@ -91,6 +166,11 @@ void Platform::sync_all() {
     latest = std::max(latest, stream_avail_[s]);
   }
   host_clock_ = latest;
+  if (hb_enabled_) {
+    for (const HbClock& c : hb_streams_) {
+      hb_join(hb_host_, c);
+    }
+  }
 }
 
 EngineId Platform::copy_engine_for(OpKind kind) const {
@@ -121,6 +201,22 @@ SimTime Platform::schedule(StreamId s, int device, EngineId engine,
   const SimTime finish = start + duration;
   stream_avail_[si] = finish;
   *lane = finish;
+  last_op_start_ = start;
+  last_op_finish_ = finish;
+  if (hb_enabled_) {
+    hb_tick_host();
+    if (si >= hb_streams_.size()) {
+      hb_streams_.resize(si + 1);
+    }
+    // host→op edge at enqueue, then the op ticks its stream component.
+    HbClock& sc = hb_streams_[si];
+    hb_join(sc, hb_host_);
+    if (sc.size() <= si + 1) {
+      sc.resize(si + 2, 0);
+    }
+    ++sc[si + 1];
+    hb_last_op_ = sc;
+  }
   trace_.add(TraceEvent{engine, s, kind, start, finish, bytes,
                         std::move(label), device});
   if (functional_ && action) {
@@ -187,6 +283,11 @@ SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
                                   action);
   if (host_participates) {
     host_clock_ = std::max(host_clock_, finish);
+    if (hb_enabled_) {
+      // Blocking / staged transfers return with the data moved: the host
+      // has observed the op complete.
+      hb_join(hb_host_, hb_last_op_);
+    }
   }
   return finish;
 }
@@ -233,6 +334,21 @@ SimTime Platform::enqueue_peer_copy(StreamId s, int src_device,
   stream_avail_[si] = finish;
   *src_lane = finish;
   *dst_lane = finish;
+  last_op_start_ = start;
+  last_op_finish_ = finish;
+  if (hb_enabled_) {
+    hb_tick_host();
+    if (si >= hb_streams_.size()) {
+      hb_streams_.resize(si + 1);
+    }
+    HbClock& sc = hb_streams_[si];
+    hb_join(sc, hb_host_);
+    if (sc.size() <= si + 1) {
+      sc.resize(si + 2, 0);
+    }
+    ++sc[si + 1];
+    hb_last_op_ = sc;
+  }
   trace_.add(TraceEvent{EngineId::kCopyH2D, s, OpKind::kCopyP2P, start,
                         finish, bytes, std::move(label), dst_device});
   if (functional_ && action) {
@@ -246,6 +362,17 @@ EventId Platform::record_event(StreamId s) {
   host_clock_ += cfg_.host_api_overhead_ns;
   const SimTime t = std::max(host_clock_, stream_avail_[static_cast<size_t>(s)]);
   events_.push_back(t);
+  if (hb_enabled_) {
+    // The record is stream-ordered: the event carries everything enqueued
+    // on the stream (and known to the host) before it.
+    const auto si = static_cast<size_t>(s);
+    if (si >= hb_streams_.size()) {
+      hb_streams_.resize(si + 1);
+    }
+    hb_join(hb_streams_[si], hb_host_);
+    hb_events_.resize(events_.size());
+    hb_events_.back() = hb_streams_[si];
+  }
   trace_.add(TraceEvent{EngineId::kCompute, s, OpKind::kEventRecord, t, t, 0,
                         "event", stream_device_[static_cast<size_t>(s)]});
   return static_cast<EventId>(events_.size() - 1);
@@ -257,6 +384,16 @@ void Platform::stream_wait_event(StreamId s, EventId e) {
   host_clock_ += cfg_.host_api_overhead_ns;
   auto& avail = stream_avail_[static_cast<size_t>(s)];
   avail = std::max(avail, events_[static_cast<size_t>(e)]);
+  if (hb_enabled_) {
+    const auto si = static_cast<size_t>(s);
+    if (si >= hb_streams_.size()) {
+      hb_streams_.resize(si + 1);
+    }
+    hb_join(hb_streams_[si], hb_host_);
+    if (static_cast<size_t>(e) < hb_events_.size()) {
+      hb_join(hb_streams_[si], hb_events_[static_cast<size_t>(e)]);
+    }
+  }
 }
 
 SimTime Platform::event_finish(EventId e) const {
@@ -267,6 +404,9 @@ SimTime Platform::event_finish(EventId e) const {
 void Platform::sync_event(EventId e) {
   host_clock_ =
       std::max(host_clock_ + cfg_.sync_overhead_ns, event_finish(e));
+  if (hb_enabled_ && static_cast<size_t>(e) < hb_events_.size()) {
+    hb_join(hb_host_, hb_events_[static_cast<size_t>(e)]);
+  }
 }
 
 void Platform::check_stream(StreamId s) const {

@@ -39,6 +39,18 @@ using StreamId = int;  ///< streams 0..N-1 are the per-device default
                        ///< count; stream 0 is device 0's default stream)
 using EventId = int;
 
+/// Happens-before vector clock over the platform's timelines: component 0
+/// is the host, component s+1 is stream s. Missing components read as 0.
+/// a happens-before b iff a <= b componentwise (and a != b); incomparable
+/// clocks mean the two points are concurrent — the racecheck condition.
+using HbClock = std::vector<std::uint64_t>;
+
+/// True when every component of `a` is <= the matching component of `b`.
+bool hb_leq(const HbClock& a, const HbClock& b);
+
+/// Componentwise max of `into` and `from`, grown as needed.
+void hb_join(HbClock& into, const HbClock& from);
+
 /// Kind of host memory participating in a transfer (affects bandwidth and
 /// whether the host must block for staging).
 enum class HostMemKind : int { kPageable = 0, kPinned = 1, kManaged = 2 };
@@ -174,6 +186,46 @@ class Platform {
   /// Blocks the host until event `e` completes.
   void sync_event(EventId e);
 
+  // --- happens-before export (consumed by the cuem sanitizer) ---
+  //
+  // When tracking is on, the platform maintains one vector clock per
+  // timeline and updates it on every edge its scheduling model defines:
+  // host→op at enqueue, stream program order, host joins on sync_stream /
+  // sync_all / sync_event / blocking (host-participating) transfers, event
+  // record/wait edges, and successful completion polls (note_query_*).
+  // Engine/lane FIFO serialization is deliberately NOT an edge: it orders
+  // ops in this simulator but not on real hardware, which is exactly the
+  // class of latent race the sanitizer exists to expose. Clock maintenance
+  // never touches the virtual clocks, so timing is identical either way.
+
+  bool hb_tracking() const { return hb_enabled_; }
+  void set_hb_tracking(bool on);
+
+  const HbClock& hb_host_clock() const { return hb_host_; }
+  const HbClock& hb_stream_clock(StreamId s) const;
+  /// Clock of the most recently scheduled op (copy/kernel/peer copy).
+  const HbClock& hb_last_op_clock() const { return hb_last_op_; }
+
+  /// Advances the host's own clock component. Called on every enqueue and
+  /// by the sanitizer on every host memory access it records, so a host
+  /// access issued after an async enqueue is concurrent with the op (not
+  /// ordered before it) until a sync/event/query edge joins them.
+  void hb_tick_host();
+
+  /// Host observed stream `s` drained via a successful query — an edge in
+  /// real CUDA (memory effects are visible after cudaStreamQuery succeeds).
+  void hb_note_stream_query_success(StreamId s);
+  /// Same for a successful event completion poll.
+  void hb_note_event_query_success(EventId e);
+
+  /// Virtual start/finish of the most recently scheduled op (independent of
+  /// trace recording, which benches disable).
+  SimTime last_op_start() const { return last_op_start_; }
+  SimTime last_op_finish() const { return last_op_finish_; }
+
+  /// Live non-default streams (leak sweep at device reset).
+  std::vector<StreamId> live_user_streams() const;
+
   // --- trace ---
 
   Trace& trace() { return trace_; }
@@ -221,6 +273,15 @@ class Platform {
   std::vector<EngineLanes> device_lanes_;
   std::vector<SimTime> events_;
   Trace trace_;
+
+  // Happens-before bookkeeping (all empty/idle unless hb_enabled_).
+  bool hb_enabled_ = false;
+  HbClock hb_host_;
+  std::vector<HbClock> hb_streams_;
+  std::vector<HbClock> hb_events_;
+  HbClock hb_last_op_;
+  SimTime last_op_start_ = 0;
+  SimTime last_op_finish_ = 0;
 
   static std::unique_ptr<Platform> g_instance;
 };

@@ -6,9 +6,11 @@
 #include <cstring>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "cuem/cuem.hpp"
+#include "cuem/san.hpp"
 
 namespace tidacc::cuem {
 namespace {
@@ -87,7 +89,14 @@ TEST_F(CuemTest, FreeNullIsNoop) {
 
 TEST_F(CuemTest, FreeUnknownPointerFails) {
   int x = 0;
-  EXPECT_EQ(cuemFree(&x), cuemErrorInvalidValue);
+  if (san::enabled() && san::options().fatal) {
+    // The sanitizer classifies this deliberate misuse as invalid_free and
+    // fatal mode aborts the offending call instead of returning the code.
+    EXPECT_THROW((void)cuemFree(&x), tidacc::Error);
+  } else {
+    EXPECT_EQ(cuemFree(&x), cuemErrorInvalidValue);
+  }
+  san::clear_findings();
 }
 
 TEST_F(CuemTest, FreeWrongSpaceFails) {
@@ -505,8 +514,8 @@ TEST_F(CuemTest, UnrecordedEventElapsedFails) {
   float ms = 0;
   EXPECT_EQ(cuemEventElapsedTime(&ms, e0, e1),
             cuemErrorInvalidResourceHandle);
-  cuemEventDestroy(e0);
-  cuemEventDestroy(e1);
+  EXPECT_EQ(cuemEventDestroy(e0), cuemSuccess);
+  EXPECT_EQ(cuemEventDestroy(e1), cuemSuccess);
 }
 
 TEST_F(CuemTest, StreamWaitEventOrdersAcrossStreams) {
@@ -528,11 +537,11 @@ TEST_F(CuemTest, StreamWaitEventOrdersAcrossStreams) {
             cuemSuccess);
   ASSERT_EQ(cuemStreamSynchronize(s2), cuemSuccess);
   EXPECT_GE(platform().now(), transfer_time_ns(105'000'000, 10.5));
-  cuemEventDestroy(e);
-  cuemStreamDestroy(s1);
-  cuemStreamDestroy(s2);
-  cuemFree(d);
-  cuemFreeHost(h);
+  EXPECT_EQ(cuemEventDestroy(e), cuemSuccess);
+  EXPECT_EQ(cuemStreamDestroy(s1), cuemSuccess);
+  EXPECT_EQ(cuemStreamDestroy(s2), cuemSuccess);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
 }
 
 TEST_F(CuemTest, WaitOnUnrecordedEventIsNoop) {
@@ -541,8 +550,36 @@ TEST_F(CuemTest, WaitOnUnrecordedEventIsNoop) {
   cuemEvent_t e = 0;
   ASSERT_EQ(cuemEventCreate(&e), cuemSuccess);
   EXPECT_EQ(cuemStreamWaitEvent(s, e, 0), cuemSuccess);
-  cuemEventDestroy(e);
-  cuemStreamDestroy(s);
+  EXPECT_EQ(cuemEventDestroy(e), cuemSuccess);
+  EXPECT_EQ(cuemStreamDestroy(s), cuemSuccess);
+}
+
+TEST_F(CuemTest, StreamDestroyDrainsPendingWork) {
+  cuemStream_t s = 0;
+  ASSERT_EQ(cuemStreamCreate(&s), cuemSuccess);
+  void* d = nullptr;
+  void* h = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 105'000'000), cuemSuccess);
+  ASSERT_EQ(cuemMallocHost(&h, 105'000'000), cuemSuccess);
+  const SimTime t0 = platform().now();
+  ASSERT_EQ(cuemMemcpyAsync(d, h, 105'000'000, cuemMemcpyHostToDevice, s),
+            cuemSuccess);
+  EXPECT_EQ(platform().now(), t0);  // the copy is in flight
+  // CUDA semantics: destroying a busy stream lets queued work complete, and
+  // the host must observe it as finished — destroy behaves as sync+destroy.
+  ASSERT_EQ(cuemStreamDestroy(s), cuemSuccess);
+  EXPECT_GE(platform().now() - t0, transfer_time_ns(105'000'000, 10.5));
+  EXPECT_EQ(cuemStreamQuery(s), cuemErrorInvalidResourceHandle);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
+}
+
+TEST_F(CuemTest, StreamDestroyIdleCostsNothing) {
+  cuemStream_t s = 0;
+  ASSERT_EQ(cuemStreamCreate(&s), cuemSuccess);
+  const SimTime t0 = platform().now();
+  ASSERT_EQ(cuemStreamDestroy(s), cuemSuccess);
+  EXPECT_EQ(platform().now(), t0);  // idle streams skip the drain
 }
 
 // --- kernel launches ---
@@ -555,7 +592,7 @@ TEST_F(CuemTest, LaunchRunsBodyFunctionally) {
                    [&ran] { ran = 1; }),
             cuemSuccess);
   EXPECT_EQ(ran, 1);
-  cuemStreamDestroy(s);
+  EXPECT_EQ(cuemStreamDestroy(s), cuemSuccess);
 }
 
 TEST_F(CuemTest, LaunchInvalidStreamFails) {
@@ -573,17 +610,17 @@ TEST_F(CuemTest, UntunedLaunchIsSlower) {
   LaunchGeometry tuned;
   tuned.tuned = true;
   ASSERT_EQ(launch(s, tuned, big, "tuned", nullptr), cuemSuccess);
-  cuemStreamSynchronize(s);
+  ASSERT_EQ(cuemStreamSynchronize(s), cuemSuccess);
   const SimTime t_tuned = platform().now();
 
   LaunchGeometry untuned;
   untuned.tuned = false;
   ASSERT_EQ(launch(s, untuned, big, "untuned", nullptr), cuemSuccess);
-  cuemStreamSynchronize(s);
+  ASSERT_EQ(cuemStreamSynchronize(s), cuemSuccess);
   const SimTime t_untuned = platform().now() - t_tuned;
 
   EXPECT_GT(t_untuned, t_tuned);
-  cuemStreamDestroy(s);
+  EXPECT_EQ(cuemStreamDestroy(s), cuemSuccess);
 }
 
 // --- managed memory / UVM ---
@@ -612,11 +649,11 @@ TEST_F(CuemTest, ManagedDoesNotRemigrateWhenDeviceResident) {
   ASSERT_EQ(cuemMallocManaged(&m, 50'000'000), cuemSuccess);
   ASSERT_EQ(launch(0, LaunchGeometry{}, tiny_kernel(), "k1", nullptr),
             cuemSuccess);
-  cuemDeviceSynchronize();
+  ASSERT_EQ(cuemDeviceSynchronize(), cuemSuccess);
   const auto h2d_before = platform().trace().stats().h2d_bytes;
   ASSERT_EQ(launch(0, LaunchGeometry{}, tiny_kernel(), "k2", nullptr),
             cuemSuccess);
-  cuemDeviceSynchronize();
+  ASSERT_EQ(cuemDeviceSynchronize(), cuemSuccess);
   EXPECT_EQ(platform().trace().stats().h2d_bytes, h2d_before);
 }
 
@@ -653,10 +690,10 @@ TEST_F(CuemTest, DeviceSynchronizeDrainsAllStreams) {
   ASSERT_EQ(cuemDeviceSynchronize(), cuemSuccess);
   EXPECT_EQ(cuemStreamQuery(s1), cuemSuccess);
   EXPECT_EQ(cuemStreamQuery(s2), cuemSuccess);
-  cuemStreamDestroy(s1);
-  cuemStreamDestroy(s2);
-  cuemFree(d);
-  cuemFreeHost(h);
+  EXPECT_EQ(cuemStreamDestroy(s1), cuemSuccess);
+  EXPECT_EQ(cuemStreamDestroy(s2), cuemSuccess);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
 }
 
 TEST_F(CuemTest, DeviceResetFreesEverything) {
@@ -704,8 +741,8 @@ TEST_F(CuemTest, HostRegisterUpgradesToPinnedBandwidth) {
 
   ASSERT_EQ(cuemHostUnregister(h), cuemSuccess);
   EXPECT_FALSE(is_pinned_host_ptr(h));
-  cuemStreamDestroy(s);
-  cuemFree(d);
+  EXPECT_EQ(cuemStreamDestroy(s), cuemSuccess);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
   host_free(h);
 }
 
@@ -719,7 +756,7 @@ TEST_F(CuemTest, HostRegisterRejectsBadRanges) {
   void* pinned = nullptr;
   ASSERT_EQ(cuemMallocHost(&pinned, 64), cuemSuccess);
   EXPECT_EQ(cuemHostRegister(pinned, 64, 0), cuemErrorInvalidValue);
-  cuemFreeHost(pinned);
+  EXPECT_EQ(cuemFreeHost(pinned), cuemSuccess);
   host_free(h);
 }
 
@@ -729,7 +766,7 @@ TEST_F(CuemTest, MemsetFillsDeviceMemory) {
   ASSERT_EQ(cuemMemset(d, 0xAB, 64), cuemSuccess);
   EXPECT_EQ(static_cast<unsigned char*>(d)[0], 0xAB);
   EXPECT_EQ(static_cast<unsigned char*>(d)[63], 0xAB);
-  cuemFree(d);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
 }
 
 TEST_F(CuemTest, MemsetAsyncIsStreamOrdered) {
@@ -742,8 +779,8 @@ TEST_F(CuemTest, MemsetAsyncIsStreamOrdered) {
   EXPECT_EQ(platform().now(), t0);  // async
   EXPECT_EQ(cuemStreamQuery(s), cuemErrorNotReady);
   ASSERT_EQ(cuemStreamSynchronize(s), cuemSuccess);
-  cuemStreamDestroy(s);
-  cuemFree(d);
+  EXPECT_EQ(cuemStreamDestroy(s), cuemSuccess);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
 }
 
 TEST_F(CuemTest, MemsetRejectsHostPointer) {
@@ -768,10 +805,10 @@ TEST_F(CuemTest, EventQueryTracksCompletion) {
   EXPECT_EQ(cuemEventQuery(e), cuemErrorNotReady);
   ASSERT_EQ(cuemEventSynchronize(e), cuemSuccess);
   EXPECT_EQ(cuemEventQuery(e), cuemSuccess);
-  cuemEventDestroy(e);
-  cuemStreamDestroy(s);
-  cuemFree(d);
-  cuemFreeHost(h);
+  EXPECT_EQ(cuemEventDestroy(e), cuemSuccess);
+  EXPECT_EQ(cuemStreamDestroy(s), cuemSuccess);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
 }
 
 TEST_F(CuemTest, DevicePropertiesReflectConfig) {
@@ -846,7 +883,7 @@ TEST_F(PascalUvmTest, PrefetchedAllocationSkipsLaunchMigration) {
   const auto h2d = platform().trace().stats().h2d_bytes;
   ASSERT_EQ(launch(0, LaunchGeometry{}, tiny_kernel(), "k", nullptr),
             cuemSuccess);
-  cuemDeviceSynchronize();
+  ASSERT_EQ(cuemDeviceSynchronize(), cuemSuccess);
   EXPECT_EQ(platform().trace().stats().h2d_bytes, h2d);  // no second move
   EXPECT_EQ(cuemFree(m), cuemSuccess);
 }
@@ -858,7 +895,7 @@ TEST_F(PascalUvmTest, HostTouchDoesNotSyncWholeDevice) {
   ASSERT_EQ(cuemMallocManaged(&m, 64 * kKiB), cuemSuccess);
   ASSERT_EQ(launch(0, LaunchGeometry{}, tiny_kernel(), "k", nullptr),
             cuemSuccess);
-  cuemDeviceSynchronize();
+  ASSERT_EQ(cuemDeviceSynchronize(), cuemSuccess);
   cuemStream_t s = 0;
   ASSERT_EQ(cuemStreamCreate(&s), cuemSuccess);
   void* d = nullptr;
@@ -870,10 +907,10 @@ TEST_F(PascalUvmTest, HostTouchDoesNotSyncWholeDevice) {
   ASSERT_EQ(host_touch(m, 64 * kKiB), cuemSuccess);
   // The long transfer on s is still in flight after the touch.
   EXPECT_EQ(cuemStreamQuery(s), cuemErrorNotReady);
-  cuemStreamDestroy(s);
-  cuemFree(d);
-  cuemFreeHost(h);
-  cuemFree(m);
+  EXPECT_EQ(cuemStreamDestroy(s), cuemSuccess);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
+  EXPECT_EQ(cuemFree(m), cuemSuccess);
 }
 
 TEST_F(PascalUvmTest, PrefetchRejectsNonManagedAndBadArgs) {
@@ -889,15 +926,15 @@ TEST_F(PascalUvmTest, PrefetchRejectsNonManagedAndBadArgs) {
   EXPECT_EQ(cuemMemPrefetchAsync(m, 1024, 1, 0), cuemErrorInvalidDevice);
   EXPECT_EQ(cuemMemPrefetchAsync(m, 1024, 0, 777),
             cuemErrorInvalidResourceHandle);
-  cuemFree(d);
-  cuemFree(m);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFree(m), cuemSuccess);
 }
 
 TEST_F(CuemTest, PrefetchUnsupportedOnKepler) {
   void* m = nullptr;
   ASSERT_EQ(cuemMallocManaged(&m, 1024), cuemSuccess);
   EXPECT_EQ(cuemMemPrefetchAsync(m, 1024, 0, 0), cuemErrorInvalidValue);
-  cuemFree(m);
+  EXPECT_EQ(cuemFree(m), cuemSuccess);
 }
 
 // --- registry fuzz ---

@@ -1,0 +1,354 @@
+// Tests for cuem::san, the compute-sanitizer analogue: every defect class
+// the checker knows is injected deliberately and must surface as exactly
+// its named finding in the JSON report; representative clean workloads
+// (tiled heat with ghost exchange, out-of-core eviction, prefetch) must
+// produce zero errors and zero warnings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "core/tidacc.hpp"
+#include "cuem/cuem.hpp"
+#include "cuem/san.hpp"
+
+#ifndef TIDACC_CUEM_SANITIZER
+
+// The suite carries the `san` ctest label; in a build without the checker
+// compiled in there is nothing to exercise.
+TEST(CuemSanTest, RequiresSanitizerBuild) {
+  GTEST_SKIP() << "built without TIDACC_CUEM_SANITIZER";
+}
+
+#else
+
+namespace tidacc {
+namespace {
+
+using core::AccOptions;
+using core::AccTileArray;
+using core::AccTileIterator;
+using core::compute;
+using core::DeviceView;
+using oacc::LoopCost;
+using sim::DeviceConfig;
+using sim::Interconnect;
+using tida::Boundary;
+using tida::Box;
+using tida::Index3;
+
+DeviceConfig test_config() {
+  DeviceConfig cfg = DeviceConfig::k40m();
+  cfg.transfer_latency_ns = 0;
+  cfg.pageable_staging_ns = 0;
+  cfg.kernel_launch_ns = 0;
+  cfg.host_api_overhead_ns = 0;
+  cfg.sync_overhead_ns = 0;
+  cfg.oacc_dispatch_extra_ns = 0;
+  return cfg;
+}
+
+/// Collect-mode fixture: findings are inspected, never fatal (the CI runs
+/// this suite with TIDACC_CUEM_SAN=fatal in the environment, which the
+/// explicit configure overrides — injected defects must not abort).
+class CuemSanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cuem::configure(test_config(), /*functional=*/true);
+    oacc::reset();
+    cuem::CuemSanOptions opts;
+    opts.enabled = true;
+    opts.fatal = false;
+    cuem::san::configure(opts);
+  }
+  void TearDown() override {
+    cuem::san::configure(cuem::CuemSanOptions{});  // disabled, state cleared
+    cuem::configure(DeviceConfig::k40m(), true);
+  }
+};
+
+bool json_names(const std::string& kind) {
+  return cuem::san::report_json().find("\"kind\": \"" + kind + "\"") !=
+         std::string::npos;
+}
+
+// --- memcheck defect injections ---
+
+TEST_F(CuemSanTest, OobCopyIsNamedInJson) {
+  void* d = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 64), cuemSuccess);
+  std::vector<char> host(128, 0);
+  // 128 bytes into a 64-byte allocation: flagged and suppressed.
+  EXPECT_NE(cuemMemcpy(d, host.data(), 128, cuemMemcpyHostToDevice),
+            cuemSuccess);
+  EXPECT_TRUE(json_names("oob_copy"));
+  EXPECT_EQ(cuem::san::count(cuem::san::Severity::kError), 1u);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+}
+
+TEST_F(CuemSanTest, OobFindingReportsAnnotationLabel) {
+  void* d = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 64), cuemSuccess);
+  ASSERT_EQ(cuemSanAnnotate(d, "lhs-tile"), cuemSuccess);
+  std::vector<char> host(128, 0);
+  EXPECT_NE(cuemMemcpy(d, host.data(), 128, cuemMemcpyHostToDevice),
+            cuemSuccess);
+  EXPECT_NE(cuem::san::report_json().find("lhs-tile"), std::string::npos);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+}
+
+TEST_F(CuemSanTest, UseAfterFreeIsNamedInJson) {
+  void* d = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 64), cuemSuccess);
+  ASSERT_EQ(cuemFree(d), cuemSuccess);
+  std::vector<char> host(64, 0);
+  EXPECT_NE(cuemMemcpy(d, host.data(), 64, cuemMemcpyHostToDevice),
+            cuemSuccess);
+  EXPECT_TRUE(json_names("use_after_free"));
+}
+
+TEST_F(CuemSanTest, DoubleFreeIsNamedInJson) {
+  void* d = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 64), cuemSuccess);
+  ASSERT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_NE(cuemFree(d), cuemSuccess);
+  EXPECT_TRUE(json_names("double_free"));
+  EXPECT_FALSE(json_names("invalid_free"));
+}
+
+TEST_F(CuemSanTest, InvalidFreeIsNamedInJson) {
+  int x = 0;
+  EXPECT_NE(cuemFree(&x), cuemSuccess);
+  EXPECT_TRUE(json_names("invalid_free"));
+}
+
+TEST_F(CuemSanTest, LeaksAtDeviceResetAreNamedInJson) {
+  void* d = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 1024), cuemSuccess);
+  cuemStream_t s = 0;
+  ASSERT_EQ(cuemStreamCreate(&s), cuemSuccess);
+  ASSERT_EQ(cuemDeviceReset(), cuemSuccess);
+  EXPECT_TRUE(json_names("leak_allocation"));
+  EXPECT_TRUE(json_names("leak_stream"));
+  EXPECT_GE(cuem::san::count(cuem::san::Severity::kWarning), 2u);
+}
+
+TEST_F(CuemSanTest, PageableAsyncCopyIsInfoOnly) {
+  void* d = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 4096), cuemSuccess);
+  std::vector<char> pageable(4096, 0);  // never registered with the runtime
+  ASSERT_EQ(cuemMemcpyAsync(d, pageable.data(), 4096,
+                            cuemMemcpyHostToDevice, 0),
+            cuemSuccess);
+  ASSERT_EQ(cuemDeviceSynchronize(), cuemSuccess);
+  EXPECT_TRUE(json_names("pageable_async"));
+  EXPECT_TRUE(cuem::san::clean());  // info findings do not taint a run
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+}
+
+TEST_F(CuemSanTest, PeerCopyWithoutAccessIsInfoOnly) {
+  cuem::configure(test_config(), /*functional=*/true, /*num_devices=*/2,
+                  Interconnect::pcie());
+  void* d0 = nullptr;
+  ASSERT_EQ(cuemSetDevice(0), cuemSuccess);
+  ASSERT_EQ(cuemMalloc(&d0, 4096), cuemSuccess);
+  void* d1 = nullptr;
+  ASSERT_EQ(cuemSetDevice(1), cuemSuccess);
+  ASSERT_EQ(cuemMalloc(&d1, 4096), cuemSuccess);
+  // Peer access never enabled: the copy is staged through the host.
+  ASSERT_EQ(cuemMemcpyPeer(d1, 1, d0, 0, 4096), cuemSuccess);
+  EXPECT_TRUE(json_names("peer_staged"));
+  EXPECT_TRUE(cuem::san::clean());
+  EXPECT_EQ(cuemFree(d1), cuemSuccess);
+  ASSERT_EQ(cuemSetDevice(0), cuemSuccess);
+  EXPECT_EQ(cuemFree(d0), cuemSuccess);
+}
+
+TEST_F(CuemSanTest, StreamDestroyWithPendingWorkWarns) {
+  cuemStream_t s = 0;
+  ASSERT_EQ(cuemStreamCreate(&s), cuemSuccess);
+  void* d = nullptr;
+  void* h = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 105'000'000), cuemSuccess);
+  ASSERT_EQ(cuemMallocHost(&h, 105'000'000), cuemSuccess);
+  ASSERT_EQ(cuemMemcpyAsync(d, h, 105'000'000, cuemMemcpyHostToDevice, s),
+            cuemSuccess);
+  ASSERT_EQ(cuemStreamDestroy(s), cuemSuccess);  // drains, but warns
+  EXPECT_TRUE(json_names("stream_destroy_pending"));
+  EXPECT_EQ(cuem::san::count(cuem::san::Severity::kWarning), 1u);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
+}
+
+// --- racecheck defect injections ---
+
+TEST_F(CuemSanTest, UnsyncedCrossStreamWritesAreARace) {
+  cuemStream_t s1 = 0, s2 = 0;
+  ASSERT_EQ(cuemStreamCreate(&s1), cuemSuccess);
+  ASSERT_EQ(cuemStreamCreate(&s2), cuemSuccess);
+  void* d = nullptr;
+  void* h = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 4096), cuemSuccess);
+  ASSERT_EQ(cuemMallocHost(&h, 4096), cuemSuccess);
+  // Two writes into the same device range from different streams with no
+  // event or sync between them: unordered under happens-before.
+  ASSERT_EQ(cuemMemcpyAsync(d, h, 4096, cuemMemcpyHostToDevice, s1),
+            cuemSuccess);
+  ASSERT_EQ(cuemMemcpyAsync(d, h, 4096, cuemMemcpyHostToDevice, s2),
+            cuemSuccess);
+  EXPECT_TRUE(json_names("race"));
+  EXPECT_GE(cuem::san::count(cuem::san::Severity::kError), 1u);
+  ASSERT_EQ(cuemDeviceSynchronize(), cuemSuccess);
+  EXPECT_EQ(cuemStreamDestroy(s1), cuemSuccess);
+  EXPECT_EQ(cuemStreamDestroy(s2), cuemSuccess);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
+}
+
+TEST_F(CuemSanTest, EventEdgeOrdersCrossStreamWrites) {
+  cuemStream_t s1 = 0, s2 = 0;
+  ASSERT_EQ(cuemStreamCreate(&s1), cuemSuccess);
+  ASSERT_EQ(cuemStreamCreate(&s2), cuemSuccess);
+  void* d = nullptr;
+  void* h = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 4096), cuemSuccess);
+  ASSERT_EQ(cuemMallocHost(&h, 4096), cuemSuccess);
+  ASSERT_EQ(cuemMemcpyAsync(d, h, 4096, cuemMemcpyHostToDevice, s1),
+            cuemSuccess);
+  // The same pair as above, but with the closing event edge: no race.
+  cuemEvent_t e = 0;
+  ASSERT_EQ(cuemEventCreate(&e), cuemSuccess);
+  ASSERT_EQ(cuemEventRecord(e, s1), cuemSuccess);
+  ASSERT_EQ(cuemStreamWaitEvent(s2, e, 0), cuemSuccess);
+  ASSERT_EQ(cuemMemcpyAsync(d, h, 4096, cuemMemcpyHostToDevice, s2),
+            cuemSuccess);
+  EXPECT_FALSE(json_names("race"));
+  EXPECT_TRUE(cuem::san::clean());
+  ASSERT_EQ(cuemDeviceSynchronize(), cuemSuccess);
+  EXPECT_EQ(cuemEventDestroy(e), cuemSuccess);
+  EXPECT_EQ(cuemStreamDestroy(s1), cuemSuccess);
+  EXPECT_EQ(cuemStreamDestroy(s2), cuemSuccess);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
+}
+
+TEST_F(CuemSanTest, HostAccessRacesInFlightDeviceToHostCopy) {
+  cuemStream_t s = 0;
+  ASSERT_EQ(cuemStreamCreate(&s), cuemSuccess);
+  void* d = nullptr;
+  void* h = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 105'000'000), cuemSuccess);
+  ASSERT_EQ(cuemMallocHost(&h, 105'000'000), cuemSuccess);
+  ASSERT_EQ(cuemMemcpyAsync(h, d, 105'000'000, cuemMemcpyDeviceToHost, s),
+            cuemSuccess);
+  // The D2H is still writing the pinned buffer when the host reads it.
+  cuem::san::note_host_access(h, 4096, /*write=*/false, "test host read");
+  EXPECT_TRUE(json_names("race"));
+  ASSERT_EQ(cuemStreamSynchronize(s), cuemSuccess);
+  EXPECT_EQ(cuemStreamDestroy(s), cuemSuccess);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
+}
+
+TEST_F(CuemSanTest, SyncedHostAccessIsNotARace) {
+  cuemStream_t s = 0;
+  ASSERT_EQ(cuemStreamCreate(&s), cuemSuccess);
+  void* d = nullptr;
+  void* h = nullptr;
+  ASSERT_EQ(cuemMalloc(&d, 4096), cuemSuccess);
+  ASSERT_EQ(cuemMallocHost(&h, 4096), cuemSuccess);
+  ASSERT_EQ(cuemMemcpyAsync(h, d, 4096, cuemMemcpyDeviceToHost, s),
+            cuemSuccess);
+  ASSERT_EQ(cuemStreamSynchronize(s), cuemSuccess);
+  cuem::san::note_host_access(h, 4096, /*write=*/false, "test host read");
+  EXPECT_FALSE(json_names("race"));
+  EXPECT_TRUE(cuem::san::clean());
+  EXPECT_EQ(cuemStreamDestroy(s), cuemSuccess);
+  EXPECT_EQ(cuemFree(d), cuemSuccess);
+  EXPECT_EQ(cuemFreeHost(h), cuemSuccess);
+}
+
+// --- clean workloads: the protocol layer must produce zero findings ---
+
+/// One tiled periodic heat step per round on the GPU path, double-buffered,
+/// exercising fill/fill_boundary/compute/release_all — with max_slots small
+/// enough to force out-of-core eviction when requested.
+void run_heat_workload(int n, int region, int max_slots, int steps) {
+  AccOptions opts;
+  opts.max_slots = max_slots;
+  AccTileArray<double> u(Box::cube(n), Index3::uniform(region), 1, opts);
+  AccTileArray<double> un(Box::cube(n), Index3::uniform(region), 1, opts);
+  u.fill([](const Index3& p) {
+    return std::sin(0.1 * p.i) + 0.5 * std::cos(0.2 * p.j) + 0.01 * p.k;
+  });
+  LoopCost cost;
+  cost.flops_per_iter = 8;
+  cost.dev_bytes_per_iter = 16;
+  AccTileIterator<double> it(u);
+  AccTileArray<double>* src = &u;
+  AccTileArray<double>* dst = &un;
+  for (int s = 0; s < steps; ++s) {
+    src->fill_boundary(Boundary::kPeriodic);
+    for (it.reset(/*gpu=*/true); it.isValid(); it.next()) {
+      compute(it.tile_in(*src), it.tile_in(*dst), cost,
+              [](DeviceView<double> us, DeviceView<double> uns, int i, int j,
+                 int k) {
+                uns(i, j, k) =
+                    us(i, j, k) +
+                    0.1 * (us(i - 1, j, k) + us(i + 1, j, k) +
+                           us(i, j - 1, k) + us(i, j + 1, k) +
+                           us(i, j, k - 1) + us(i, j, k + 1) -
+                           6.0 * us(i, j, k));
+              });
+    }
+    std::swap(src, dst);
+  }
+  src->release_all_to_host();
+}
+
+TEST_F(CuemSanTest, TiledHeatWorkloadIsClean) {
+  run_heat_workload(/*n=*/8, /*region=*/4, /*max_slots=*/16, /*steps=*/3);
+  EXPECT_TRUE(cuem::san::clean())
+      << "unexpected findings:\n" << cuem::san::report_json();
+  EXPECT_EQ(cuem::san::count(cuem::san::Severity::kError), 0u);
+  EXPECT_EQ(cuem::san::count(cuem::san::Severity::kWarning), 0u);
+}
+
+TEST_F(CuemSanTest, OutOfCoreEvictionWorkloadIsClean) {
+  // Two slots for eight regions per array: every acquire evicts.
+  run_heat_workload(/*n=*/8, /*region=*/4, /*max_slots=*/2, /*steps=*/3);
+  EXPECT_TRUE(cuem::san::clean())
+      << "unexpected findings:\n" << cuem::san::report_json();
+}
+
+TEST_F(CuemSanTest, PrefetchAndHostTouchWorkloadIsClean) {
+  AccTileArray<double> arr(Box::cube(8), Index3::uniform(4), 0);
+  arr.fill([](const Index3& p) { return 1.0 * p.i; });
+  for (int r = 0; r < arr.num_regions(); ++r) {
+    (void)arr.prefetch_to_device(r);
+  }
+  for (int r = 0; r < arr.num_regions(); ++r) {
+    (void)arr.acquire_on_device(r);
+  }
+  arr.release_all_to_host();
+  // Host write-through after the batched release: pending transfers must
+  // have been waited for (the at() protocol).
+  arr.at({0, 0, 0}) = 42.0;
+  EXPECT_TRUE(cuem::san::clean())
+      << "unexpected findings:\n" << cuem::san::report_json();
+}
+
+TEST_F(CuemSanTest, JsonReportIsWellFormedOnCleanRun) {
+  const std::string json = cuem::san::report_json();
+  EXPECT_NE(json.find("\"sanitizer\": \"cuem-san\""), std::string::npos);
+  EXPECT_NE(json.find("\"errors\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"findings\": []"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tidacc
+
+#endif  // TIDACC_CUEM_SANITIZER
