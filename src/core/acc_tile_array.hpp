@@ -21,10 +21,12 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/inject.hpp"
 #include "core/device_pool.hpp"
 #include "core/dirty_tracker.hpp"
 #include "cuem/san.hpp"
 #include "oacc/oacc.hpp"
+#include "sim/snapshot.hpp"
 #include "tida/tile_array.hpp"
 #include "tida/tile_iterator.hpp"
 
@@ -266,9 +268,9 @@ class AccTileArray : public tida::TileArray<T> {
     }
     if (loc_.location(region) == Loc::kHost) {
       order_after_pending(region, stream);
-      CUEM_CHECK(cuem::prefetch_h2d_async(dev, this->region(region).data,
-                                          this->region_bytes(region), stream,
-                                          "P:R" + std::to_string(region)));
+      CUEM_CHECK(cuem::prefetch_h2d_async(
+          dev, this->region(region).data, this->region_bytes(region), stream,
+          tracing() ? "P:R" + std::to_string(region) : std::string()));
       pending_xfer_[static_cast<std::size_t>(region)] = stream;
       xfer_.h2d_bytes += this->region_bytes(region);
       ++xfer_.prefetch_ops;
@@ -508,7 +510,9 @@ class AccTileArray : public tida::TileArray<T> {
         }
       };
       p.enqueue_kernel(kstream, prof, p.config().oacc_dispatch_extra_ns,
-                       std::move(action), "ghost:R" + std::to_string(dst));
+                       std::move(action),
+                       tracing() ? "ghost:R" + std::to_string(dst)
+                                 : std::string());
       if (cuem::san::enabled()) {
         const std::string op = "ghost:R" + std::to_string(dst);
         for (std::size_t c = begin; c < end; ++c) {
@@ -580,7 +584,56 @@ class AccTileArray : public tida::TileArray<T> {
     }
   }
 
+  // --- snapshot (see docs/FUZZING.md) ---
+
+  /// Snapshot of the array's protocol state: pool bookkeeping, locations,
+  /// dirty boxes, pending transfers and accounting. Buffer *contents* (host
+  /// and device) live in cuem-registered allocations and ride in the cuem
+  /// snapshot; restore requires an array of identical geometry and options.
+  void capture(sim::SnapshotWriter& w) const {
+    w.section("acc_tile_array");
+    w.put_int(this->num_regions());
+    w.put_bool(disable_caching_);
+    w.put_bool(delta_transfers_);
+    pool_.capture(w);
+    loc_.capture(w);
+    dirty_.capture(w);
+    w.put_int_vec(pending_xfer_);
+    xfer_.capture(w);
+    w.put_u64(device_ghost_updates_);
+    w.put_u64(prefetches_issued_);
+    w.put_u64(streaming_exchanges_);
+  }
+
+  void restore(sim::SnapshotReader& r) {
+    r.section("acc_tile_array");
+    TIDACC_CHECK_MSG(r.get_int() == this->num_regions(),
+                     "array snapshot has a different region count");
+    TIDACC_CHECK_MSG(r.get_bool() == disable_caching_,
+                     "array snapshot disagrees on disable_caching");
+    TIDACC_CHECK_MSG(r.get_bool() == delta_transfers_,
+                     "array snapshot disagrees on delta_transfers");
+    pool_.restore(r);
+    loc_.restore(r);
+    dirty_.restore(r);
+    pending_xfer_ = r.get_int_vec();
+    TIDACC_CHECK_MSG(pending_xfer_.size() ==
+                         static_cast<std::size_t>(this->num_regions()),
+                     "array snapshot is inconsistent");
+    xfer_.restore(r);
+    device_ghost_updates_ = r.get_u64();
+    prefetches_issued_ = r.get_u64();
+    streaming_exchanges_ = r.get_u64();
+  }
+
  private:
+  /// True when the platform trace records full per-op events — per-op label
+  /// strings are only worth building then (the fuzz hot path turns
+  /// recording off and keeps stats-only accounting).
+  static bool tracing() {
+    return sim::Platform::instance().trace().recording();
+  }
+
   /// Waits for the last async transfer still touching `region`'s host
   /// buffer, if any. A successful query is enough (the transfer already
   /// completed — nothing to wait for and no host time spent); only a
@@ -610,6 +663,11 @@ class AccTileArray : public tida::TileArray<T> {
   /// paper's StaticModulo mapping a region never changes streams and this
   /// is a no-op.
   void order_after_pending(int region, cuemStream_t stream) {
+    if (injected("evict_race")) {
+      // Re-opens the pre-fix behaviour: no cross-stream edge, so the H2D
+      // races the in-flight eviction D2H (fuzzer/sanitizer regression bait).
+      return;
+    }
     cuemStream_t& pending = pending_xfer_[static_cast<std::size_t>(region)];
     if (pending < 0 || pending == stream) {
       return;
@@ -756,9 +814,10 @@ class AccTileArray : public tida::TileArray<T> {
         parms.height = static_cast<std::size_t>(e.j);
         parms.depth = static_cast<std::size_t>(e.k);
         parms.kind = kind;
-        CUEM_CHECK(cuem::memcpy3d_async(parms, stream,
-                                        (h2d ? "dH2D:R" : "dD2H:R") +
-                                            std::to_string(region)));
+        CUEM_CHECK(cuem::memcpy3d_async(
+            parms, stream,
+            tracing() ? (h2d ? "dH2D:R" : "dD2H:R") + std::to_string(region)
+                      : std::string()));
         pending_xfer_[static_cast<std::size_t>(region)] = stream;
         if (h2d) {
           xfer_.h2d_bytes += bytes;

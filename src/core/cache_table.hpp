@@ -9,6 +9,11 @@
 #include <cstdint>
 #include <vector>
 
+namespace tidacc::sim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace tidacc::sim
+
 namespace tidacc::core {
 
 /// slot → resident region id (-1 = empty), exactly the paper's cache list.
@@ -42,6 +47,11 @@ class CacheTable {
   /// Stamp of the last touch of `slot`; 0 means never touched.
   std::uint64_t last_used(int slot) const;
 
+  /// Snapshot of residency, access stamps and the table clock. Restore
+  /// requires a table of the same slot count.
+  void capture(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
+
  private:
   void check_slot(int slot) const;
 
@@ -68,6 +78,11 @@ class LocationTracker {
 
   /// True if any region was last accessed on the device.
   bool any_on_device() const;
+
+  /// Snapshot of every region's location. Restore requires a tracker of the
+  /// same region count.
+  void capture(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
 
  private:
   void check_region(int region) const;

@@ -149,7 +149,9 @@ void compute_range(const tida::Box& range, const oacc::LoopCost& cost,
 
   p.enqueue_kernel(kstream, prof, p.config().oacc_dispatch_extra_ns,
                    std::move(action),
-                   "C:R" + std::to_string(first.tile.region.id));
+                   p.trace().recording()
+                       ? "C:R" + std::to_string(first.tile.region.id)
+                       : std::string());
   // Dirty tracking is conservative: the kernel may write any involved
   // tile's cells in `range`, so every array records a device write there.
   (tiles.array->note_device_write(tiles.tile.region.id, range), ...);

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "cuem/san.hpp"
+#include "sim/snapshot.hpp"
 #include "oacc/oacc.hpp"
 
 namespace tidacc::core {
@@ -98,6 +99,27 @@ int DevicePool::place_prefetch(int region) {
 cuemStream_t DevicePool::stream_of_slot(int slot) const {
   TIDACC_CHECK_MSG(slot >= 0 && slot < num_slots(), "slot out of range");
   return oacc::get_cuem_stream(slot);
+}
+
+void DevicePool::capture(sim::SnapshotWriter& w) const {
+  w.section("device_pool");
+  w.put_u64(slot_bytes_);
+  w.put_int(num_regions_);
+  w.put_int(num_slots());
+  cache_.capture(w);
+  sched_.capture(w);
+}
+
+void DevicePool::restore(sim::SnapshotReader& r) {
+  r.section("device_pool");
+  TIDACC_CHECK_MSG(static_cast<std::size_t>(r.get_u64()) == slot_bytes_,
+                   "device-pool snapshot has a different slot size");
+  TIDACC_CHECK_MSG(r.get_int() == num_regions_,
+                   "device-pool snapshot has a different region count");
+  TIDACC_CHECK_MSG(r.get_int() == num_slots(),
+                   "device-pool snapshot has a different slot count");
+  cache_.restore(r);
+  sched_.restore(r);
 }
 
 }  // namespace tidacc::core

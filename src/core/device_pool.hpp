@@ -94,6 +94,13 @@ class DevicePool {
   SlotScheduler& scheduler() { return sched_; }
   const SlotScheduler& scheduler() const { return sched_; }
 
+  /// Snapshot of the cache table and scheduler state. Slot buffers and
+  /// streams are owned by the cuem/oacc layers (their snapshots carry the
+  /// contents); this verifies the pool geometry matches and restores the
+  /// bookkeeping.
+  void capture(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
+
  private:
   std::size_t slot_bytes_;
   int num_regions_;

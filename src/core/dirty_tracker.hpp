@@ -22,6 +22,11 @@
 
 #include "tida/box.hpp"
 
+namespace tidacc::sim {
+class SnapshotReader;
+class SnapshotWriter;
+}  // namespace tidacc::sim
+
 namespace tidacc::core {
 
 /// Host↔device traffic totals of one accelerated array, split by transfer
@@ -34,6 +39,9 @@ struct TransferAccounting {
   std::uint64_t delta_h2d_ops = 0;  ///< pitched sub-box uploads
   std::uint64_t delta_d2h_ops = 0;  ///< pitched sub-box downloads
   std::uint64_t prefetch_ops = 0;   ///< scheduler-issued prefetch uploads
+
+  void capture(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
 };
 
 /// Per-region dirty-box bookkeeping (see file comment). Region ids index a
@@ -93,6 +101,11 @@ class DirtyTracker {
   /// collapsed to its bounding box minus the other side's boxes (coarser —
   /// never loses dirtiness, never swallows the other side's cells).
   static constexpr std::size_t kMaxPiecesPerSide = 16;
+
+  /// Snapshot of every region's dirty-box lists. Restore resizes the table
+  /// to the snapshot's region count.
+  void capture(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
 
  private:
   struct Sides {

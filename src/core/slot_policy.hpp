@@ -68,6 +68,12 @@ class SlotPolicy {
 
   /// True when placement depends on runtime state (i.e. not StaticModulo).
   virtual bool dynamic() const { return true; }
+
+  /// Snapshot of policy-internal state. StaticModulo and Lru are stateless
+  /// (recency lives in the CacheTable) — the defaults write/read nothing;
+  /// BeladyOracle serializes its recorded sequence and cursor.
+  virtual void capture(sim::SnapshotWriter& w) const;
+  virtual void restore(sim::SnapshotReader& r);
 };
 
 std::unique_ptr<SlotPolicy> make_slot_policy(SlotPolicyKind kind);
@@ -115,6 +121,11 @@ class SlotScheduler {
 
   /// Forwards the recorded future access sequence to the policy.
   void set_future(std::vector<int> sequence);
+
+  /// Snapshot of bindings, prefetch pins and policy state. Restore requires
+  /// a scheduler with the same slot/region counts and policy kind.
+  void capture(sim::SnapshotWriter& w) const;
+  void restore(sim::SnapshotReader& r);
 
  private:
   void check_region(int region) const;

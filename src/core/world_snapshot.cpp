@@ -1,0 +1,51 @@
+#include "core/world_snapshot.hpp"
+
+#include "common/error.hpp"
+#include "cuem/cuem.hpp"
+#include "cuem/san.hpp"
+#include "oacc/oacc.hpp"
+#include "sim/platform.hpp"
+
+namespace tidacc::core {
+
+void world_capture(sim::SnapshotWriter& w) {
+  std::uint32_t flags = 0;
+  if (cuem::san::enabled()) {
+    flags |= sim::kSnapshotFlagSanitizer;
+  }
+  sim::snapshot_write_header(w, flags);
+  sim::Platform::instance().capture(w);
+  cuem::snapshot_capture(w);
+  cuem::san::snapshot_capture(w);
+  oacc::snapshot_capture(w);
+}
+
+void world_restore(sim::SnapshotReader& r) {
+  const std::uint32_t flags = sim::snapshot_read_header(r);
+#ifndef TIDACC_CUEM_SANITIZER
+  TIDACC_CHECK_MSG(
+      (flags & sim::kSnapshotFlagSanitizer) == 0,
+      "snapshot was captured with the cuem-sanitizer active but this build "
+      "has TIDACC_CUEM_SANITIZER compiled out");
+#else
+  (void)flags;
+#endif
+  sim::Platform::instance().restore(r);
+  cuem::snapshot_restore(r);
+  cuem::san::snapshot_restore(r);
+  oacc::snapshot_restore(r);
+}
+
+std::vector<std::uint8_t> world_snapshot() {
+  sim::SnapshotWriter w;
+  world_capture(w);
+  return w.take();
+}
+
+void world_restore(const std::vector<std::uint8_t>& buf) {
+  sim::SnapshotReader r(buf);
+  world_restore(r);
+  TIDACC_CHECK_MSG(r.at_end(), "trailing bytes after the world snapshot");
+}
+
+}  // namespace tidacc::core

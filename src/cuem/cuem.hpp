@@ -309,4 +309,21 @@ std::size_t device_bytes_in_use(int device);
 /// Number of live allocations across all spaces (leak checks in tests).
 std::size_t live_allocation_count();
 
+// ---------------------------------------------------------------------------
+// Snapshot (see docs/FUZZING.md)
+// ---------------------------------------------------------------------------
+
+/// Serializes the cuem runtime into `w`: registry metadata, buffer contents
+/// (functional mode), event handles, peer-access grants, per-device
+/// accounting. The platform must be captured alongside (sim section first).
+void snapshot_capture(sim::SnapshotWriter& w);
+
+/// Reinstates a captured runtime in place, same-process. The restore
+/// contract is address-stable: every allocation live at capture time must
+/// still be live at the same base and size (freeing a snapshotted buffer
+/// before restoring invalidates the snapshot — restore fails with a clear
+/// error). Allocations created after the capture are released; surviving
+/// buffers get their captured contents written back.
+void snapshot_restore(sim::SnapshotReader& r);
+
 }  // namespace tidacc::cuem

@@ -75,6 +75,15 @@ std::vector<Allocation*> PointerRegistry::managed_allocations() {
   return out;
 }
 
+std::vector<const Allocation*> PointerRegistry::all_allocations() const {
+  std::vector<const Allocation*> out;
+  out.reserve(by_base_.size());
+  for (const auto& [base, alloc] : by_base_) {
+    out.push_back(&alloc);
+  }
+  return out;
+}
+
 std::size_t PointerRegistry::bytes_in_space(MemSpace space) const {
   std::size_t total = 0;
   for (const auto& [base, alloc] : by_base_) {

@@ -58,6 +58,10 @@ class PointerRegistry {
   /// All live managed allocations (for launch-time UVM migration sweeps).
   std::vector<Allocation*> managed_allocations();
 
+  /// All live allocations in base-address order (snapshot capture walks
+  /// this; the order makes the serialization deterministic).
+  std::vector<const Allocation*> all_allocations() const;
+
   std::size_t live_count() const { return by_base_.size(); }
 
   /// Sum of sizes of live allocations in `space`.

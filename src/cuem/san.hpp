@@ -34,7 +34,9 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "cuem/registry.hpp"
+#include "sim/snapshot.hpp"
 
 namespace tidacc::cuem::san {
 
@@ -211,6 +213,16 @@ void on_device_reset();
 
 }  // namespace hook
 
+// --- snapshot/restore (see docs/FUZZING.md) ---
+
+/// Serializes the full sanitizer state: options, shadow allocation map with
+/// access histories, tombstones, findings, counters, and the dedupe set.
+/// Writes an "active" flag first so a restore into a build with the
+/// sanitizer compiled out (or disabled) fails with a clear error instead of
+/// desynchronizing.
+void snapshot_capture(sim::SnapshotWriter& w);
+void snapshot_restore(sim::SnapshotReader& r);
+
 #else  // !TIDACC_CUEM_SANITIZER — everything compiles to nothing.
 
 inline void configure(const Options&) {}
@@ -251,6 +263,24 @@ inline void on_peer_staged(int, int, const char*) {}
 inline void on_stream_destroy_pending(int) {}
 inline void on_device_reset() {}
 }  // namespace hook
+
+/// Snapshot stubs keep the on-disk format symmetric between builds: capture
+/// writes an inactive "san" section; restore accepts only inactive ones and
+/// fails loudly when the snapshot carries sanitizer state this build cannot
+/// reinstate.
+inline void snapshot_capture(sim::SnapshotWriter& w) {
+  w.section("san");
+  w.put_bool(false);
+}
+inline void snapshot_restore(sim::SnapshotReader& r) {
+  r.section("san");
+  const bool active = r.get_bool();
+  TIDACC_CHECK_MSG(
+      !active,
+      "snapshot was captured with the cuem-sanitizer active but this build "
+      "has TIDACC_CUEM_SANITIZER compiled out; rebuild with the sanitizer "
+      "enabled or capture the snapshot without it");
+}
 
 #endif  // TIDACC_CUEM_SANITIZER
 

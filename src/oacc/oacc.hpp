@@ -66,6 +66,15 @@ void release_queues();
 void wait(QueueId queue);
 void wait_all();
 
+// --- snapshot (see docs/FUZZING.md) ---
+
+/// Serializes the runtime state: memory mode, present table and the
+/// queue→stream map. Device pointers and stream handles are same-process
+/// values; restore assumes the cuem layer was restored first so both are
+/// live again.
+void snapshot_capture(sim::SnapshotWriter& w);
+void snapshot_restore(sim::SnapshotReader& r);
+
 // --- data environment ---
 
 enum class ClauseKind : int {

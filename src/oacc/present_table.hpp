@@ -40,6 +40,12 @@ class PresentTable {
 
   auto begin() { return entries_.begin(); }
   auto end() { return entries_.end(); }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+  /// Drops every mapping without touching device memory (snapshot restore
+  /// rebuilds the table from serialized entries).
+  void clear() { entries_.clear(); }
 
  private:
   std::map<std::uintptr_t, PresentEntry> entries_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "sim/snapshot.hpp"
 
 namespace tidacc::sim {
 
@@ -217,12 +218,30 @@ SimTime Platform::schedule(StreamId s, int device, EngineId engine,
     ++sc[si + 1];
     hb_last_op_ = sc;
   }
-  trace_.add(TraceEvent{engine, s, kind, start, finish, bytes,
-                        std::move(label), device});
+  if (trace_.recording()) {
+    trace_.add(TraceEvent{engine, s, kind, start, finish, bytes,
+                          std::move(label), device});
+  } else {
+    trace_.note(kind, start, finish, bytes);
+  }
   if (functional_ && action) {
     action();
   }
   return finish;
+}
+
+void Platform::set_transfer_jitter(SimTime max_ns, std::uint64_t seed) {
+  jitter_max_ns_ = max_ns;
+  jitter_state_ = seed;
+}
+
+SimTime Platform::next_jitter() {
+  if (jitter_max_ns_ == 0) {
+    return 0;
+  }
+  jitter_state_ =
+      jitter_state_ * 6364136223846793005ull + 1442695040888963407ull;
+  return (jitter_state_ >> 33) % (jitter_max_ns_ + 1);
 }
 
 SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
@@ -272,8 +291,8 @@ SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
   if (req.gbps_override > 0.0) {
     gbps = req.gbps_override;
   }
-  const SimTime duration =
-      setup + req.extra_ns + transfer_time_ns(req.bytes, gbps);
+  const SimTime duration = setup + req.extra_ns +
+                           transfer_time_ns(req.bytes, gbps) + next_jitter();
   const int device = req.device_override >= 0
                          ? req.device_override
                          : stream_device_[static_cast<size_t>(s)];
@@ -318,7 +337,8 @@ SimTime Platform::enqueue_peer_copy(StreamId s, int src_device,
       interconnect_.latency(src_device, dst_device, num_devices_) +
       transfer_time_ns(bytes,
                        interconnect_.gbps(src_device, dst_device,
-                                          num_devices_));
+                                          num_devices_)) +
+      next_jitter();
   // The transfer reads through the source's outbound DMA engine and writes
   // through the destination's inbound one; both lanes are held for the
   // duration, so peer traffic contends with each endpoint's own H2D/D2H
@@ -349,8 +369,12 @@ SimTime Platform::enqueue_peer_copy(StreamId s, int src_device,
     ++sc[si + 1];
     hb_last_op_ = sc;
   }
-  trace_.add(TraceEvent{EngineId::kCopyH2D, s, OpKind::kCopyP2P, start,
-                        finish, bytes, std::move(label), dst_device});
+  if (trace_.recording()) {
+    trace_.add(TraceEvent{EngineId::kCopyH2D, s, OpKind::kCopyP2P, start,
+                          finish, bytes, std::move(label), dst_device});
+  } else {
+    trace_.note(OpKind::kCopyP2P, start, finish, bytes);
+  }
   if (functional_ && action) {
     action();
   }
@@ -373,8 +397,12 @@ EventId Platform::record_event(StreamId s) {
     hb_events_.resize(events_.size());
     hb_events_.back() = hb_streams_[si];
   }
-  trace_.add(TraceEvent{EngineId::kCompute, s, OpKind::kEventRecord, t, t, 0,
-                        "event", stream_device_[static_cast<size_t>(s)]});
+  if (trace_.recording()) {
+    trace_.add(TraceEvent{EngineId::kCompute, s, OpKind::kEventRecord, t, t,
+                          0, "event", stream_device_[static_cast<size_t>(s)]});
+  } else {
+    trace_.note(OpKind::kEventRecord, t, t, 0);
+  }
   return static_cast<EventId>(events_.size() - 1);
 }
 
@@ -418,6 +446,106 @@ void Platform::check_stream(StreamId s) const {
 
 void Platform::check_device(int d) const {
   TIDACC_CHECK_MSG(device_valid(d), "invalid device ordinal");
+}
+
+namespace {
+
+void put_hb_clocks(SnapshotWriter& w, const std::vector<HbClock>& clocks) {
+  w.put_u64(clocks.size());
+  for (const HbClock& c : clocks) {
+    w.put_u64_vec(c);
+  }
+}
+
+std::vector<HbClock> get_hb_clocks(SnapshotReader& r) {
+  const std::uint64_t n = r.get_u64();
+  std::vector<HbClock> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out.push_back(r.get_u64_vec());
+  }
+  return out;
+}
+
+}  // namespace
+
+void Platform::capture(SnapshotWriter& w) const {
+  w.section("platform");
+  // Configuration fingerprint: enough to reject a restore into a platform
+  // whose cost model or engine layout differs from the capturing one.
+  w.put_string(cfg_.name);
+  w.put_int(num_devices_);
+  w.put_int(cfg_.copy_engines);
+  w.put_int(cfg_.compute_lanes);
+  w.put_string(interconnect_.name);
+
+  w.put_bool(functional_);
+  w.put_u64(host_clock_);
+  w.put_u64_vec(stream_avail_);
+  w.put_bool_vec(stream_alive_);
+  w.put_int_vec(stream_device_);
+  w.put_u64(device_lanes_.size());
+  for (const EngineLanes& el : device_lanes_) {
+    for (int e = 0; e < kNumEngines; ++e) {
+      w.put_u64_vec(el.lanes[e]);
+    }
+  }
+  w.put_u64_vec(events_);
+  w.put_bool(hb_enabled_);
+  w.put_u64_vec(hb_host_);
+  put_hb_clocks(w, hb_streams_);
+  put_hb_clocks(w, hb_events_);
+  w.put_u64_vec(hb_last_op_);
+  w.put_u64(last_op_start_);
+  w.put_u64(last_op_finish_);
+  w.put_u64(jitter_max_ns_);
+  w.put_u64(jitter_state_);
+  trace_.capture(w);
+}
+
+void Platform::restore(SnapshotReader& r) {
+  r.section("platform");
+  const std::string cfg_name = r.get_string();
+  const int num_devices = r.get_int();
+  const int copy_engines = r.get_int();
+  const int compute_lanes = r.get_int();
+  const std::string ic_name = r.get_string();
+  TIDACC_CHECK_MSG(
+      cfg_name == cfg_.name && num_devices == num_devices_ &&
+          copy_engines == cfg_.copy_engines &&
+          compute_lanes == cfg_.compute_lanes && ic_name == interconnect_.name,
+      "snapshot: platform configuration mismatch (snapshot was taken on '" +
+          cfg_name + "' x" + std::to_string(num_devices) + " over " + ic_name +
+          ", live platform is '" + cfg_.name + "' x" +
+          std::to_string(num_devices_) + " over " + interconnect_.name + ")");
+
+  functional_ = r.get_bool();
+  host_clock_ = r.get_u64();
+  stream_avail_ = r.get_u64_vec();
+  stream_alive_ = r.get_bool_vec();
+  stream_device_ = r.get_int_vec();
+  TIDACC_CHECK_MSG(stream_alive_.size() == stream_avail_.size() &&
+                       stream_device_.size() == stream_avail_.size(),
+                   "snapshot: inconsistent stream tables");
+  const std::uint64_t ndev = r.get_u64();
+  TIDACC_CHECK_MSG(ndev == static_cast<std::uint64_t>(num_devices_),
+                   "snapshot: engine-lane table device count mismatch");
+  for (EngineLanes& el : device_lanes_) {
+    for (int e = 0; e < kNumEngines; ++e) {
+      el.lanes[e] = r.get_u64_vec();
+    }
+  }
+  events_ = r.get_u64_vec();
+  hb_enabled_ = r.get_bool();
+  hb_host_ = r.get_u64_vec();
+  hb_streams_ = get_hb_clocks(r);
+  hb_events_ = get_hb_clocks(r);
+  hb_last_op_ = r.get_u64_vec();
+  last_op_start_ = r.get_u64();
+  last_op_finish_ = r.get_u64();
+  jitter_max_ns_ = r.get_u64();
+  jitter_state_ = r.get_u64();
+  trace_.restore(r);
 }
 
 Platform& Platform::instance() {

@@ -34,6 +34,9 @@
 
 namespace tidacc::sim {
 
+class SnapshotReader;
+class SnapshotWriter;
+
 using StreamId = int;  ///< streams 0..N-1 are the per-device default
                        ///< streams, created at construction (N = device
                        ///< count; stream 0 is device 0's default stream)
@@ -231,6 +234,32 @@ class Platform {
   Trace& trace() { return trace_; }
   const Trace& trace() const { return trace_; }
 
+  // --- schedule perturbation (fuzzing knob) ---
+
+  /// Adds a deterministic pseudo-random 0..max_ns extension to the duration
+  /// of every subsequent transfer (plain, pitched, peer). The perturbation
+  /// stream is seeded explicitly and advances once per transfer, so a given
+  /// (seed, op sequence) always produces the same timeline — it shifts
+  /// completion times enough to flip stream/event query outcomes and engine
+  /// assignments, which is exactly the schedule-space exploration the
+  /// fuzzer needs, without breaking replayability. 0 disables (default).
+  void set_transfer_jitter(SimTime max_ns, std::uint64_t seed);
+  SimTime transfer_jitter_max() const { return jitter_max_ns_; }
+
+  // --- snapshot ---
+
+  /// Serializes the complete platform state (clocks, engine lanes, streams,
+  /// events, vector clocks, trace, jitter stream) into `w`. Byte-exact:
+  /// capture → restore → capture reproduces the same buffer.
+  void capture(SnapshotWriter& w) const;
+
+  /// Reinstates a captured state in place. The live platform must have a
+  /// compatible configuration (same device config name, device count,
+  /// engine/lane layout and interconnect); restore refuses mismatches with
+  /// a clear error rather than resurrecting a world the cost model cannot
+  /// have produced.
+  void restore(SnapshotReader& r);
+
   // --- process-wide instance used by the cuem C API ---
 
   /// Returns the global platform, creating a default one on first use.
@@ -249,6 +278,7 @@ class Platform {
   void check_stream(StreamId s) const;
   void check_device(int d) const;
   EngineId copy_engine_for(OpKind kind) const;
+  SimTime next_jitter();
   SimTime schedule(StreamId s, int device, EngineId engine, OpKind kind,
                    SimTime duration, std::uint64_t bytes, std::string label,
                    const std::function<void()>& action);
@@ -282,6 +312,10 @@ class Platform {
   HbClock hb_last_op_;
   SimTime last_op_start_ = 0;
   SimTime last_op_finish_ = 0;
+
+  // Transfer-jitter perturbation stream (LCG; 0 max = off).
+  SimTime jitter_max_ns_ = 0;
+  std::uint64_t jitter_state_ = 0;
 
   static std::unique_ptr<Platform> g_instance;
 };

@@ -1,0 +1,101 @@
+// Byte-exact snapshot serialization for the simulated world.
+//
+// A snapshot is a flat little-endian byte buffer built from fixed-width
+// primitives: no padding, no pointers, no host-order dependence, so the
+// same world state always produces the same bytes (the determinism the
+// snapshot fuzzer's round-trip invariant relies on). Each layer of the
+// runtime (sim::Platform, cuem, the sanitizer, oacc, the core tile-array
+// stack) appends its state under a named section marker; restore replays
+// the sections in order and fails loudly — via tidacc::Error — on any
+// marker mismatch, truncation, or version/build skew instead of reading
+// garbage.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tidacc::sim {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x50534e54u;  // "TNSP"
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Header flag: the capturing build had the cuem-sanitizer compiled in and
+/// enabled. Restore refuses to cross this boundary (shadow state would be
+/// silently dropped or fabricated otherwise).
+inline constexpr std::uint32_t kSnapshotFlagSanitizer = 1u << 0;
+
+/// Append-only little-endian encoder.
+class SnapshotWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_i64(std::int64_t v);
+  void put_f64(double v);
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+  void put_int(int v) { put_i64(v); }
+  void put_string(const std::string& s);
+  /// Raw bytes, length-prefixed.
+  void put_blob(const void* data, std::size_t n);
+  void put_u64_vec(const std::vector<std::uint64_t>& v);
+  void put_int_vec(const std::vector<int>& v);
+  void put_bool_vec(const std::vector<bool>& v);
+
+  /// Starts a named section; the reader must consume it with the same tag.
+  void section(const std::string& tag);
+
+  const std::vector<std::uint8_t>& buffer() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Sequential decoder over a snapshot buffer. Every getter throws
+/// tidacc::Error on truncation; section() throws on tag mismatch.
+class SnapshotReader {
+ public:
+  SnapshotReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+  explicit SnapshotReader(const std::vector<std::uint8_t>& buf)
+      : SnapshotReader(buf.data(), buf.size()) {}
+
+  std::uint8_t get_u8();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::int64_t get_i64();
+  double get_f64();
+  bool get_bool() { return get_u8() != 0; }
+  int get_int();
+  std::string get_string();
+  std::vector<std::uint8_t> get_blob();
+  /// Length-prefixed raw bytes copied into `out` (size must match exactly).
+  void get_blob_into(void* out, std::size_t expected);
+  std::vector<std::uint64_t> get_u64_vec();
+  std::vector<int> get_int_vec();
+  std::vector<bool> get_bool_vec();
+
+  /// Consumes a section marker, failing unless it carries `tag`.
+  void section(const std::string& tag);
+
+  bool at_end() const { return pos_ == size_; }
+  std::size_t offset() const { return pos_; }
+
+ private:
+  void need(std::size_t n) const;
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Writes the snapshot header (magic, format version, build flags).
+void snapshot_write_header(SnapshotWriter& w, std::uint32_t flags);
+
+/// Validates magic + version and returns the build flags recorded at
+/// capture time. Throws tidacc::Error on foreign or incompatible buffers.
+std::uint32_t snapshot_read_header(SnapshotReader& r);
+
+}  // namespace tidacc::sim

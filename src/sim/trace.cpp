@@ -6,6 +6,7 @@
 #include <tuple>
 
 #include "common/error.hpp"
+#include "sim/snapshot.hpp"
 
 namespace tidacc::sim {
 
@@ -48,37 +49,45 @@ const char* to_string(OpKind k) {
 }
 
 void Trace::add(TraceEvent ev) {
-  TIDACC_CHECK(ev.finish >= ev.start);
-  const SimTime busy = ev.finish - ev.start;
-  switch (ev.kind) {
+  note(ev.kind, ev.start, ev.finish, ev.bytes);
+  if (recording_) {
+    events_.push_back(std::move(ev));
+  }
+}
+
+void Trace::note(OpKind kind, SimTime start, SimTime finish,
+                 std::uint64_t bytes) {
+  TIDACC_CHECK(finish >= start);
+  const SimTime busy = finish - start;
+  switch (kind) {
     case OpKind::kKernel:
       ++stats_.num_kernels;
       stats_.compute_busy += busy;
       break;
     case OpKind::kPrefetchH2D:
-      stats_.prefetch_h2d_bytes += ev.bytes;
+      stats_.prefetch_h2d_bytes += bytes;
       [[fallthrough]];
     case OpKind::kCopyH2D:
     case OpKind::kUvmMigration:
       ++stats_.num_copies;
-      stats_.h2d_bytes += ev.bytes;
+      stats_.h2d_bytes += bytes;
       stats_.copy_busy += busy;
       break;
     case OpKind::kMemcpy3DH2D:
       ++stats_.num_copies;
-      stats_.h2d_bytes += ev.bytes;
-      stats_.memcpy3d_h2d_bytes += ev.bytes;
+      stats_.h2d_bytes += bytes;
+      stats_.memcpy3d_h2d_bytes += bytes;
       stats_.copy_busy += busy;
       break;
     case OpKind::kCopyD2H:
       ++stats_.num_copies;
-      stats_.d2h_bytes += ev.bytes;
+      stats_.d2h_bytes += bytes;
       stats_.copy_busy += busy;
       break;
     case OpKind::kMemcpy3DD2H:
       ++stats_.num_copies;
-      stats_.d2h_bytes += ev.bytes;
-      stats_.memcpy3d_d2h_bytes += ev.bytes;
+      stats_.d2h_bytes += bytes;
+      stats_.memcpy3d_d2h_bytes += bytes;
       stats_.copy_busy += busy;
       break;
     case OpKind::kCopyD2D:
@@ -87,21 +96,76 @@ void Trace::add(TraceEvent ev) {
       break;
     case OpKind::kCopyP2P:
       ++stats_.num_copies;
-      stats_.p2p_bytes += ev.bytes;
+      stats_.p2p_bytes += bytes;
       stats_.copy_busy += busy;
       break;
     case OpKind::kEventRecord:
       break;
   }
-  stats_.makespan = std::max(stats_.makespan, ev.finish);
-  if (recording_) {
-    events_.push_back(std::move(ev));
-  }
+  stats_.makespan = std::max(stats_.makespan, finish);
 }
 
 void Trace::clear() {
   events_.clear();
   stats_ = TraceStats{};
+}
+
+void Trace::capture(SnapshotWriter& w) const {
+  w.section("trace");
+  w.put_bool(recording_);
+  w.put_u64(stats_.h2d_bytes);
+  w.put_u64(stats_.d2h_bytes);
+  w.put_u64(stats_.prefetch_h2d_bytes);
+  w.put_u64(stats_.memcpy3d_h2d_bytes);
+  w.put_u64(stats_.memcpy3d_d2h_bytes);
+  w.put_u64(stats_.p2p_bytes);
+  w.put_u64(stats_.num_kernels);
+  w.put_u64(stats_.num_copies);
+  w.put_u64(stats_.compute_busy);
+  w.put_u64(stats_.copy_busy);
+  w.put_u64(stats_.makespan);
+  w.put_u64(events_.size());
+  for (const TraceEvent& ev : events_) {
+    w.put_int(static_cast<int>(ev.engine));
+    w.put_int(ev.stream);
+    w.put_int(static_cast<int>(ev.kind));
+    w.put_u64(ev.start);
+    w.put_u64(ev.finish);
+    w.put_u64(ev.bytes);
+    w.put_string(ev.label);
+    w.put_int(ev.device);
+  }
+}
+
+void Trace::restore(SnapshotReader& r) {
+  r.section("trace");
+  recording_ = r.get_bool();
+  stats_.h2d_bytes = r.get_u64();
+  stats_.d2h_bytes = r.get_u64();
+  stats_.prefetch_h2d_bytes = r.get_u64();
+  stats_.memcpy3d_h2d_bytes = r.get_u64();
+  stats_.memcpy3d_d2h_bytes = r.get_u64();
+  stats_.p2p_bytes = r.get_u64();
+  stats_.num_kernels = r.get_u64();
+  stats_.num_copies = r.get_u64();
+  stats_.compute_busy = r.get_u64();
+  stats_.copy_busy = r.get_u64();
+  stats_.makespan = r.get_u64();
+  const std::uint64_t n = r.get_u64();
+  events_.clear();
+  events_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TraceEvent ev;
+    ev.engine = static_cast<EngineId>(r.get_int());
+    ev.stream = r.get_int();
+    ev.kind = static_cast<OpKind>(r.get_int());
+    ev.start = r.get_u64();
+    ev.finish = r.get_u64();
+    ev.bytes = r.get_u64();
+    ev.label = r.get_string();
+    ev.device = r.get_int();
+    events_.push_back(std::move(ev));
+  }
 }
 
 std::string Trace::render_gantt(int columns) const {

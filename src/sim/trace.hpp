@@ -76,6 +76,9 @@ struct TraceStats {
   SimTime makespan = 0;      ///< last finish - first start
 };
 
+class SnapshotReader;
+class SnapshotWriter;
+
 /// Append-only recorder. Recording can be disabled for long timing-only
 /// benches where only the aggregate counters matter.
 class Trace {
@@ -84,7 +87,20 @@ class Trace {
   bool recording() const { return recording_; }
 
   void add(TraceEvent ev);
+
+  /// Stats-only fast path for recording-off runs: updates the aggregate
+  /// counters without materializing a TraceEvent (no label string, no
+  /// vector growth). The platform's hot path takes this branch when
+  /// recording is off so schedule fuzzing sustains thousands of restored
+  /// iterations per second.
+  void note(OpKind kind, SimTime start, SimTime finish, std::uint64_t bytes);
+
   void clear();
+
+  /// Serializes recording flag, counters and events into `w` /
+  /// reinstates them from `r` (byte-exact round trip).
+  void capture(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   const TraceStats& stats() const { return stats_; }

@@ -1,0 +1,237 @@
+// World snapshot/restore (core/world_snapshot.hpp): the substrate under the
+// schedule fuzzer. Three properties matter and are tested here:
+//   1. capture → restore → capture is bit-identical (the fuzzer's cache of
+//      one buffer per world config depends on this);
+//   2. a restored world replays the exact golden trace — same events, same
+//      byte accounting, same makespan — as the original run;
+//   3. restore refuses to cross the sanitizer build boundary with a clear
+//      error instead of fabricating or dropping shadow state.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/acc_tile_array.hpp"
+#include "core/compute.hpp"
+#include "core/world_snapshot.hpp"
+#include "cuem/cuem.hpp"
+#include "cuem/san.hpp"
+#include "oacc/oacc.hpp"
+#include "sim/platform.hpp"
+#include "sim/snapshot.hpp"
+
+namespace {
+
+using namespace tidacc;
+using core::AccTile;
+using core::AccTileArray;
+
+constexpr int kN = 16;
+constexpr int kRegions = 4;
+constexpr int kSlab = (kN + kRegions - 1) / kRegions;
+
+oacc::LoopCost stencil_cost() {
+  oacc::LoopCost c;
+  c.flops_per_iter = 8.0;
+  c.dev_bytes_per_iter = 5 * sizeof(double);
+  return c;
+}
+
+void fresh_world(bool recording) {
+  cuem::configure(sim::DeviceConfig::k40m(), /*functional=*/true);
+  oacc::reset();
+  cuem::platform().trace().set_recording(recording);
+}
+
+core::AccOptions limited_slots() {
+  core::AccOptions o;
+  o.max_slots = 3;  // under-provisioned: evictions keep the state rich
+  return o;
+}
+
+void init(AccTileArray<double>& u) {
+  u.fill([](const tida::Index3& p) {
+    return 0.25 * p.i - 0.5 * p.j + 1.5 * p.k;
+  });
+  u.assume_host_initialized();
+}
+
+// One halo step of the fuzzer's workload: exchange ghosts, in-place
+// stencil over every region.
+void halo_step(AccTileArray<double>& u) {
+  u.fill_boundary(tida::Boundary::kPeriodic);
+  for (int id = 0; id < u.num_regions(); ++id) {
+    const tida::Region<double> r = u.region(id);
+    const AccTile<double> tile{&u, tida::Tile<double>{r, r.valid},
+                               /*gpu=*/true};
+    core::compute(tile, stencil_cost(),
+                  [](core::DeviceView<double> v, int i, int j, int k) {
+                    v(i, j, k) = 0.5 * (v(i, j, k) + v(i, j, k - 1));
+                  });
+  }
+}
+
+std::vector<std::uint8_t> capture_all(const AccTileArray<double>& u) {
+  sim::SnapshotWriter w;
+  core::world_capture(w);
+  u.capture(w);
+  return w.take();
+}
+
+void restore_all(const std::vector<std::uint8_t>& buf,
+                 AccTileArray<double>& u) {
+  sim::SnapshotReader r(buf);
+  core::world_restore(r);
+  u.restore(r);
+  ASSERT_TRUE(r.at_end());
+}
+
+TEST(WorldSnapshot, CaptureRestoreCaptureIsByteExact) {
+  fresh_world(/*recording=*/true);
+  AccTileArray<double> u(tida::Box::cube(kN), tida::Index3{kN, kN, kSlab},
+                         /*ghost=*/1, limited_slots());
+  init(u);
+  halo_step(u);  // mid-workload: live residency, dirty state, trace events
+
+  const std::vector<std::uint8_t> first = capture_all(u);
+  restore_all(first, u);
+  const std::vector<std::uint8_t> second = capture_all(u);
+  ASSERT_EQ(first.size(), second.size());
+  EXPECT_TRUE(first == second);
+
+  // And it still holds after the restored world does more work: the
+  // snapshot must not have corrupted anything that only later steps touch.
+  halo_step(u);
+  const std::vector<std::uint8_t> third = capture_all(u);
+  restore_all(third, u);
+  EXPECT_TRUE(third == capture_all(u));
+}
+
+TEST(WorldSnapshot, RestoredRunReplaysGoldenTrace) {
+  fresh_world(/*recording=*/true);
+  AccTileArray<double> u(tida::Box::cube(kN), tida::Index3{kN, kN, kSlab},
+                         /*ghost=*/1, limited_slots());
+  init(u);
+  halo_step(u);
+  const std::vector<std::uint8_t> snap = capture_all(u);
+
+  // Golden run: two more steps from the snapshot point.
+  halo_step(u);
+  halo_step(u);
+  u.release_all_to_host();
+  const SimTime golden_now = cuem::platform().now();
+  const sim::TraceStats golden_stats = cuem::platform().trace().stats();
+  const std::vector<sim::TraceEvent> golden_events =
+      cuem::platform().trace().events();
+  std::vector<double> golden_field;
+  for (int id = 0; id < u.num_regions(); ++id) {
+    const tida::Region<double> r = u.region(id);
+    golden_field.insert(golden_field.end(), r.data, r.data + r.cells());
+  }
+
+  // Replay from the snapshot: every observable must match exactly.
+  restore_all(snap, u);
+  halo_step(u);
+  halo_step(u);
+  u.release_all_to_host();
+  EXPECT_EQ(golden_now, cuem::platform().now());
+  const sim::TraceStats& s = cuem::platform().trace().stats();
+  EXPECT_EQ(golden_stats.h2d_bytes, s.h2d_bytes);
+  EXPECT_EQ(golden_stats.d2h_bytes, s.d2h_bytes);
+  EXPECT_EQ(golden_stats.memcpy3d_h2d_bytes, s.memcpy3d_h2d_bytes);
+  EXPECT_EQ(golden_stats.num_kernels, s.num_kernels);
+  EXPECT_EQ(golden_stats.num_copies, s.num_copies);
+  EXPECT_EQ(golden_stats.compute_busy, s.compute_busy);
+  EXPECT_EQ(golden_stats.copy_busy, s.copy_busy);
+
+  const std::vector<sim::TraceEvent>& e = cuem::platform().trace().events();
+  ASSERT_EQ(golden_events.size(), e.size());
+  for (std::size_t i = 0; i < e.size(); ++i) {
+    EXPECT_EQ(golden_events[i].engine, e[i].engine) << "event " << i;
+    EXPECT_EQ(golden_events[i].stream, e[i].stream) << "event " << i;
+    EXPECT_EQ(golden_events[i].kind, e[i].kind) << "event " << i;
+    EXPECT_EQ(golden_events[i].start, e[i].start) << "event " << i;
+    EXPECT_EQ(golden_events[i].finish, e[i].finish) << "event " << i;
+    EXPECT_EQ(golden_events[i].bytes, e[i].bytes) << "event " << i;
+    EXPECT_EQ(golden_events[i].label, e[i].label) << "event " << i;
+    EXPECT_EQ(golden_events[i].device, e[i].device) << "event " << i;
+  }
+
+  std::size_t off = 0;
+  for (int id = 0; id < u.num_regions(); ++id) {
+    const tida::Region<double> r = u.region(id);
+    for (std::uint64_t c = 0; c < r.cells(); ++c) {
+      ASSERT_EQ(golden_field[off + c], r.data[c])
+          << "region " << id << " cell " << c;
+    }
+    off += r.cells();
+  }
+}
+
+TEST(WorldSnapshot, JitterStateSurvivesRestore) {
+  fresh_world(/*recording=*/false);
+  AccTileArray<double> u(tida::Box::cube(kN), tida::Index3{kN, kN, kSlab},
+                         /*ghost=*/1, limited_slots());
+  init(u);
+  sim::Platform::instance().set_transfer_jitter(5000, 0xfeedu);
+  halo_step(u);  // advances the jitter LCG mid-sequence
+  const std::vector<std::uint8_t> snap = capture_all(u);
+
+  halo_step(u);
+  u.release_all_to_host();
+  const SimTime golden = cuem::platform().now();
+
+  restore_all(snap, u);
+  halo_step(u);
+  u.release_all_to_host();
+  EXPECT_EQ(golden, cuem::platform().now());
+}
+
+TEST(WorldSnapshot, RejectsForeignBuffers) {
+  fresh_world(/*recording=*/false);
+  std::vector<std::uint8_t> junk = {0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0,
+                                    0,    0,    0,    0};
+  EXPECT_THROW(core::world_restore(junk), tidacc::Error);
+}
+
+#ifndef TIDACC_CUEM_SANITIZER
+TEST(WorldSnapshot, RefusesSanitizerSnapshotWhenCompiledOut) {
+  fresh_world(/*recording=*/false);
+  std::vector<std::uint8_t> snap = core::world_snapshot();
+  // Header layout: magic u32, version u32, flags u32 — flip the sanitizer
+  // flag the way a capture from a TIDACC_CUEM_SANITIZER=ON build sets it.
+  ASSERT_GE(snap.size(), 12u);
+  snap[8] |= static_cast<std::uint8_t>(sim::kSnapshotFlagSanitizer);
+  try {
+    core::world_restore(snap);
+    FAIL() << "expected world_restore to reject the sanitizer flag";
+  } catch (const tidacc::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("compiled out"), std::string::npos)
+        << e.what();
+  }
+}
+#else
+TEST(WorldSnapshot, SanitizerStateRidesTheSnapshot) {
+  fresh_world(/*recording=*/false);
+  cuem::san::Options so;
+  so.enabled = true;
+  so.fatal = false;
+  cuem::san::configure(so);
+  AccTileArray<double> u(tida::Box::cube(kN), tida::Index3{kN, kN, kSlab},
+                         /*ghost=*/1, limited_slots());
+  init(u);
+  halo_step(u);
+  const std::vector<std::uint8_t> snap = capture_all(u);
+  // The header must advertise the active sanitizer (the flag an OFF build
+  // uses to refuse the restore)...
+  ASSERT_GE(snap.size(), 12u);
+  EXPECT_TRUE(snap[8] & sim::kSnapshotFlagSanitizer);
+  // ...and the round trip must stay byte-exact with shadow state aboard.
+  restore_all(snap, u);
+  EXPECT_TRUE(snap == capture_all(u));
+  cuem::san::configure(cuem::san::Options{});
+}
+#endif
+
+}  // namespace
