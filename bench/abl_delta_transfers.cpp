@@ -120,19 +120,20 @@ int main(int argc, char** argv) {
                       full.bytes() == delta.bytes() &&
                           delta.exchanges == 0);
       } else {
-        // Byte savings are guaranteed; time is not at every size. Each
-        // delta box pays the PCIe transfer latency and the strided-copy
-        // overhead, so for small regions the exchange can be
-        // latency-bound and lose wall-clock even while moving fewer
-        // bytes (at paper-scale regions — fig8 --halo-n=256 — it wins
-        // both). The table above shows where the crossover sits.
         checks.expect(label + ": delta never moves more bytes than the "
                               "full drain",
                       delta.bytes() <= full.bytes());
-        checks.expect(label + ": the exchange streams once per "
-                              "device-resident step",
-                      delta.exchanges ==
-                          static_cast<std::uint64_t>(steps - 1));
+        // Each streamed shell pays the PCIe transfer latency and the
+        // strided-copy setup, so at small regions the exchange is
+        // latency-bound and the full drain is faster despite moving more
+        // bytes. The guard's cost model compares both from the
+        // DeviceConfig constants and takes the cheaper path each
+        // exchange, so delta mode must never lose wall-clock (at
+        // paper-scale regions — fig8 --halo-n=256 — it streams and wins
+        // both bytes and time; here it drains).
+        checks.expect(label + ": cost guard keeps delta mode from losing "
+                              "wall-clock",
+                      delta.t <= full.t);
       }
     }
   }

@@ -32,6 +32,16 @@
 
 namespace tidacc::core {
 
+/// How fill_boundary picks between the streaming (delta) exchange and the
+/// drain-to-host exchange in the out-of-core regime.
+///   kAuto           — consult the exchange-level cost model each time:
+///                     stream only when the predicted pitched-copy cost
+///                     (latency + chunk overhead per shell box) beats the
+///                     predicted drain cost. Default.
+///   kForceStreaming — always stream (ablation / tests pinning the path).
+///   kForceDrain     — never stream; drain and exchange on the host.
+enum class StreamingGuard : int { kAuto = 0, kForceStreaming, kForceDrain };
+
 /// Construction options for AccTileArray.
 struct AccOptions {
   tida::HostAlloc host_alloc = tida::HostAlloc::kPinned;
@@ -55,6 +65,15 @@ struct AccOptions {
   /// both safe and modeled cheaper. Off by default — the seed's
   /// whole-region transfer shapes are reproduced exactly.
   bool delta_transfers = false;
+  /// Streaming-vs-drain dispatch for the out-of-core ghost exchange (only
+  /// consulted when delta_transfers is on and not every region fits).
+  StreamingGuard streaming_guard = StreamingGuard::kAuto;
+  /// Temporal blocking depth: number of stencil sub-steps compute_k() runs
+  /// per residency. 1 (default) allocates nothing extra and reproduces the
+  /// seed's behaviour bit-for-bit; k > 1 gives every slot a scratch double
+  /// buffer and deepens the prefetch hint to k. The array must then be
+  /// built with ghost = k * stencil_radius (see choose_time_block_k).
+  int time_block_k = 1;
 };
 
 template <typename T>
@@ -68,12 +87,22 @@ class AccTileArray : public tida::TileArray<T> {
         pool_(this->partition().max_region_volume(ghost) * opts.ncomp *
                   sizeof(T),
               this->num_regions(), opts.max_slots,
-              make_slot_policy(opts.slot_policy)),
+              make_slot_policy(opts.slot_policy),
+              /*with_scratch=*/opts.time_block_k > 1),
         loc_(this->num_regions()),
         dirty_(this->num_regions()),
         pending_xfer_(static_cast<std::size_t>(this->num_regions()), -1),
         disable_caching_(opts.disable_caching),
-        delta_transfers_(opts.delta_transfers) {
+        delta_transfers_(opts.delta_transfers),
+        streaming_guard_(opts.streaming_guard),
+        time_block_k_(opts.time_block_k) {
+    TIDACC_CHECK_MSG(opts.time_block_k >= 1,
+                     "time_block_k must be at least 1");
+    if (opts.time_block_k > 1) {
+      // A k-deep residency spans k kernel launches; let the prefetcher run
+      // as many regions ahead so the copy engine stays busy throughout.
+      pool_.scheduler().set_prefetch_depth(opts.time_block_k);
+    }
     if (cuem::san::enabled()) {
       for (int r = 0; r < this->num_regions(); ++r) {
         CUEM_CHECK(cuemSanAnnotate(this->region(r).data,
@@ -93,6 +122,32 @@ class AccTileArray : public tida::TileArray<T> {
   const CacheTable& cache() const { return pool_.cache(); }
   const SlotScheduler& scheduler() const { return pool_.scheduler(); }
   SlotPolicyKind slot_policy() const { return pool_.scheduler().policy_kind(); }
+
+  /// Temporal blocking depth this array was built for (1 = off).
+  int time_block_k() const { return time_block_k_; }
+
+  /// True when every slot carries an in-slot scratch double buffer
+  /// (time_block_k > 1 at construction).
+  bool has_scratch() const { return pool_.has_scratch(); }
+
+  /// Device pointer of the scratch buffer backing `region`'s slot — the
+  /// write target of compute_k's odd sub-steps. Requires has_scratch().
+  T* scratch_of_region(int region) {
+    return static_cast<T*>(
+        pool_.scratch_ptr(pool_.slot_of_region(region)));
+  }
+
+  /// Swaps `region`'s slot primary/scratch pointers after a sub-step wrote
+  /// the scratch buffer (no device copy — pointer bookkeeping only).
+  void swap_region_buffers(int region) {
+    pool_.swap_slot_buffers(pool_.slot_of_region(region));
+  }
+
+  /// Remaps slot→stream through the pool (see
+  /// DevicePool::set_stream_permutation). Fuzzing/ablation hook.
+  void set_stream_permutation(const std::vector<int>& perm) {
+    pool_.set_stream_permutation(perm);
+  }
 
   /// Installs the recorded future region-access order (one entry per demand
   /// acquire, in order) for the BeladyOracle policy; other policies ignore
@@ -371,8 +426,15 @@ class AccTileArray : public tida::TileArray<T> {
       fill_boundary_device(bc);
       return;
     }
-    if (delta_transfers_) {
-      // Mixed/limited-memory with dirty tracking: exchange the shells only.
+    if (delta_transfers_ &&
+        (streaming_guard_ == StreamingGuard::kForceStreaming ||
+         (streaming_guard_ == StreamingGuard::kAuto &&
+          streaming_cheaper(bc)))) {
+      // Mixed/limited-memory with dirty tracking: exchange the shells only —
+      // but only when the exchange-level cost model says the pitched-copy
+      // latency storm actually beats one pipelined drain (periodic BCs on
+      // slab partitions generate hundreds of tiny wrap faces per exchange,
+      // each paying the full transfer-setup latency).
       fill_boundary_streaming(bc);
       return;
     }
@@ -595,6 +657,8 @@ class AccTileArray : public tida::TileArray<T> {
     w.put_int(this->num_regions());
     w.put_bool(disable_caching_);
     w.put_bool(delta_transfers_);
+    w.put_int(static_cast<int>(streaming_guard_));
+    w.put_int(time_block_k_);
     pool_.capture(w);
     loc_.capture(w);
     dirty_.capture(w);
@@ -613,6 +677,11 @@ class AccTileArray : public tida::TileArray<T> {
                      "array snapshot disagrees on disable_caching");
     TIDACC_CHECK_MSG(r.get_bool() == delta_transfers_,
                      "array snapshot disagrees on delta_transfers");
+    TIDACC_CHECK_MSG(static_cast<StreamingGuard>(r.get_int()) ==
+                         streaming_guard_,
+                     "array snapshot disagrees on streaming_guard");
+    TIDACC_CHECK_MSG(r.get_int() == time_block_k_,
+                     "array snapshot disagrees on time_block_k");
     pool_.restore(r);
     loc_.restore(r);
     dirty_.restore(r);
@@ -760,6 +829,91 @@ class AccTileArray : public tida::TileArray<T> {
     return e.j == ge.j ? 1 : static_cast<std::uint64_t>(e.k);
   }
 
+  /// Exchange-level cost model behind StreamingGuard::kAuto: predicts the
+  /// serial pitched-copy cost of one whole streaming exchange (every pull
+  /// the dedup logic would issue plus every ghost-box push into a resident
+  /// region) against one pipelined drain + re-upload, and streams only when
+  /// cheaper. The per-region delta_cheaper guard below cannot see this:
+  /// each region's shells look cheap in isolation, but a periodic exchange
+  /// on a slab partition issues hundreds of self-wrap face/edge/corner ops
+  /// that each pay the full transfer-setup latency.
+  bool streaming_cheaper(tida::Boundary bc) {
+    const sim::DeviceConfig& cfg = sim::Platform::instance().config();
+    const auto& plan = this->exchange_plan(bc);
+
+    const auto op_ns = [this, &cfg](const tida::Box& grown,
+                                    const tida::Box& b, double gbps) {
+      const std::uint64_t comp_bytes = b.volume() * sizeof(T);
+      return static_cast<SimTime>(this->ncomp()) *
+                 (cfg.host_api_overhead_ns + cfg.transfer_latency_ns +
+                  cfg.memcpy3d_overhead_ns(comp_bytes,
+                                           chunks_for(grown, b))) +
+             transfer_time_ns(comp_bytes * this->ncomp(), gbps);
+    };
+
+    SimTime stream_ns = 0;
+    // Phase-1 pulls, with the same disjoint-dedup the real exchange does.
+    std::vector<std::vector<tida::Box>> pulls(
+        static_cast<std::size_t>(this->num_regions()));
+    for (const auto& c : plan) {
+      if (loc_.location(c.src_region) != Loc::kDevice) {
+        continue;
+      }
+      auto& list = pulls[static_cast<std::size_t>(c.src_region)];
+      for (const tida::Box& d : dirty_.dev_dirty(c.src_region)) {
+        const tida::Box x = d.intersect(c.src_box);
+        if (x.empty()) {
+          continue;
+        }
+        std::vector<tida::Box> fresh = tida::subtract_box(x, list);
+        list.insert(list.end(), fresh.begin(), fresh.end());
+      }
+    }
+    for (int r = 0; r < this->num_regions(); ++r) {
+      const tida::Box& grown = this->region(r).grown;
+      for (const tida::Box& b : pulls[static_cast<std::size_t>(r)]) {
+        stream_ns += op_ns(grown, b, cfg.pinned_d2h_gbps);
+      }
+    }
+    // Phase-3 pushes: every plan ghost box lands host-dirty on its
+    // destination and is pushed into each resident region, on top of any
+    // host-dirty boxes those regions already carry.
+    for (const auto& c : plan) {
+      if (loc_.location(c.dst_region) != Loc::kDevice) {
+        continue;
+      }
+      stream_ns += op_ns(this->region(c.dst_region).grown, c.dst_box,
+                         cfg.pinned_h2d_gbps);
+    }
+    for (int r = 0; r < this->num_regions(); ++r) {
+      if (loc_.location(r) != Loc::kDevice) {
+        continue;
+      }
+      const tida::Box& grown = this->region(r).grown;
+      for (const tida::Box& b : dirty_.host_dirty(r)) {
+        stream_ns += op_ns(grown, b, cfg.pinned_h2d_gbps);
+      }
+    }
+
+    // The drain alternative: D2H of every device-resident region now, flat
+    // H2D re-upload of every region at its next acquire. The two engines
+    // overlap each other and the re-uploads overlap compute, so the
+    // predicted cost is the busier direction, not the sum.
+    SimTime d2h_ns = 0;
+    SimTime h2d_ns = 0;
+    for (int r = 0; r < this->num_regions(); ++r) {
+      const std::uint64_t bytes = this->region_bytes(r);
+      if (loc_.location(r) == Loc::kDevice) {
+        d2h_ns += cfg.host_api_overhead_ns + cfg.transfer_latency_ns +
+                  transfer_time_ns(bytes, cfg.pinned_d2h_gbps);
+      }
+      h2d_ns += cfg.host_api_overhead_ns + cfg.transfer_latency_ns +
+                transfer_time_ns(bytes, cfg.pinned_h2d_gbps);
+    }
+    const SimTime drain_ns = std::max(d2h_ns, h2d_ns);
+    return stream_ns <= drain_ns;
+  }
+
   /// True when shipping `boxes` as pitched sub-box copies is modeled
   /// cheaper than one flat whole-region transfer in direction `h2d`
   /// (latency + chunk overhead per box/component vs one full burst).
@@ -899,6 +1053,8 @@ class AccTileArray : public tida::TileArray<T> {
   std::uint64_t streaming_exchanges_ = 0;
   bool disable_caching_ = false;
   bool delta_transfers_ = false;
+  StreamingGuard streaming_guard_ = StreamingGuard::kAuto;
+  int time_block_k_ = 1;
 };
 
 /// A tile bound to its AccTileArray plus the traversal's GPU flag — what

@@ -52,9 +52,12 @@ class DevicePool {
   /// Allocates up to min(num_regions, fits-in-free-memory, max_slots) slots
   /// of `slot_bytes` each. Throws if not even one slot fits (the
   /// application cannot run on this device at all). A null `policy` means
-  /// the paper's StaticModulo mapping.
+  /// the paper's StaticModulo mapping. With `with_scratch` every slot gets a
+  /// same-sized scratch buffer (temporal blocking's in-slot double buffer),
+  /// so capacity discovery charges two buffers per slot.
   DevicePool(std::size_t slot_bytes, int num_regions, int max_slots,
-             std::unique_ptr<SlotPolicy> policy = nullptr);
+             std::unique_ptr<SlotPolicy> policy = nullptr,
+             bool with_scratch = false);
   ~DevicePool();
 
   DevicePool(const DevicePool&) = delete;
@@ -86,7 +89,30 @@ class DevicePool {
 
   /// Stream serving a slot (shared process-wide per slot index via the
   /// OpenACC queue map, so sibling arrays pipeline on the same streams).
+  /// Subject to the stream permutation installed below (identity default).
   cuemStream_t stream_of_slot(int slot) const;
+
+  /// True when slots carry a scratch double buffer.
+  bool has_scratch() const { return !scratch_.empty(); }
+
+  /// Device base pointer of a slot's scratch buffer (temporal blocking's
+  /// write target for odd sub-steps). Requires has_scratch().
+  void* scratch_ptr(int slot) const;
+
+  /// Swaps a slot's primary and scratch pointers — after a sub-step wrote
+  /// the scratch buffer, the swap makes slot_ptr() point at the newest
+  /// data without any device-side copy. Requires has_scratch().
+  void swap_slot_buffers(int slot);
+
+  /// Remaps slot→stream: slot s is served by queue perm[s] from now on.
+  /// `perm` must be a bijection over [0, num_slots). Safe at any point:
+  /// for every remapped slot an event recorded on the old stream is waited
+  /// on by the new stream, so queued work keeps its ordering. The schedule
+  /// fuzzer uses this to explore stream assignments directly.
+  void set_stream_permutation(const std::vector<int>& perm);
+
+  /// Current slot→queue permutation (identity unless remapped).
+  const std::vector<int>& stream_permutation() const { return perm_; }
 
   CacheTable& cache() { return cache_; }
   const CacheTable& cache() const { return cache_; }
@@ -105,7 +131,12 @@ class DevicePool {
   std::size_t slot_bytes_;
   int num_regions_;
   std::vector<void*> slots_;
+  std::vector<void*> scratch_;  ///< empty unless constructed with_scratch
+  /// Whether a slot's primary/scratch pointers are currently swapped
+  /// relative to construction (parity restored by snapshots).
+  std::vector<char> swapped_;
   std::vector<cuemStream_t> streams_;
+  std::vector<int> perm_;  ///< slot→oacc queue (identity default)
   CacheTable cache_;
   SlotScheduler sched_;
 };

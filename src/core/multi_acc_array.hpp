@@ -27,12 +27,15 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/inject.hpp"
+#include "core/acc_tile_array.hpp"
 #include "core/compute.hpp"
 #include "core/device_pool.hpp"
 #include "core/dirty_tracker.hpp"
 #include "cuem/cuem.hpp"
 #include "cuem/san.hpp"
 #include "oacc/oacc.hpp"
+#include "sim/snapshot.hpp"
 #include "tida/tile_array.hpp"
 
 namespace tidacc::core {
@@ -66,6 +69,13 @@ struct MultiAccOptions {
   /// Enables dirty-region tracking and delta transfers, exactly as
   /// AccOptions::delta_transfers does for the single-device array.
   bool delta_transfers = false;
+  /// Streaming-vs-drain dispatch for the out-of-core ghost exchange (see
+  /// AccOptions::streaming_guard).
+  StreamingGuard streaming_guard = StreamingGuard::kAuto;
+  /// Temporal blocking depth (see AccOptions::time_block_k): k > 1 gives
+  /// every slot on every device a scratch double buffer and deepens the
+  /// prefetch hint.
+  int time_block_k = 1;
 };
 
 template <typename T>
@@ -80,7 +90,11 @@ class MultiAccTileArray : public tida::TileArray<T> {
         dirty_(this->num_regions()),
         pending_xfer_(static_cast<std::size_t>(this->num_regions()), -1),
         placement_(opts.placement),
-        delta_transfers_(opts.delta_transfers) {
+        delta_transfers_(opts.delta_transfers),
+        streaming_guard_(opts.streaming_guard),
+        time_block_k_(opts.time_block_k) {
+    TIDACC_CHECK_MSG(opts.time_block_k >= 1,
+                     "time_block_k must be at least 1");
     if (cuem::san::enabled()) {
       for (int r = 0; r < this->num_regions(); ++r) {
         CUEM_CHECK(cuemSanAnnotate(this->region(r).data,
@@ -116,7 +130,11 @@ class MultiAccTileArray : public tida::TileArray<T> {
       cuem::DeviceGuard guard(d);
       shard(d).pool = std::make_unique<DevicePool>(
           slot_bytes, static_cast<int>(shard(d).regions.size()),
-          opts.max_slots_per_device, make_slot_policy(opts.slot_policy));
+          opts.max_slots_per_device, make_slot_policy(opts.slot_policy),
+          /*with_scratch=*/opts.time_block_k > 1);
+      if (opts.time_block_k > 1) {
+        shard(d).pool->scheduler().set_prefetch_depth(opts.time_block_k);
+      }
     }
   }
 
@@ -157,6 +175,47 @@ class MultiAccTileArray : public tida::TileArray<T> {
   }
   const SlotScheduler& scheduler(int device) const {
     return pool_of(device).scheduler();
+  }
+
+  /// Temporal blocking depth this array was built for (1 = off).
+  int time_block_k() const { return time_block_k_; }
+
+  /// True when slots carry scratch double buffers (time_block_k > 1).
+  bool has_scratch() const {
+    for (const DeviceShard& s : shards_) {
+      if (s.pool) {
+        return s.pool->has_scratch();
+      }
+    }
+    return false;
+  }
+
+  /// Scratch device pointer backing `region`'s slot on its owning device.
+  T* scratch_of_region(int region) {
+    const int dev = owner_[checked(region)];
+    const DevicePool& pool = pool_of(dev);
+    return static_cast<T*>(pool.scratch_ptr(
+        pool.slot_of_region(local_[static_cast<std::size_t>(region)])));
+  }
+
+  /// Swaps `region`'s slot primary/scratch pointers (see AccTileArray).
+  void swap_region_buffers(int region) {
+    const int dev = owner_[checked(region)];
+    DevicePool& pool = *shard(dev).pool;
+    pool.swap_slot_buffers(
+        pool.slot_of_region(local_[static_cast<std::size_t>(region)]));
+  }
+
+  /// Remaps slot→stream on one device's pool (see
+  /// DevicePool::set_stream_permutation). Fuzzing/ablation hook.
+  void set_stream_permutation(int device, const std::vector<int>& perm) {
+    TIDACC_CHECK_MSG(device >= 0 && device < num_devices_,
+                     "device ordinal out of range");
+    TIDACC_CHECK_MSG(shards_[static_cast<std::size_t>(device)].pool != nullptr,
+                     "device owns no regions");
+    cuem::DeviceGuard guard(device);
+    shards_[static_cast<std::size_t>(device)].pool->set_stream_permutation(
+        perm);
   }
 
   /// Stream serving a region's slot, on the owning device.
@@ -435,7 +494,10 @@ class MultiAccTileArray : public tida::TileArray<T> {
       fill_boundary_device(bc);
       return;
     }
-    if (delta_transfers_) {
+    if (delta_transfers_ &&
+        (streaming_guard_ == StreamingGuard::kForceStreaming ||
+         (streaming_guard_ == StreamingGuard::kAuto &&
+          streaming_cheaper(bc)))) {
       fill_boundary_streaming(bc);
       return;
     }
@@ -477,6 +539,11 @@ class MultiAccTileArray : public tida::TileArray<T> {
         continue;
       }
       const int dev = owner_[checked(r)];
+      // stream_of_slot resolves its queue id against the *current* device;
+      // without the guard a pull for this region would land on whichever
+      // device was selected last — unordered with the region's own slot
+      // stream (and the prefetch/eviction transfers already queued on it).
+      cuem::DeviceGuard guard(dev);
       const DevicePool& pool = pool_of(dev);
       const int slot =
           pool.slot_of_region(local_[static_cast<std::size_t>(r)]);
@@ -661,6 +728,76 @@ class MultiAccTileArray : public tida::TileArray<T> {
     }
   }
 
+  // --- snapshot (see docs/FUZZING.md) ---
+
+  /// Snapshot of the distributed protocol state: every shard's pool
+  /// bookkeeping plus the global location/dirty/pending/accounting tables.
+  /// Buffer contents ride in the cuem snapshot; restore requires an array
+  /// of identical geometry, placement and options — the multi-device
+  /// mirror of AccTileArray::capture, so the schedule fuzzer can explore
+  /// multi-device schedules from one warm snapshot.
+  void capture(sim::SnapshotWriter& w) const {
+    w.section("multi_acc_tile_array");
+    w.put_int(this->num_regions());
+    w.put_int(num_devices_);
+    w.put_int(static_cast<int>(placement_));
+    w.put_bool(delta_transfers_);
+    w.put_int(static_cast<int>(streaming_guard_));
+    w.put_int(time_block_k_);
+    for (int d = 0; d < num_devices_; ++d) {
+      const DeviceShard& s = shards_[static_cast<std::size_t>(d)];
+      w.put_int(s.pool ? 1 : 0);
+      if (s.pool) {
+        s.pool->capture(w);
+      }
+    }
+    loc_.capture(w);
+    dirty_.capture(w);
+    w.put_int_vec(pending_xfer_);
+    xfer_.capture(w);
+    w.put_u64(device_ghost_updates_);
+    w.put_u64(peer_ghost_copies_);
+    w.put_u64(prefetches_issued_);
+    w.put_u64(streaming_exchanges_);
+  }
+
+  void restore(sim::SnapshotReader& r) {
+    r.section("multi_acc_tile_array");
+    TIDACC_CHECK_MSG(r.get_int() == this->num_regions(),
+                     "array snapshot has a different region count");
+    TIDACC_CHECK_MSG(r.get_int() == num_devices_,
+                     "array snapshot has a different device count");
+    TIDACC_CHECK_MSG(static_cast<DevicePlacement>(r.get_int()) == placement_,
+                     "array snapshot disagrees on placement");
+    TIDACC_CHECK_MSG(r.get_bool() == delta_transfers_,
+                     "array snapshot disagrees on delta_transfers");
+    TIDACC_CHECK_MSG(static_cast<StreamingGuard>(r.get_int()) ==
+                         streaming_guard_,
+                     "array snapshot disagrees on streaming_guard");
+    TIDACC_CHECK_MSG(r.get_int() == time_block_k_,
+                     "array snapshot disagrees on time_block_k");
+    for (int d = 0; d < num_devices_; ++d) {
+      DeviceShard& s = shards_[static_cast<std::size_t>(d)];
+      TIDACC_CHECK_MSG((r.get_int() != 0) == (s.pool != nullptr),
+                       "array snapshot disagrees on device shard layout");
+      if (s.pool) {
+        cuem::DeviceGuard guard(d);
+        s.pool->restore(r);
+      }
+    }
+    loc_.restore(r);
+    dirty_.restore(r);
+    pending_xfer_ = r.get_int_vec();
+    TIDACC_CHECK_MSG(pending_xfer_.size() ==
+                         static_cast<std::size_t>(this->num_regions()),
+                     "array snapshot is inconsistent");
+    xfer_.restore(r);
+    device_ghost_updates_ = r.get_u64();
+    peer_ghost_copies_ = r.get_u64();
+    prefetches_issued_ = r.get_u64();
+    streaming_exchanges_ = r.get_u64();
+  }
+
  private:
   struct DeviceShard {
     std::unique_ptr<DevicePool> pool;
@@ -713,6 +850,12 @@ class MultiAccTileArray : public tida::TileArray<T> {
   /// paper's StaticModulo mapping a region never changes streams and this
   /// is a no-op.
   void order_after_pending(int region, cuemStream_t stream) {
+    if (injected("evict_race")) {
+      // Re-opens the pre-fix behaviour: no cross-stream edge, so the H2D
+      // races the in-flight eviction D2H (fuzzer/sanitizer regression bait,
+      // same defect class as the single-device array's).
+      return;
+    }
     cuemStream_t& pending = pending_xfer_[static_cast<std::size_t>(region)];
     if (pending < 0 || pending == stream) {
       return;
@@ -800,6 +943,79 @@ class MultiAccTileArray : public tida::TileArray<T> {
       return static_cast<std::uint64_t>(e.j) * static_cast<std::uint64_t>(e.k);
     }
     return e.j == ge.j ? 1 : static_cast<std::uint64_t>(e.k);
+  }
+
+  /// Exchange-level cost model behind StreamingGuard::kAuto — the
+  /// multi-device mirror of AccTileArray::streaming_cheaper (link costs are
+  /// identical on every simulated device, so the aggregate predictor needs
+  /// no per-device split).
+  bool streaming_cheaper(tida::Boundary bc) {
+    const sim::DeviceConfig& cfg = sim::Platform::instance().config();
+    const auto& plan = this->exchange_plan(bc);
+
+    const auto op_ns = [this, &cfg](const tida::Box& grown,
+                                    const tida::Box& b, double gbps) {
+      const std::uint64_t comp_bytes = b.volume() * sizeof(T);
+      return static_cast<SimTime>(this->ncomp()) *
+                 (cfg.host_api_overhead_ns + cfg.transfer_latency_ns +
+                  cfg.memcpy3d_overhead_ns(comp_bytes,
+                                           chunks_for(grown, b))) +
+             transfer_time_ns(comp_bytes * this->ncomp(), gbps);
+    };
+
+    SimTime stream_ns = 0;
+    std::vector<std::vector<tida::Box>> pulls(
+        static_cast<std::size_t>(this->num_regions()));
+    for (const auto& c : plan) {
+      if (loc_.location(c.src_region) != Loc::kDevice) {
+        continue;
+      }
+      auto& list = pulls[static_cast<std::size_t>(c.src_region)];
+      for (const tida::Box& d : dirty_.dev_dirty(c.src_region)) {
+        const tida::Box x = d.intersect(c.src_box);
+        if (x.empty()) {
+          continue;
+        }
+        std::vector<tida::Box> fresh = tida::subtract_box(x, list);
+        list.insert(list.end(), fresh.begin(), fresh.end());
+      }
+    }
+    for (int r = 0; r < this->num_regions(); ++r) {
+      const tida::Box& grown = this->region(r).grown;
+      for (const tida::Box& b : pulls[static_cast<std::size_t>(r)]) {
+        stream_ns += op_ns(grown, b, cfg.pinned_d2h_gbps);
+      }
+    }
+    for (const auto& c : plan) {
+      if (loc_.location(c.dst_region) != Loc::kDevice) {
+        continue;
+      }
+      stream_ns += op_ns(this->region(c.dst_region).grown, c.dst_box,
+                         cfg.pinned_h2d_gbps);
+    }
+    for (int r = 0; r < this->num_regions(); ++r) {
+      if (loc_.location(r) != Loc::kDevice) {
+        continue;
+      }
+      const tida::Box& grown = this->region(r).grown;
+      for (const tida::Box& b : dirty_.host_dirty(r)) {
+        stream_ns += op_ns(grown, b, cfg.pinned_h2d_gbps);
+      }
+    }
+
+    SimTime d2h_ns = 0;
+    SimTime h2d_ns = 0;
+    for (int r = 0; r < this->num_regions(); ++r) {
+      const std::uint64_t bytes = this->region_bytes(r);
+      if (loc_.location(r) == Loc::kDevice) {
+        d2h_ns += cfg.host_api_overhead_ns + cfg.transfer_latency_ns +
+                  transfer_time_ns(bytes, cfg.pinned_d2h_gbps);
+      }
+      h2d_ns += cfg.host_api_overhead_ns + cfg.transfer_latency_ns +
+                transfer_time_ns(bytes, cfg.pinned_h2d_gbps);
+    }
+    const SimTime drain_ns = std::max(d2h_ns, h2d_ns);
+    return stream_ns <= drain_ns;
   }
 
   /// True when shipping `boxes` as pitched sub-box copies is modeled
@@ -938,6 +1154,8 @@ class MultiAccTileArray : public tida::TileArray<T> {
   std::uint64_t prefetches_issued_ = 0;
   std::uint64_t streaming_exchanges_ = 0;
   bool delta_transfers_ = false;
+  StreamingGuard streaming_guard_ = StreamingGuard::kAuto;
+  int time_block_k_ = 1;
 };
 
 // --- whole-region compute on the owning device ---

@@ -19,6 +19,7 @@
 #include "core/acc_tile_array.hpp"   // IWYU pragma: export
 #include "core/cache_table.hpp"      // IWYU pragma: export
 #include "core/compute.hpp"          // IWYU pragma: export
+#include "core/compute_k.hpp"        // IWYU pragma: export
 #include "core/device_pool.hpp"      // IWYU pragma: export
 #include "core/dirty_tracker.hpp"    // IWYU pragma: export
 #include "core/multi_acc_array.hpp"  // IWYU pragma: export

@@ -50,6 +50,20 @@ void heat_step_face(const double* u, double* un, int n, int face);
 /// Number of cells a face kernel visits.
 std::uint64_t heat_face_cells(int n, int face);
 
+/// Single-cell heat update over any indexable view (DeviceView or a
+/// host-side wrapper): the per-step lambda body temporal blocking applies
+/// k times in-slot. The accumulation order matches stencil()/heat_step_flat
+/// exactly, so k applications reproduce k flat steps bit for bit; the view
+/// must supply valid neighbours (ghost cells) — no wrap is performed.
+template <typename View>
+inline double heat_point(const View& u, int i, int j, int k) {
+  const double center = u(i, j, k);
+  return center + kHeatFac * (u(i - 1, j, k) + u(i + 1, j, k) +
+                              u(i, j - 1, k) + u(i, j + 1, k) +
+                              u(i, j, k - 1) + u(i, j, k + 1) -
+                              6.0 * center);
+}
+
 /// CPU reference: runs `steps` periodic heat steps over a flat array.
 void heat_reference(std::vector<double>& u, int n, int steps);
 

@@ -28,4 +28,24 @@ oacc::LoopCost box_stencil_cost(int radius);
 /// One periodic box-stencil step of radius r on a flat n^3 array.
 void box_stencil_step_flat(const double* u, double* un, int n, int radius);
 
+/// Single-cell box-stencil update over any indexable view — the per-step
+/// body for temporal blocking. Accumulates in the same dk→dj→di order as
+/// box_stencil_step_flat, so k in-slot applications are bitwise equal to k
+/// flat steps; the view must supply valid neighbours (no wrap).
+template <typename View>
+inline double box_stencil_point(const View& u, int i, int j, int k,
+                                int radius) {
+  const int points = (2 * radius + 1) * (2 * radius + 1) * (2 * radius + 1);
+  const double weight = 1.0 / static_cast<double>(points);
+  double acc = 0.0;
+  for (int dk = -radius; dk <= radius; ++dk) {
+    for (int dj = -radius; dj <= radius; ++dj) {
+      for (int di = -radius; di <= radius; ++di) {
+        acc += u(i + di, j + dj, k + dk);
+      }
+    }
+  }
+  return acc * weight;
+}
+
 }  // namespace tidacc::kernels

@@ -111,4 +111,12 @@ std::vector<Box> ghost_shells(const Box& valid, int g) {
   return subtract(valid.grow(g), valid);
 }
 
+Box trapezoid_range(const Box& valid, int radius, int k, int s) {
+  return valid.grow(radius * (k - 1 - s));
+}
+
+std::vector<Box> temporal_shells(const Box& valid, int radius, int k) {
+  return ghost_shells(valid, radius * k);
+}
+
 }  // namespace tidacc::tida

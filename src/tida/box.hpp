@@ -93,4 +93,16 @@ Box bounding_box(const std::vector<Box>& list);
 /// disjoint face shells — subtract(valid.grow(g), valid).
 std::vector<Box> ghost_shells(const Box& valid, int g);
 
+/// Writable range of sub-step `s` (0-based) of a depth-`k` temporal
+/// trapezoid over `valid` with stencil radius `radius`: the interior that
+/// can still be computed correctly from ghosts of width radius*k shrinks
+/// by one stencil radius per sub-step, ending exactly on `valid` at the
+/// last sub-step — valid.grow(radius * (k - 1 - s)).
+Box trapezoid_range(const Box& valid, int radius, int k, int s);
+
+/// Ghost shells widened for a depth-`k` trapezoid: the ring of width
+/// radius*k around `valid` that sub-step 0 reads —
+/// ghost_shells(valid, radius * k).
+std::vector<Box> temporal_shells(const Box& valid, int radius, int k);
+
 }  // namespace tidacc::tida

@@ -341,6 +341,58 @@ TEST_F(CuemSanTest, PrefetchAndHostTouchWorkloadIsClean) {
       << "unexpected findings:\n" << cuem::san::report_json();
 }
 
+/// k-step temporal blocking: each sub-step reads one slot buffer and
+/// writes its scratch twin, swapping after; all on the slot's stream, so
+/// the racecheck must see only stream-ordered accesses — in core and under
+/// eviction pressure (the swapped buffer is what gets drained).
+void run_blocked_workload(int n, int region, int max_slots, int steps,
+                          int k) {
+  AccOptions opts;
+  opts.max_slots = max_slots;
+  opts.delta_transfers = true;
+  opts.time_block_k = k;
+  AccTileArray<double> u(Box::cube(n), Index3::uniform(region), k, opts);
+  u.fill([](const Index3& p) {
+    return std::sin(0.1 * p.i) + 0.5 * std::cos(0.2 * p.j) + 0.01 * p.k;
+  });
+  LoopCost cost;
+  cost.flops_per_iter = 8;
+  cost.dev_bytes_per_iter = 16;
+  for (int s = 0; s < steps; s += k) {
+    u.fill_boundary(Boundary::kPeriodic);
+    for (int r = 0; r < u.num_regions(); ++r) {
+      core::compute_k(u, r, k, /*radius=*/1, cost,
+                      [](DeviceView<double> in, DeviceView<double> out,
+                         int i, int j, int kk) {
+                        out(i, j, kk) =
+                            in(i, j, kk) +
+                            0.1 * (in(i - 1, j, kk) + in(i + 1, j, kk) +
+                                   in(i, j - 1, kk) + in(i, j + 1, kk) -
+                                   4.0 * in(i, j, kk));
+                      });
+    }
+  }
+  u.release_all_to_host();
+}
+
+TEST_F(CuemSanTest, TemporalBlockingDoubleBufferIsClean) {
+  run_blocked_workload(/*n=*/8, /*region=*/4, /*max_slots=*/16, /*steps=*/4,
+                       /*k=*/2);
+  EXPECT_TRUE(cuem::san::clean())
+      << "unexpected findings:\n" << cuem::san::report_json();
+  EXPECT_EQ(cuem::san::count(cuem::san::Severity::kError), 0u);
+  EXPECT_EQ(cuem::san::count(cuem::san::Severity::kWarning), 0u);
+}
+
+TEST_F(CuemSanTest, TemporalBlockingEvictionIsClean) {
+  // Two slots for eight regions: every block ends in an eviction of the
+  // swapped (scratch-parity) buffer.
+  run_blocked_workload(/*n=*/8, /*region=*/4, /*max_slots=*/2, /*steps=*/4,
+                       /*k=*/2);
+  EXPECT_TRUE(cuem::san::clean())
+      << "unexpected findings:\n" << cuem::san::report_json();
+}
+
 TEST_F(CuemSanTest, JsonReportIsWellFormedOnCleanRun) {
   const std::string json = cuem::san::report_json();
   EXPECT_NE(json.find("\"sanitizer\": \"cuem-san\""), std::string::npos);

@@ -22,6 +22,7 @@
 // out (ctest SKIP_RETURN_CODE). With --expect-failure the 0/1 meanings
 // invert: the run *passes* iff a failure is detected (used by the
 // injected-defect regression test, see common/inject.hpp).
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -38,6 +39,7 @@
 #include "common/rng.hpp"
 #include "core/acc_tile_array.hpp"
 #include "core/compute.hpp"
+#include "core/multi_acc_array.hpp"
 #include "core/slot_policy.hpp"
 #include "core/world_snapshot.hpp"
 #include "cuem/cuem.hpp"
@@ -63,6 +65,10 @@ struct WorldKnobs {
   int num_devices = 1;
   int n = 32;
   int regions = 8;
+  // The fuzzer's worlds are small, so the cost-model guard would always
+  // drain; forcing both branches keeps the streaming exchange (and the
+  // eviction/re-acquire schedules it produces) in the explored space.
+  core::StreamingGuard guard = core::StreamingGuard::kAuto;
 };
 
 // Mutated per iteration on top of a restored snapshot.
@@ -71,6 +77,7 @@ struct DynKnobs {
   std::uint64_t jitter_seed = 0;
   int prefetch_depth = 0;         ///< regions prefetched ahead of the sweep
   std::uint64_t order_seed = 0;   ///< 0 = identity region visit order
+  std::uint64_t stream_perm_seed = 0;  ///< 0 = identity slot->stream map
   int steps = 3;                  ///< tail steps replayed after restore
 };
 
@@ -102,6 +109,13 @@ WorldKnobs draw_world(std::uint64_t seed, std::uint64_t config_index,
       3 + static_cast<int>(rng.next_below(
               static_cast<std::uint64_t>(regions > 3 ? regions - 3 : 1)));
   w.num_devices = rng.next_below(4) == 0 ? 2 : 1;
+  switch (rng.next_below(4)) {
+    case 0: w.guard = core::StreamingGuard::kForceDrain; break;
+    case 1: w.guard = core::StreamingGuard::kAuto; break;
+    // Half the worlds force the streaming exchange: it is the path with
+    // in-flight cross-stream transfers, where schedule bugs live.
+    default: w.guard = core::StreamingGuard::kForceStreaming; break;
+  }
   return w;
 }
 
@@ -115,6 +129,7 @@ DynKnobs draw_dyn(std::uint64_t seed, std::uint64_t iter, int regions,
   d.prefetch_depth = static_cast<int>(
       rng.next_below(static_cast<std::uint64_t>(regions)));
   d.order_seed = rng.next_below(4) == 0 ? 0 : rng.next_u64();
+  d.stream_perm_seed = rng.next_below(4) == 0 ? 0 : rng.next_u64();
   return d;
 }
 
@@ -132,37 +147,86 @@ std::vector<int> visit_order(int regions, std::uint64_t order_seed) {
   return order;
 }
 
+// The per-cell update every workload variant applies (reads ghosts from
+// the grown box, writes only the region's own valid cells, so the result
+// does not depend on the visit order or the device placement).
+constexpr auto kSweepBody = [](core::DeviceView<double> v, int i, int j,
+                               int k) {
+  v(i, j, k) = 0.5 * v(i, j, k) +
+               0.125 * (v(i - 1, j, k) + v(i + 1, j, k) + v(i, j - 1, k) +
+                        v(i, j + 1, k));
+};
+
+void sweep_region(AccTileArray<double>& u, int region,
+                  const oacc::LoopCost& cost) {
+  const tida::Region<double> r = u.region(region);
+  const AccTile<double> tile{&u, tida::Tile<double>{r, r.valid},
+                             /*gpu=*/true};
+  core::compute(tile, cost, kSweepBody);
+}
+
+void sweep_region(core::MultiAccTileArray<double>& u, int region,
+                  const oacc::LoopCost& cost) {
+  core::compute_gpu(u, region, cost, kSweepBody);
+}
+
+/// Fisher-Yates permutation of [0, slots); identity when seed == 0.
+std::vector<int> stream_perm(int slots, std::uint64_t seed) {
+  std::vector<int> perm(static_cast<std::size_t>(slots));
+  std::iota(perm.begin(), perm.end(), 0);
+  if (seed != 0) {
+    Rng rng(seed);
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.next_below(i)]);
+    }
+  }
+  return perm;
+}
+
+// Mutates the slot->stream assignment directly: every transfer and kernel
+// a slot issues from here on rides a different hardware queue, reshuffling
+// which operations can overlap. Event edges inside set_stream_permutation
+// keep the dependency order, so the checksum must not move.
+void apply_stream_perm(AccTileArray<double>& u, std::uint64_t seed) {
+  if (seed == 0) return;
+  u.set_stream_permutation(stream_perm(u.num_slots(), seed));
+}
+
+void apply_stream_perm(core::MultiAccTileArray<double>& u,
+                       std::uint64_t seed) {
+  if (seed == 0) return;
+  for (int d = 0; d < u.num_devices(); ++d) {
+    if (u.regions_of_device(d).empty()) continue;
+    u.set_stream_permutation(
+        d, stream_perm(u.num_slots(d),
+                       seed ^ (0x9e3779b97f4a7c15ull *
+                               static_cast<std::uint64_t>(d + 1))));
+  }
+}
+
 // One halo step: exchange ghosts, then sweep every region in-place in the
-// given order, prefetching the next `depth` regions after each kernel. The
-// stencil reads the grown box (ghosts included) and writes only the valid
-// cells of its own region, so the result does not depend on `order`.
-void halo_step(AccTileArray<double>& u, const std::vector<int>& order,
-               int depth, const oacc::LoopCost& cost) {
+// given order, prefetching the next `depth` regions after each kernel.
+template <typename Array>
+void halo_step(Array& u, const std::vector<int>& order, int depth,
+               const oacc::LoopCost& cost) {
   u.fill_boundary(tida::Boundary::kPeriodic);
   const int regions = static_cast<int>(order.size());
   for (int pos = 0; pos < regions; ++pos) {
-    const tida::Region<double> r = u.region(order[static_cast<std::size_t>(pos)]);
-    const AccTile<double> tile{&u, tida::Tile<double>{r, r.valid},
-                               /*gpu=*/true};
-    core::compute(tile, cost,
-                  [](core::DeviceView<double> v, int i, int j, int k) {
-                    v(i, j, k) =
-                        0.5 * v(i, j, k) +
-                        0.125 * (v(i - 1, j, k) + v(i + 1, j, k) +
-                                 v(i, j - 1, k) + v(i, j + 1, k));
-                  });
+    sweep_region(u, order[static_cast<std::size_t>(pos)], cost);
     for (int a = 1; a <= depth && pos + a < regions; ++a) {
       u.prefetch_to_device(order[static_cast<std::size_t>(pos + a)]);
     }
   }
 }
 
-void run_tail(AccTileArray<double>& u, const DynKnobs& d,
+template <typename Array>
+void run_tail(Array& u, core::SlotPolicyKind policy, const DynKnobs& d,
               const oacc::LoopCost& cost) {
   sim::Platform::instance().set_transfer_jitter(
       static_cast<SimTime>(d.jitter_max), d.jitter_seed);
+  apply_stream_perm(u, d.stream_perm_seed);
   const std::vector<int> order = visit_order(u.num_regions(), d.order_seed);
-  if (u.slot_policy() == core::SlotPolicyKind::kBeladyOracle) {
+  if (policy == core::SlotPolicyKind::kBeladyOracle) {
     std::vector<int> future;
     for (int s = 0; s < d.steps; ++s) {
       future.insert(future.end(), order.begin(), order.end());
@@ -175,7 +239,8 @@ void run_tail(AccTileArray<double>& u, const DynKnobs& d,
   u.release_all_to_host();
 }
 
-std::uint64_t checksum(const AccTileArray<double>& u) {
+template <typename Array>
+std::uint64_t checksum(const Array& u) {
   std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over valid cells
   for (int id = 0; id < u.num_regions(); ++id) {
     const tida::Region<double> r = u.region(id);
@@ -211,8 +276,9 @@ struct Outcome {
 /// Restores `snap` into the live world (same process, `u` still alive) and
 /// replays the tail under `d`. Any tidacc::Error — a fatal sanitizer
 /// finding or an internal invariant trip — is a failure.
-Outcome run_case(const std::vector<std::uint8_t>& snap,
-                 AccTileArray<double>& u, const DynKnobs& d,
+template <typename Array>
+Outcome run_case(const std::vector<std::uint8_t>& snap, Array& u,
+                 core::SlotPolicyKind policy, const DynKnobs& d,
                  const oacc::LoopCost& cost) {
   Outcome out;
   try {
@@ -220,7 +286,7 @@ Outcome run_case(const std::vector<std::uint8_t>& snap,
     core::world_restore(r);
     u.restore(r);
     TIDACC_CHECK_MSG(r.at_end(), "trailing bytes after the array snapshot");
-    run_tail(u, d, cost);
+    run_tail(u, policy, d, cost);
     out.sum = checksum(u);
     out.h2d = u.h2d_bytes();
     out.d2h = u.d2h_bytes();
@@ -245,12 +311,14 @@ void write_repro(const std::string& path, const WorldKnobs& w,
   f << "disable_caching=" << (w.disable_caching ? 1 : 0) << "\n";
   f << "max_slots=" << w.max_slots << "\n";
   f << "num_devices=" << w.num_devices << "\n";
+  f << "guard=" << static_cast<int>(w.guard) << "\n";
   f << "n=" << w.n << "\n";
   f << "regions=" << w.regions << "\n";
   f << "jitter_max=" << d.jitter_max << "\n";
   f << "jitter_seed=" << d.jitter_seed << "\n";
   f << "prefetch_depth=" << d.prefetch_depth << "\n";
   f << "order_seed=" << d.order_seed << "\n";
+  f << "stream_perm_seed=" << d.stream_perm_seed << "\n";
   f << "steps=" << d.steps << "\n";
   f << "# kind=" << o.kind << "\n";
 }
@@ -275,12 +343,14 @@ bool parse_repro(const std::string& path, WorldKnobs& w, DynKnobs& d) {
     else if (key == "disable_caching") w.disable_caching = num != 0;
     else if (key == "max_slots") w.max_slots = static_cast<int>(num);
     else if (key == "num_devices") w.num_devices = static_cast<int>(num);
+    else if (key == "guard") w.guard = static_cast<core::StreamingGuard>(num);
     else if (key == "n") w.n = static_cast<int>(num);
     else if (key == "regions") w.regions = static_cast<int>(num);
     else if (key == "jitter_max") d.jitter_max = num;
     else if (key == "jitter_seed") d.jitter_seed = num;
     else if (key == "prefetch_depth") d.prefetch_depth = static_cast<int>(num);
     else if (key == "order_seed") d.order_seed = num;
+    else if (key == "stream_perm_seed") d.stream_perm_seed = num;
     else if (key == "steps") d.steps = static_cast<int>(num);
   }
   return true;
@@ -332,9 +402,11 @@ void write_report(const std::string& path, std::uint64_t seed,
       << "\", \"delta\": " << (x.world.delta ? "true" : "false")
       << ", \"max_slots\": " << x.world.max_slots
       << ", \"num_devices\": " << x.world.num_devices
+      << ", \"guard\": " << static_cast<int>(x.world.guard)
       << ", \"jitter_max\": " << x.dyn.jitter_max
       << ", \"prefetch_depth\": " << x.dyn.prefetch_depth
       << ", \"order_seed\": " << x.dyn.order_seed
+      << ", \"stream_perm_seed\": " << x.dyn.stream_perm_seed
       << ", \"repro\": \"" << json_escape(x.repro_path)
       << "\", \"detail\": \"" << json_escape(x.detail) << "\"}";
   }
@@ -367,14 +439,30 @@ core::AccOptions acc_options(const WorldKnobs& w) {
   o.delta_transfers = w.delta;
   o.disable_caching = w.disable_caching;
   o.slot_policy = w.policy;
+  o.streaming_guard = w.guard;
+  return o;
+}
+
+core::MultiAccOptions multi_acc_options(const WorldKnobs& w) {
+  // disable_caching has no multi-device analogue; the other knobs map 1:1.
+  // max_slots is a per-device budget in the multi array, so divide the
+  // world's total across the devices — keeping the slots:regions pressure
+  // of the single-device run, which is what drives eviction/re-acquire
+  // schedules (and the races hiding in them).
+  core::MultiAccOptions o;
+  o.devices = w.num_devices;
+  o.max_slots_per_device = std::max(1, w.max_slots / w.num_devices);
+  o.delta_transfers = w.delta;
+  o.slot_policy = w.policy;
+  o.streaming_guard = w.guard;
   return o;
 }
 
 /// Builds the world, runs the warmup step (so the snapshot holds a
 /// mid-workload state with live residency/dirty tracking), and captures
 /// world + array into one buffer.
-std::vector<std::uint8_t> build_and_snapshot(const WorldKnobs& w,
-                                             AccTileArray<double>& u,
+template <typename Array>
+std::vector<std::uint8_t> build_and_snapshot(const WorldKnobs& w, Array& u,
                                              const oacc::LoopCost& cost) {
   u.fill([](const tida::Index3& p) {
     return 0.001 * p.i + 0.002 * p.j + 0.004 * p.k;
@@ -428,11 +516,22 @@ int main(int argc, char** argv) {
     if (!parse_repro(repro_path, w, d)) return 2;
     configure_world(w);
     const int slab = (w.n + w.regions - 1) / w.regions;
-    AccTileArray<double> u(tida::Box::cube(w.n),
-                           tida::Index3{w.n, w.n, slab}, /*ghost=*/1,
-                           acc_options(w));
-    const std::vector<std::uint8_t> snap = build_and_snapshot(w, u, cost);
-    const Outcome o = run_case(snap, u, d, cost);
+    const auto replay = [&](auto& u) {
+      const std::vector<std::uint8_t> snap = build_and_snapshot(w, u, cost);
+      return run_case(snap, u, w.policy, d, cost);
+    };
+    Outcome o;
+    if (w.num_devices > 1) {
+      core::MultiAccTileArray<double> u(tida::Box::cube(w.n),
+                                        tida::Index3{w.n, w.n, slab},
+                                        /*ghost=*/1, multi_acc_options(w));
+      o = replay(u);
+    } else {
+      AccTileArray<double> u(tida::Box::cube(w.n),
+                             tida::Index3{w.n, w.n, slab}, /*ghost=*/1,
+                             acc_options(w));
+      o = replay(u);
+    }
     if (o.failed) {
       std::printf("repro FAILED (%s): %s\n", o.kind.c_str(),
                   o.detail.c_str());
@@ -454,28 +553,42 @@ int main(int argc, char** argv) {
   std::optional<WorldKnobs> world;
   // The array must outlive every restore of its snapshot (the restore
   // contract is address-stable), so both live in an optional rebuilt per
-  // config block.
+  // config block. Worlds with num_devices > 1 exercise the multi-device
+  // array (its own capture/restore and per-device stream permutations).
   std::optional<AccTileArray<double>> u;
+  std::optional<core::MultiAccTileArray<double>> um;
   std::vector<std::uint8_t> snap;
   std::optional<Outcome> reference;
+  const auto run_one = [&](const DynKnobs& d) {
+    return um ? run_case(snap, *um, world->policy, d, cost)
+              : run_case(snap, *u, world->policy, d, cost);
+  };
 
   for (std::uint64_t i = 0; i < iters; ++i) {
     if (i / per_config != config_index) {
       config_index = i / per_config;
       world = draw_world(seed, config_index, n, regions);
       u.reset();  // free the old world's buffers before reconfiguring
+      um.reset();
       try {
         configure_world(*world);
         const int slab = (world->n + world->regions - 1) / world->regions;
-        u.emplace(tida::Box::cube(world->n),
-                  tida::Index3{world->n, world->n, slab}, /*ghost=*/1,
-                  acc_options(*world));
-        snap = build_and_snapshot(*world, *u, cost);
+        if (world->num_devices > 1) {
+          um.emplace(tida::Box::cube(world->n),
+                     tida::Index3{world->n, world->n, slab}, /*ghost=*/1,
+                     multi_acc_options(*world));
+          snap = build_and_snapshot(*world, *um, cost);
+        } else {
+          u.emplace(tida::Box::cube(world->n),
+                    tida::Index3{world->n, world->n, slab}, /*ghost=*/1,
+                    acc_options(*world));
+          snap = build_and_snapshot(*world, *u, cost);
+        }
         // Baseline replay: no jitter, no prefetch, identity order. Its
         // checksum is the reference every mutated replay must reproduce.
         DynKnobs base;
         base.steps = steps;
-        reference = run_case(snap, *u, base, cost);
+        reference = run_one(base);
       } catch (const tidacc::Error& e) {
         // A world that cannot even run its baseline is a finding too.
         Failure x;
@@ -514,7 +627,7 @@ int main(int argc, char** argv) {
     }
 
     DynKnobs d = draw_dyn(seed, i, world->regions, steps);
-    Outcome o = run_case(snap, *u, d, cost);
+    Outcome o = run_one(d);
     ++iters_done;
 
     if (!o.failed && o.sum != reference->sum) {
@@ -525,7 +638,7 @@ int main(int argc, char** argv) {
     // Determinism spot-check: replaying identical knobs must reproduce the
     // checksum AND the byte/op accounting and makespan exactly.
     if (!o.failed && (i % 61) == 0) {
-      const Outcome o2 = run_case(snap, *u, d, cost);
+      const Outcome o2 = run_one(d);
       if (o2.failed || o2.sum != o.sum || o2.h2d != o.h2d ||
           o2.d2h != o.d2h || o2.makespan != o.makespan) {
         o.failed = true;
@@ -539,7 +652,7 @@ int main(int argc, char** argv) {
       // failure alive. Restoring the same snapshot makes re-runs cheap.
       DynKnobs min = d;
       const auto still_fails = [&](const DynKnobs& cand) {
-        const Outcome c = run_case(snap, *u, cand, cost);
+        const Outcome c = run_one(cand);
         return c.failed || c.sum != reference->sum;
       };
       DynKnobs cand = min;
@@ -551,6 +664,9 @@ int main(int argc, char** argv) {
       if (still_fails(cand)) min = cand;
       cand = min;
       cand.order_seed = 0;
+      if (still_fails(cand)) min = cand;
+      cand = min;
+      cand.stream_perm_seed = 0;
       if (still_fails(cand)) min = cand;
 
       Failure x;
