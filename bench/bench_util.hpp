@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -110,14 +112,18 @@ class CsvSink {
   std::FILE* file_ = nullptr;
 };
 
-/// Machine-readable side-output for CI: writes BENCH_<name>.json in the
-/// current directory with a flat object of numeric fields (bytes, virtual
-/// times). Values are doubles — exact for anything below 2^53, which covers
-/// every byte counter the simulator can produce.
+/// Machine-readable side-output for CI: writes bench_results/BENCH_<name>
+/// .json (the one canonical results path — scripts/check_bench_regression
+/// .py reads it, bench/baselines/ holds the committed reference copies)
+/// with a flat object of numeric fields (bytes, virtual times). Values are
+/// doubles — exact for anything below 2^53, which covers every byte
+/// counter the simulator can produce.
 inline void write_bench_json(
     const std::string& name,
     const std::vector<std::pair<std::string, double>>& fields) {
-  const std::string path = "BENCH_" + name + ".json";
+  std::error_code ec;  // best-effort, like the fopen below
+  std::filesystem::create_directories("bench_results", ec);
+  const std::string path = "bench_results/BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     return;

@@ -1,6 +1,7 @@
 #!/usr/bin/env python3
-"""Bench regression gate: compares BENCH_*.json files emitted by the bench
-binaries against the committed baselines in bench/baselines/.
+"""Bench regression gate: compares the BENCH_*.json files the bench
+binaries emit into bench_results/ (the canonical results path) against
+the committed baselines in bench/baselines/.
 
 The simulator is deterministic, so byte and operation counters must match
 the baseline *exactly* — any drift is a transfer-protocol change and fails
@@ -18,7 +19,7 @@ full protocol in any ablation row.
 
 Usage:
   scripts/check_bench_regression.py [--baseline-dir bench/baselines]
-      [--tol 0.05] [--results-dir .] [BENCH_x.json ...]
+      [--tol 0.05] [--results-dir bench_results] [BENCH_x.json ...]
 
 With no file arguments, every baseline present in --baseline-dir is
 checked against the same-named file in --results-dir.
@@ -97,7 +98,7 @@ def structural_invariants(results):
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--baseline-dir", default="bench/baselines")
-    ap.add_argument("--results-dir", default=".")
+    ap.add_argument("--results-dir", default="bench_results")
     ap.add_argument("--tol", type=float, default=0.05,
                     help="relative tolerance for *_ns virtual-time fields")
     ap.add_argument("--both-directions", action="store_true",

@@ -1,0 +1,33 @@
+#include "core/cluster_tile_array.hpp"
+
+#include "common/error.hpp"
+
+namespace tidacc::core {
+
+const char* to_string(NetPath p) {
+  switch (p) {
+    case NetPath::kAuto:
+      return "auto";
+    case NetPath::kGpuDirect:
+      return "gpudirect";
+    case NetPath::kStaged:
+      return "staged";
+  }
+  return "?";
+}
+
+NetPath parse_net_path(const std::string& flag) {
+  if (flag == "auto") {
+    return NetPath::kAuto;
+  }
+  if (flag == "gpudirect") {
+    return NetPath::kGpuDirect;
+  }
+  if (flag == "staged") {
+    return NetPath::kStaged;
+  }
+  TIDACC_FAIL("--net-path expects 'auto', 'gpudirect' or 'staged', got '" +
+              flag + "'");
+}
+
+}  // namespace tidacc::core

@@ -798,7 +798,10 @@ class MultiAccTileArray : public tida::TileArray<T> {
     streaming_exchanges_ = r.get_u64();
   }
 
- private:
+ protected:
+  // Protected rather than private: ClusterTileArray extends the exchange
+  // across simulated nodes and reuses the pools, location/dirty tracking
+  // and copy plumbing wholesale.
   struct DeviceShard {
     std::unique_ptr<DevicePool> pool;
     std::vector<int> regions;  ///< global region ids, in local order

@@ -559,6 +559,37 @@ bool is_managed_ptr(const void* p) {
   return rt().registry.is_space(p, MemSpace::kManaged);
 }
 
+const char* to_string(MrClass c) {
+  switch (c) {
+    case MrClass::kDeviceMemory:
+      return "device";
+    case MrClass::kPinnedHost:
+      return "pinned-host";
+    case MrClass::kPageableHost:
+      return "pageable-host";
+    case MrClass::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+MrClass mr_classify(const void* p) {
+  const Allocation* a = rt().registry.find(p);
+  if (a == nullptr) {
+    return MrClass::kUnknown;
+  }
+  switch (a->space) {
+    case MemSpace::kDevice:
+    case MemSpace::kManaged:
+      return MrClass::kDeviceMemory;
+    case MemSpace::kHostPinned:
+      return MrClass::kPinnedHost;
+    case MemSpace::kHostPageable:
+      return MrClass::kPageableHost;
+  }
+  return MrClass::kUnknown;
+}
+
 void* host_alloc(std::size_t bytes, bool pinned) {
   TIDACC_CHECK_MSG(bytes > 0, "host_alloc of zero bytes");
   void* p = allocate(bytes, pinned ? MemSpace::kHostPinned

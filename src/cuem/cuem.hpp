@@ -292,6 +292,24 @@ bool is_device_ptr(const void* p);
 bool is_pinned_host_ptr(const void* p);
 bool is_managed_ptr(const void* p);
 
+/// Memory-registration class of a pointer, as a verbs-style NIC sees it
+/// (sim::Fabric::register_memory). Device memory may only be registered on
+/// GPUDirect-capable fabrics; pageable host memory is rejected outright
+/// (the model assumes pre-pinned bounce buffers, as every RDMA runtime
+/// does in practice); unknown pointers never came from cuem at all.
+enum class MrClass : int {
+  kDeviceMemory = 0,
+  kPinnedHost = 1,
+  kPageableHost = 2,
+  kUnknown = 3
+};
+
+const char* to_string(MrClass c);
+
+/// Classifies `p` against the pointer registry. Managed memory counts as
+/// device memory: the NIC would DMA its device-resident pages.
+MrClass mr_classify(const void* p);
+
 /// Allocates registered host memory: pinned (cuemMallocHost) or pageable.
 /// Unlike plain new, pageable allocations made here work in timing-only mode
 /// (synthetic, never dereferenced) and are visible to the pointer registry.

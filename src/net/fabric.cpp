@@ -1,0 +1,468 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "cuem/cuem.hpp"
+#include "cuem/san.hpp"
+#include "sim/snapshot.hpp"
+
+namespace tidacc::sim {
+
+Fabric::Fabric(int num_nodes, FabricConfig cfg, int devices_per_node)
+    : num_nodes_(num_nodes),
+      devices_per_node_(devices_per_node),
+      cfg_(std::move(cfg)),
+      platform_generation_(Platform::generation()) {
+  TIDACC_CHECK_MSG(num_nodes_ >= 1, "fabric needs at least one node");
+  TIDACC_CHECK_MSG(devices_per_node_ >= 1,
+                   "fabric needs at least one device per node");
+  Platform& p = Platform::instance();
+  TIDACC_CHECK_MSG(
+      num_nodes_ * devices_per_node_ <= p.num_devices(),
+      "fabric: " + std::to_string(num_nodes_) + " nodes x " +
+          std::to_string(devices_per_node_) +
+          " devices/node exceeds the platform's " +
+          std::to_string(p.num_devices()) + " devices");
+  tx_.assign(static_cast<size_t>(num_nodes_), 0);
+  rx_.assign(static_cast<size_t>(num_nodes_), 0);
+}
+
+Fabric::~Fabric() {
+  // Skip teardown when the platform was reset underneath us: the stream
+  // handles belong to a world that no longer exists.
+  if (platform_generation_ != Platform::generation()) {
+    return;
+  }
+  for (const Qp& q : qps_) {
+    if (q.alive) {
+      (void)cuemStreamDestroy(q.stream);
+    }
+  }
+}
+
+int Fabric::node_of_device(int device) const {
+  TIDACC_CHECK_MSG(device >= 0 &&
+                       device < num_nodes_ * devices_per_node_,
+                   "fabric: device ordinal outside the cluster");
+  return device / devices_per_node_;
+}
+
+int Fabric::first_device(int node) const {
+  TIDACC_CHECK_MSG(node >= 0 && node < num_nodes_,
+                   "fabric: node ordinal out of range");
+  return node * devices_per_node_;
+}
+
+MrId Fabric::register_memory(int node, const void* ptr, std::size_t bytes) {
+  TIDACC_CHECK_MSG(node >= 0 && node < num_nodes_,
+                   "fabric: register_memory node out of range");
+  TIDACC_CHECK_MSG(ptr != nullptr && bytes > 0,
+                   "fabric: register_memory on an empty range");
+  const cuem::MrClass cls = cuem::mr_classify(ptr);
+  switch (cls) {
+    case cuem::MrClass::kUnknown:
+      TIDACC_FAIL("fabric: register_memory on a pointer unknown to cuem");
+    case cuem::MrClass::kPageableHost:
+      TIDACC_FAIL(
+          "fabric: cannot register pageable host memory — RDMA buffers "
+          "must be pinned (cuemMallocHost / host_alloc(pinned))");
+    case cuem::MrClass::kDeviceMemory:
+      TIDACC_CHECK_MSG(
+          cfg_.gpudirect,
+          "fabric: device-memory registration requires a GPUDirect-capable "
+          "fabric; preset '" + cfg_.name + "' is host-staged only");
+      break;
+    case cuem::MrClass::kPinnedHost:
+      break;
+  }
+  if (cls == cuem::MrClass::kDeviceMemory) {
+    const int dev = cuem::device_of_ptr(ptr);
+    TIDACC_CHECK_MSG(
+        dev >= 0 && node_of_device(dev) == node,
+        "fabric: device MR lives on device " + std::to_string(dev) +
+            ", which does not belong to node " + std::to_string(node));
+  }
+  Mr mr;
+  mr.base = reinterpret_cast<std::uintptr_t>(ptr);
+  mr.bytes = bytes;
+  mr.node = node;
+  mr.device = cls == cuem::MrClass::kDeviceMemory;
+  mr.alive = true;
+  mrs_.push_back(mr);
+  return static_cast<MrId>(mrs_.size() - 1);
+}
+
+void Fabric::deregister_memory(MrId mr) {
+  TIDACC_CHECK_MSG(mr >= 0 && static_cast<size_t>(mr) < mrs_.size() &&
+                       mrs_[static_cast<size_t>(mr)].alive,
+                   "fabric: deregister of an invalid MR");
+  mrs_[static_cast<size_t>(mr)].alive = false;
+}
+
+bool Fabric::mr_is_device(MrId mr) const {
+  return checked_mr(mr, 0, 0).device;
+}
+
+QpId Fabric::create_qp(int local_node, int remote_node) {
+  TIDACC_CHECK_MSG(local_node >= 0 && local_node < num_nodes_ &&
+                       remote_node >= 0 && remote_node < num_nodes_,
+                   "fabric: QP node ordinal out of range");
+  TIDACC_CHECK_MSG(local_node != remote_node,
+                   "fabric: QP must connect two distinct nodes");
+  Qp q;
+  q.local = local_node;
+  q.remote = remote_node;
+  {
+    cuem::DeviceGuard guard(first_device(local_node));
+    TIDACC_CHECK_MSG(cuemStreamCreate(&q.stream) == cuemSuccess,
+                     cuemGetLastErrorMessage());
+  }
+  q.alive = true;
+  qps_.push_back(std::move(q));
+  return static_cast<QpId>(qps_.size() - 1);
+}
+
+void Fabric::destroy_qp(QpId qp) {
+  const Qp& q = checked_qp(qp);
+  TIDACC_CHECK_MSG(q.outstanding.empty(),
+                   "fabric: destroy_qp with unreaped work requests");
+  TIDACC_CHECK_MSG(cuemStreamDestroy(q.stream) == cuemSuccess,
+                   cuemGetLastErrorMessage());
+  qps_[static_cast<size_t>(qp)].alive = false;
+}
+
+int Fabric::qp_stream(QpId qp) const { return checked_qp(qp).stream; }
+int Fabric::qp_local_node(QpId qp) const { return checked_qp(qp).local; }
+int Fabric::qp_remote_node(QpId qp) const { return checked_qp(qp).remote; }
+
+void Fabric::post_recv(QpId qp, MrId dst_mr, std::size_t dst_off,
+                       std::size_t capacity) {
+  const Qp& q = checked_qp(qp);
+  const Mr& mr = checked_mr(dst_mr, dst_off, capacity);
+  TIDACC_CHECK_MSG(
+      mr.node == q.remote,
+      "fabric: receive buffer must be registered on the QP's remote node");
+  Platform::instance().host_advance(cfg_.post_wr_ns);
+  qps_[static_cast<size_t>(qp)].recv_queue.push_back(
+      Qp::RecvDesc{dst_mr, dst_off, capacity});
+}
+
+WrId Fabric::post_send(QpId qp, MrId src_mr, std::size_t src_off,
+                       std::size_t bytes, std::string label,
+                       std::function<void()> action, int after_stream,
+                       bool san_note) {
+  checked_qp(qp);
+  Qp& q = qps_[static_cast<size_t>(qp)];
+  TIDACC_CHECK_MSG(
+      !q.recv_queue.empty(),
+      "fabric: send on QP " + std::to_string(qp) +
+          " with no posted receive (receiver-not-ready)");
+  // Validate against the head descriptor before consuming it: a rejected
+  // send must not burn the receiver's credit.
+  const Qp::RecvDesc desc = q.recv_queue.front();
+  TIDACC_CHECK_MSG(
+      bytes <= desc.capacity,
+      "fabric: send payload overflows the posted receive buffer");
+  q.recv_queue.erase(q.recv_queue.begin());
+  return submit(qp, OpKind::kNetSend, src_mr, src_off, desc.mr,
+                static_cast<std::size_t>(desc.off), bytes, std::move(label),
+                std::move(action), after_stream, san_note);
+}
+
+WrId Fabric::rdma_read(QpId qp, MrId dst_mr, std::size_t dst_off,
+                       MrId src_mr, std::size_t src_off, std::size_t bytes,
+                       std::string label, std::function<void()> action,
+                       int after_stream, bool san_note) {
+  const Qp& q = checked_qp(qp);
+  TIDACC_CHECK_MSG(checked_mr(src_mr, src_off, bytes).node == q.remote,
+                   "fabric: rdma_read source must be a remote MR");
+  TIDACC_CHECK_MSG(checked_mr(dst_mr, dst_off, bytes).node == q.local,
+                   "fabric: rdma_read destination must be a local MR");
+  return submit(qp, OpKind::kRdmaRead, src_mr, src_off, dst_mr, dst_off,
+                bytes, std::move(label), std::move(action), after_stream,
+                san_note);
+}
+
+WrId Fabric::rdma_write(QpId qp, MrId src_mr, std::size_t src_off,
+                        MrId dst_mr, std::size_t dst_off, std::size_t bytes,
+                        std::string label, std::function<void()> action,
+                        int after_stream, bool san_note) {
+  const Qp& q = checked_qp(qp);
+  TIDACC_CHECK_MSG(checked_mr(src_mr, src_off, bytes).node == q.local,
+                   "fabric: rdma_write source must be a local MR");
+  TIDACC_CHECK_MSG(checked_mr(dst_mr, dst_off, bytes).node == q.remote,
+                   "fabric: rdma_write destination must be a remote MR");
+  return submit(qp, OpKind::kRdmaWrite, src_mr, src_off, dst_mr, dst_off,
+                bytes, std::move(label), std::move(action), after_stream,
+                san_note);
+}
+
+WrId Fabric::submit(QpId qp, OpKind kind, MrId src_mr, std::size_t src_off,
+                    MrId dst_mr, std::size_t dst_off, std::size_t bytes,
+                    std::string label, std::function<void()> action,
+                    int after_stream, bool san_note) {
+  Platform& p = Platform::instance();
+  Qp& q = qps_[static_cast<size_t>(qp)];
+  const Mr& src = checked_mr(src_mr, src_off, bytes);
+  const Mr& dst = checked_mr(dst_mr, dst_off, bytes);
+
+  p.host_advance(cfg_.post_wr_ns);
+  if (after_stream >= 0) {
+    const EventId dep = p.record_event(after_stream);
+    p.stream_wait_event(q.stream, dep);
+  }
+
+  // Data moves src.node -> dst.node regardless of which end initiated:
+  // the sender's TX lane and the receiver's RX lane are held for the
+  // transfer. An RDMA read additionally pays the request's wire traversal
+  // before any data flows back.
+  const bool gpudirect_path = src.device || dst.device;
+  const double gbps = cfg_.path_gbps(gpudirect_path);
+  const int hops = kind == OpKind::kRdmaRead ? 2 : 1;
+  const SimTime duration = hops * cfg_.link_latency_ns + cfg_.completion_ns +
+                           transfer_time_ns(bytes, gbps);
+  const std::vector<SimTime*> lanes = {
+      &tx_[static_cast<size_t>(src.node)],
+      &rx_[static_cast<size_t>(dst.node)]};
+  p.enqueue_external(q.stream, first_device(q.local), EngineId::kNic, kind,
+                     duration, bytes, std::move(label), lanes,
+                     std::move(action));
+  if (san_note) {
+    const char* op = to_string(kind);
+    cuem::san::note_kernel_access(
+        q.stream, reinterpret_cast<const void*>(src.base + src_off), bytes,
+        /*write=*/false, op);
+    cuem::san::note_kernel_access(
+        q.stream, reinterpret_cast<const void*>(dst.base + dst_off), bytes,
+        /*write=*/true, op);
+  }
+
+  Wr wr;
+  wr.qp = qp;
+  wr.event = p.record_event(q.stream);
+  wr.kind = kind;
+  wr.bytes = bytes;
+  wrs_.push_back(wr);
+  const WrId id = static_cast<WrId>(wrs_.size() - 1);
+  q.outstanding.push_back(id);
+
+  switch (kind) {
+    case OpKind::kNetSend:
+      ++counters_.sends;
+      break;
+    case OpKind::kRdmaRead:
+      ++counters_.rdma_reads;
+      break;
+    case OpKind::kRdmaWrite:
+      ++counters_.rdma_writes;
+      break;
+    default:
+      TIDACC_FAIL("fabric: submit with a non-fabric OpKind");
+  }
+  counters_.net_bytes += bytes;
+  if (gpudirect_path) {
+    counters_.gpudirect_bytes += bytes;
+  }
+  return id;
+}
+
+bool Fabric::poll(QpId qp, WrId* out) {
+  checked_qp(qp);
+  Qp& q = qps_[static_cast<size_t>(qp)];
+  if (q.outstanding.empty()) {
+    return false;
+  }
+  Platform& p = Platform::instance();
+  const WrId id = q.outstanding.front();
+  Wr& wr = wrs_[static_cast<size_t>(id)];
+  if (p.event_finish(wr.event) > p.now()) {
+    return false;
+  }
+  p.hb_note_event_query_success(wr.event);
+  wr.reaped = true;
+  q.outstanding.erase(q.outstanding.begin());
+  if (out != nullptr) {
+    *out = id;
+  }
+  return true;
+}
+
+void Fabric::wait(WrId wr) {
+  TIDACC_CHECK_MSG(wr >= 0 && static_cast<size_t>(wr) < wrs_.size(),
+                   "fabric: wait on an unknown work request");
+  Wr& w = wrs_[static_cast<size_t>(wr)];
+  if (w.reaped) {
+    return;
+  }
+  Platform::instance().sync_event(w.event);
+  w.reaped = true;
+  Qp& q = qps_[static_cast<size_t>(w.qp)];
+  q.outstanding.erase(
+      std::remove(q.outstanding.begin(), q.outstanding.end(), wr),
+      q.outstanding.end());
+}
+
+void Fabric::wait_all() {
+  for (Qp& q : qps_) {
+    while (!q.outstanding.empty()) {
+      wait(q.outstanding.front());
+    }
+  }
+}
+
+SimTime Fabric::wr_finish(WrId wr) const {
+  TIDACC_CHECK_MSG(wr >= 0 && static_cast<size_t>(wr) < wrs_.size(),
+                   "fabric: unknown work request");
+  return Platform::instance().event_finish(
+      wrs_[static_cast<size_t>(wr)].event);
+}
+
+bool Fabric::wr_reaped(WrId wr) const {
+  TIDACC_CHECK_MSG(wr >= 0 && static_cast<size_t>(wr) < wrs_.size(),
+                   "fabric: unknown work request");
+  return wrs_[static_cast<size_t>(wr)].reaped;
+}
+
+const Fabric::Qp& Fabric::checked_qp(QpId qp) const {
+  TIDACC_CHECK_MSG(qp >= 0 && static_cast<size_t>(qp) < qps_.size() &&
+                       qps_[static_cast<size_t>(qp)].alive,
+                   "fabric: invalid or destroyed QP");
+  return qps_[static_cast<size_t>(qp)];
+}
+
+const Fabric::Mr& Fabric::checked_mr(MrId mr, std::size_t off,
+                                     std::size_t bytes) const {
+  TIDACC_CHECK_MSG(mr >= 0 && static_cast<size_t>(mr) < mrs_.size() &&
+                       mrs_[static_cast<size_t>(mr)].alive,
+                   "fabric: invalid or deregistered MR");
+  const Mr& m = mrs_[static_cast<size_t>(mr)];
+  TIDACC_CHECK_MSG(off + bytes <= m.bytes,
+                   "fabric: access outside the registered region");
+  return m;
+}
+
+void Fabric::capture(SnapshotWriter& w) const {
+  w.section("fabric");
+  w.put_string(cfg_.name);
+  w.put_int(num_nodes_);
+  w.put_int(devices_per_node_);
+  w.put_u64_vec(tx_);
+  w.put_u64_vec(rx_);
+  w.put_u64(qps_.size());
+  for (const Qp& q : qps_) {
+    w.put_int(q.local);
+    w.put_int(q.remote);
+    w.put_int(q.stream);
+    w.put_bool(q.alive);
+    w.put_u64(q.recv_queue.size());
+    for (const Qp::RecvDesc& d : q.recv_queue) {
+      w.put_int(d.mr);
+      w.put_u64(d.off);
+      w.put_u64(d.capacity);
+    }
+    w.put_int_vec(q.outstanding);
+  }
+  w.put_u64(mrs_.size());
+  for (const Mr& m : mrs_) {
+    w.put_u64(static_cast<std::uint64_t>(m.base));
+    w.put_u64(m.bytes);
+    w.put_int(m.node);
+    w.put_bool(m.device);
+    w.put_bool(m.alive);
+  }
+  w.put_u64(wrs_.size());
+  for (const Wr& wr : wrs_) {
+    w.put_int(wr.qp);
+    w.put_int(wr.event);
+    w.put_int(static_cast<int>(wr.kind));
+    w.put_u64(wr.bytes);
+    w.put_bool(wr.reaped);
+  }
+  w.put_u64(counters_.sends);
+  w.put_u64(counters_.rdma_reads);
+  w.put_u64(counters_.rdma_writes);
+  w.put_u64(counters_.net_bytes);
+  w.put_u64(counters_.gpudirect_bytes);
+}
+
+void Fabric::restore(SnapshotReader& r) {
+  r.section("fabric");
+  const std::string name = r.get_string();
+  const int nodes = r.get_int();
+  const int dpn = r.get_int();
+  TIDACC_CHECK_MSG(
+      name == cfg_.name && nodes == num_nodes_ && dpn == devices_per_node_,
+      "snapshot: fabric configuration mismatch (snapshot was '" + name +
+          "' x" + std::to_string(nodes) + ", live fabric is '" + cfg_.name +
+          "' x" + std::to_string(num_nodes_) + ")");
+  tx_ = r.get_u64_vec();
+  rx_ = r.get_u64_vec();
+  TIDACC_CHECK_MSG(tx_.size() == static_cast<size_t>(num_nodes_) &&
+                       rx_.size() == static_cast<size_t>(num_nodes_),
+                   "snapshot: fabric lane table size mismatch");
+  const std::uint64_t nqp = r.get_u64();
+  std::vector<Qp> qps;
+  qps.reserve(nqp);
+  for (std::uint64_t i = 0; i < nqp; ++i) {
+    Qp q;
+    q.local = r.get_int();
+    q.remote = r.get_int();
+    q.stream = r.get_int();
+    q.alive = r.get_bool();
+    // QP streams are platform state: the platform restore reinstates the
+    // stream tables, so the live handles must match what was captured —
+    // anything else means the fabric was rebuilt between capture and
+    // restore.
+    TIDACC_CHECK_MSG(i < qps_.size() &&
+                         qps_[static_cast<size_t>(i)].stream == q.stream,
+                     "snapshot: fabric QP stream mismatch — the live "
+                     "fabric does not match the capturing one");
+    const std::uint64_t nrecv = r.get_u64();
+    q.recv_queue.reserve(nrecv);
+    for (std::uint64_t j = 0; j < nrecv; ++j) {
+      Qp::RecvDesc d;
+      d.mr = r.get_int();
+      d.off = r.get_u64();
+      d.capacity = r.get_u64();
+      q.recv_queue.push_back(d);
+    }
+    q.outstanding = r.get_int_vec();
+    qps.push_back(std::move(q));
+  }
+  qps_ = std::move(qps);
+  const std::uint64_t nmr = r.get_u64();
+  std::vector<Mr> mrs;
+  mrs.reserve(nmr);
+  for (std::uint64_t i = 0; i < nmr; ++i) {
+    Mr m;
+    m.base = static_cast<std::uintptr_t>(r.get_u64());
+    m.bytes = r.get_u64();
+    m.node = r.get_int();
+    m.device = r.get_bool();
+    m.alive = r.get_bool();
+    mrs.push_back(m);
+  }
+  mrs_ = std::move(mrs);
+  const std::uint64_t nwr = r.get_u64();
+  std::vector<Wr> wrs;
+  wrs.reserve(nwr);
+  for (std::uint64_t i = 0; i < nwr; ++i) {
+    Wr wr;
+    wr.qp = r.get_int();
+    wr.event = r.get_int();
+    wr.kind = static_cast<OpKind>(r.get_int());
+    wr.bytes = r.get_u64();
+    wr.reaped = r.get_bool();
+    wrs.push_back(wr);
+  }
+  wrs_ = std::move(wrs);
+  counters_.sends = r.get_u64();
+  counters_.rdma_reads = r.get_u64();
+  counters_.rdma_writes = r.get_u64();
+  counters_.net_bytes = r.get_u64();
+  counters_.gpudirect_bytes = r.get_u64();
+}
+
+}  // namespace tidacc::sim

@@ -1,0 +1,226 @@
+// Simulated RDMA fabric: NICs with verbs-like semantics on the existing
+// discrete-event clock.
+//
+// Model: the platform's devices are grouped into `num_nodes` simulated
+// nodes of `devices_per_node` contiguous ordinals each (node n owns
+// devices [n*dpn, (n+1)*dpn)) — a co-scheduled SPMD job sharing one
+// virtual clock, the standard bulk-synchronous cluster abstraction. Each
+// node has one NIC with independent TX and RX serialization lanes (full
+// duplex); per-link bandwidth/latency come from a FabricConfig preset.
+//
+// Verbs mapping:
+//   * a queue pair is backed by a dedicated platform stream on the local
+//     node's first device, so work requests inherit FIFO ordering,
+//     event edges and happens-before tracking for free — QP completions
+//     become visible to the racecheck exactly like stream completions;
+//   * memory regions are registered against the cuem pointer registry:
+//     pinned host memory always registers, device memory only on
+//     GPUDirect-capable fabrics (and is priced on the peer-DMA path),
+//     pageable host memory is rejected outright;
+//   * two-sided send/recv is credit-based: post_recv queues a receive
+//     descriptor naming the landing buffer, post_send consumes the oldest
+//     one and fails loudly when none is posted (receiver-not-ready);
+//   * one-sided rdma_read/rdma_write name both buffers at the initiator
+//     (reads pay a request/response round trip, writes one traversal);
+//   * completions are platform events recorded on the QP stream: poll()
+//     is the non-blocking CQ drain (a successful poll is a happens-before
+//     edge, like any successful completion query), wait() blocks the host.
+//
+// Every work request occupies the sender's TX lane and the receiver's RX
+// lane for the transfer duration, so concurrent flows through one NIC
+// contend exactly like copies on a DMA engine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "net/fabric_config.hpp"
+#include "sim/platform.hpp"
+
+namespace tidacc::sim {
+
+class SnapshotReader;
+class SnapshotWriter;
+
+using QpId = int;
+using MrId = int;
+using WrId = int;
+
+/// Aggregate fabric activity (benches report these next to TraceStats).
+struct FabricCounters {
+  std::uint64_t sends = 0;
+  std::uint64_t rdma_reads = 0;
+  std::uint64_t rdma_writes = 0;
+  std::uint64_t net_bytes = 0;        ///< payload bytes, both paths
+  std::uint64_t gpudirect_bytes = 0;  ///< share moved by NIC<->device DMA
+};
+
+class Fabric {
+ public:
+  /// The first num_nodes*devices_per_node devices of the global platform
+  /// are grouped into nodes. Throws when the platform has fewer devices.
+  Fabric(int num_nodes, FabricConfig cfg, int devices_per_node = 1);
+  ~Fabric();
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int num_nodes() const { return num_nodes_; }
+  int devices_per_node() const { return devices_per_node_; }
+  const FabricConfig& config() const { return cfg_; }
+  const FabricCounters& counters() const { return counters_; }
+
+  /// Node owning device ordinal `device`.
+  int node_of_device(int device) const;
+  /// First device ordinal of `node` (its QP streams and trace lanes live
+  /// there).
+  int first_device(int node) const;
+
+  // --- memory regions ---
+
+  /// Registers `bytes` at `ptr` for fabric access from `node`. The pointer
+  /// must be known to cuem: pinned host memory registers on any fabric,
+  /// device memory only when the fabric is GPUDirect-capable (and must
+  /// live on one of `node`'s devices); pageable host memory and foreign
+  /// pointers are rejected with a clear error.
+  MrId register_memory(int node, const void* ptr, std::size_t bytes);
+  void deregister_memory(MrId mr);
+
+  /// True when `mr` maps device memory (transfers touching it are priced
+  /// on the GPUDirect path).
+  bool mr_is_device(MrId mr) const;
+
+  // --- queue pairs ---
+
+  /// Creates a connected queue pair from `local_node` to `remote_node`,
+  /// backed by a fresh platform stream on the local node's first device.
+  QpId create_qp(int local_node, int remote_node);
+  void destroy_qp(QpId qp);
+
+  /// The platform stream backing `qp` (for event edges and sanitizer
+  /// annotations).
+  int qp_stream(QpId qp) const;
+  int qp_local_node(QpId qp) const;
+  int qp_remote_node(QpId qp) const;
+
+  // --- two-sided send/recv ---
+
+  /// Posts a receive descriptor on `qp`'s remote end: the next send on
+  /// `qp` lands in [`dst_off`, `dst_off` + `capacity`) of `dst_mr`.
+  void post_recv(QpId qp, MrId dst_mr, std::size_t dst_off,
+                 std::size_t capacity);
+
+  /// Sends `bytes` from the local `src_mr` into the oldest posted receive
+  /// buffer (fails loudly when none is posted, or when the payload
+  /// overflows it). `action` performs the real data movement in functional
+  /// mode; `after_stream` (>= 0) orders the send after work enqueued on
+  /// that stream via an event edge; `san_note` off lets callers with
+  /// strided payloads record precise box accesses themselves.
+  WrId post_send(QpId qp, MrId src_mr, std::size_t src_off,
+                 std::size_t bytes, std::string label = {},
+                 std::function<void()> action = {}, int after_stream = -1,
+                 bool san_note = true);
+
+  // --- one-sided RDMA ---
+
+  /// Reads `bytes` from the remote `src_mr` into the local `dst_mr`
+  /// (request/response round trip on the wire).
+  WrId rdma_read(QpId qp, MrId dst_mr, std::size_t dst_off, MrId src_mr,
+                 std::size_t src_off, std::size_t bytes,
+                 std::string label = {}, std::function<void()> action = {},
+                 int after_stream = -1, bool san_note = true);
+
+  /// Writes `bytes` from the local `src_mr` into the remote `dst_mr`.
+  WrId rdma_write(QpId qp, MrId src_mr, std::size_t src_off, MrId dst_mr,
+                  std::size_t dst_off, std::size_t bytes,
+                  std::string label = {}, std::function<void()> action = {},
+                  int after_stream = -1, bool san_note = true);
+
+  // --- completion queue ---
+
+  /// Non-blocking drain of `qp`'s completion queue: when the oldest
+  /// outstanding work request has completed by the current host time,
+  /// reaps it (recording the happens-before edge of a successful
+  /// completion poll), stores its id in `*out` when non-null, and returns
+  /// true.
+  bool poll(QpId qp, WrId* out = nullptr);
+
+  /// Blocks the host until `wr` completes and reaps it.
+  void wait(WrId wr);
+
+  /// Blocks the host until every outstanding work request completes.
+  void wait_all();
+
+  /// Virtual completion time of a posted work request.
+  SimTime wr_finish(WrId wr) const;
+
+  /// True when `wr` has been reaped (by poll or wait).
+  bool wr_reaped(WrId wr) const;
+
+  // --- snapshot ---
+
+  /// Serializes lanes, QP/MR/WR tables, receive queues and counters. The
+  /// QP streams themselves are platform state and must be captured (and
+  /// restored) alongside via Platform::capture; restore cross-checks the
+  /// stream ids and the config fingerprint.
+  void capture(SnapshotWriter& w) const;
+  void restore(SnapshotReader& r);
+
+ private:
+  struct Qp {
+    int local = 0;
+    int remote = 0;
+    int stream = -1;
+    bool alive = false;
+    /// Posted receive descriptors, oldest first.
+    struct RecvDesc {
+      MrId mr = -1;
+      std::uint64_t off = 0;
+      std::uint64_t capacity = 0;
+    };
+    std::vector<RecvDesc> recv_queue;
+    /// Outstanding (posted, not yet reaped) work requests, oldest first.
+    std::vector<WrId> outstanding;
+  };
+  struct Mr {
+    std::uintptr_t base = 0;
+    std::uint64_t bytes = 0;
+    int node = 0;
+    bool device = false;
+    bool alive = false;
+  };
+  struct Wr {
+    QpId qp = -1;
+    int event = -1;  ///< platform EventId marking completion
+    OpKind kind = OpKind::kNetSend;
+    std::uint64_t bytes = 0;
+    bool reaped = false;
+  };
+
+  const Qp& checked_qp(QpId qp) const;
+  const Mr& checked_mr(MrId mr, std::size_t off, std::size_t bytes) const;
+  /// Prices and enqueues one work request moving `bytes` from the MR/node
+  /// `src` to `dst`; records the completion event and counters.
+  WrId submit(QpId qp, OpKind kind, MrId src_mr, std::size_t src_off,
+              MrId dst_mr, std::size_t dst_off, std::size_t bytes,
+              std::string label, std::function<void()> action,
+              int after_stream, bool san_note);
+
+  int num_nodes_;
+  int devices_per_node_;
+  FabricConfig cfg_;
+  std::uint64_t platform_generation_;
+  /// Per-node NIC lanes: independent TX/RX timelines (full duplex).
+  std::vector<SimTime> tx_;
+  std::vector<SimTime> rx_;
+  std::vector<Qp> qps_;
+  std::vector<Mr> mrs_;
+  std::vector<Wr> wrs_;
+  FabricCounters counters_;
+};
+
+}  // namespace tidacc::sim

@@ -381,6 +381,51 @@ SimTime Platform::enqueue_peer_copy(StreamId s, int src_device,
   return finish;
 }
 
+SimTime Platform::enqueue_external(StreamId s, int device, EngineId engine,
+                                   OpKind kind, SimTime duration,
+                                   std::uint64_t bytes, std::string label,
+                                   const std::vector<SimTime*>& ext_lanes,
+                                   std::function<void()> action) {
+  check_stream(s);
+  check_device(device);
+  const size_t si = static_cast<size_t>(s);
+  SimTime start = std::max(host_clock_, stream_avail_[si]);
+  for (SimTime* lane : ext_lanes) {
+    TIDACC_CHECK_MSG(lane != nullptr, "enqueue_external: null lane");
+    start = std::max(start, *lane);
+  }
+  const SimTime finish = start + duration + next_jitter();
+  stream_avail_[si] = finish;
+  for (SimTime* lane : ext_lanes) {
+    *lane = finish;
+  }
+  last_op_start_ = start;
+  last_op_finish_ = finish;
+  if (hb_enabled_) {
+    hb_tick_host();
+    if (si >= hb_streams_.size()) {
+      hb_streams_.resize(si + 1);
+    }
+    HbClock& sc = hb_streams_[si];
+    hb_join(sc, hb_host_);
+    if (sc.size() <= si + 1) {
+      sc.resize(si + 2, 0);
+    }
+    ++sc[si + 1];
+    hb_last_op_ = sc;
+  }
+  if (trace_.recording()) {
+    trace_.add(TraceEvent{engine, s, kind, start, finish, bytes,
+                          std::move(label), device});
+  } else {
+    trace_.note(kind, start, finish, bytes);
+  }
+  if (functional_ && action) {
+    action();
+  }
+  return finish;
+}
+
 EventId Platform::record_event(StreamId s) {
   check_stream(s);
   host_clock_ += cfg_.host_api_overhead_ns;

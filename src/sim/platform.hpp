@@ -177,6 +177,21 @@ class Platform {
                             std::uint64_t bytes, std::string label,
                             std::function<void()> action);
 
+  /// Enqueues an operation on an engine whose serialization lanes live
+  /// outside the per-device engine tables — e.g. the NIC TX/RX timelines
+  /// owned by sim::Fabric. The op is stream-ordered on `s`, serialized on
+  /// every caller-owned lane in `lanes` (each advanced to the finish time),
+  /// records with `engine`/`kind` on `device`, and gets the same
+  /// happens-before treatment as any scheduled op. The transfer-jitter
+  /// perturbation applies, so fuzzed schedules explore fabric timing too.
+  /// The caller prices host-side submission cost itself (host_advance);
+  /// no host_api_overhead is charged here.
+  SimTime enqueue_external(StreamId s, int device, EngineId engine,
+                           OpKind kind, SimTime duration, std::uint64_t bytes,
+                           std::string label,
+                           const std::vector<SimTime*>& lanes,
+                           std::function<void()> action);
+
   /// Records an event on the stream; completes when prior work completes.
   EventId record_event(StreamId s);
 

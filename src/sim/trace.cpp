@@ -18,6 +18,8 @@ const char* to_string(EngineId e) {
       return "copy-h2d";
     case EngineId::kCopyD2H:
       return "copy-d2h";
+    case EngineId::kNic:
+      return "nic";
   }
   return "?";
 }
@@ -44,6 +46,12 @@ const char* to_string(OpKind k) {
       return "3D-H2D";
     case OpKind::kMemcpy3DD2H:
       return "3D-D2H";
+    case OpKind::kNetSend:
+      return "net-send";
+    case OpKind::kRdmaRead:
+      return "rdma-read";
+    case OpKind::kRdmaWrite:
+      return "rdma-write";
   }
   return "?";
 }
@@ -99,6 +107,13 @@ void Trace::note(OpKind kind, SimTime start, SimTime finish,
       stats_.p2p_bytes += bytes;
       stats_.copy_busy += busy;
       break;
+    case OpKind::kNetSend:
+    case OpKind::kRdmaRead:
+    case OpKind::kRdmaWrite:
+      ++stats_.num_net_ops;
+      stats_.net_bytes += bytes;
+      stats_.nic_busy += busy;
+      break;
     case OpKind::kEventRecord:
       break;
   }
@@ -119,10 +134,13 @@ void Trace::capture(SnapshotWriter& w) const {
   w.put_u64(stats_.memcpy3d_h2d_bytes);
   w.put_u64(stats_.memcpy3d_d2h_bytes);
   w.put_u64(stats_.p2p_bytes);
+  w.put_u64(stats_.net_bytes);
   w.put_u64(stats_.num_kernels);
   w.put_u64(stats_.num_copies);
+  w.put_u64(stats_.num_net_ops);
   w.put_u64(stats_.compute_busy);
   w.put_u64(stats_.copy_busy);
+  w.put_u64(stats_.nic_busy);
   w.put_u64(stats_.makespan);
   w.put_u64(events_.size());
   for (const TraceEvent& ev : events_) {
@@ -146,10 +164,13 @@ void Trace::restore(SnapshotReader& r) {
   stats_.memcpy3d_h2d_bytes = r.get_u64();
   stats_.memcpy3d_d2h_bytes = r.get_u64();
   stats_.p2p_bytes = r.get_u64();
+  stats_.net_bytes = r.get_u64();
   stats_.num_kernels = r.get_u64();
   stats_.num_copies = r.get_u64();
+  stats_.num_net_ops = r.get_u64();
   stats_.compute_busy = r.get_u64();
   stats_.copy_busy = r.get_u64();
+  stats_.nic_busy = r.get_u64();
   stats_.makespan = r.get_u64();
   const std::uint64_t n = r.get_u64();
   events_.clear();
@@ -187,8 +208,10 @@ std::string Trace::render_gantt(int columns) const {
   // Fig. 7, grouped per device on multi-device traces.
   std::map<std::tuple<int, int, int>, std::string> lanes;
   int max_device = 0;
+  bool has_net = false;
   for (const TraceEvent& ev : events_) {
     max_device = std::max(max_device, ev.device);
+    has_net = has_net || ev.engine == EngineId::kNic;
   }
   const auto lane_for = [&](int device, int stream,
                             EngineId engine) -> std::string& {
@@ -221,6 +244,12 @@ std::string Trace::render_gantt(int columns) const {
         return ')';
       case OpKind::kMemcpy3DD2H:
         return '(';
+      case OpKind::kNetSend:
+        return 'S';
+      case OpKind::kRdmaRead:
+        return 'R';
+      case OpKind::kRdmaWrite:
+        return 'W';
       case OpKind::kEventRecord:
         return '|';
     }
@@ -250,6 +279,9 @@ std::string Trace::render_gantt(int columns) const {
         "H2D/D2H, 'C' kernel, '=' D2D, 'u' UVM";
   if (max_device > 0) {
     os << ", '*' P2P";
+  }
+  if (has_net) {
+    os << ", 'S'/'R'/'W' net send/RDMA read/write";
   }
   os << ")\n";
   for (const auto& [key, lane] : lanes) {

@@ -13,8 +13,11 @@ namespace tidacc::sim {
 
 /// Hardware engines of the simulated device. Kernels serialize on the
 /// compute engine; copies run on DMA engines (H2D and D2H are separate on
-/// dual-copy-engine devices such as the K40m).
-enum class EngineId : int { kCompute = 0, kCopyH2D = 1, kCopyD2H = 2 };
+/// dual-copy-engine devices such as the K40m). kNic is the node's network
+/// interface: its lanes are owned by sim::Fabric, not by the per-device
+/// engine tables, so kNumEngines deliberately excludes it.
+enum class EngineId : int { kCompute = 0, kCopyH2D = 1, kCopyD2H = 2,
+                            kNic = 3 };
 inline constexpr int kNumEngines = 3;
 
 const char* to_string(EngineId e);
@@ -30,6 +33,11 @@ const char* to_string(EngineId e);
 /// by cuemMemcpy3DAsync — priced with per-chunk DMA overhead on top of the
 /// flat-copy model, routed like their flat counterparts, and kept
 /// distinguishable so delta-transfer traffic is visible in traces.
+/// kNetSend/kRdmaRead/kRdmaWrite are inter-node fabric operations issued by
+/// sim::Fabric work requests; they occupy NIC lanes (EngineId::kNic), never
+/// the device DMA engines, and are recorded on the initiating node's first
+/// device. New kinds must be appended at the end: the snapshot format
+/// serializes OpKind as an int.
 enum class OpKind : int {
   kKernel = 0,
   kCopyH2D,
@@ -40,7 +48,10 @@ enum class OpKind : int {
   kPrefetchH2D,
   kCopyP2P,
   kMemcpy3DH2D,
-  kMemcpy3DD2H
+  kMemcpy3DD2H,
+  kNetSend,
+  kRdmaRead,
+  kRdmaWrite
 };
 
 const char* to_string(OpKind k);
@@ -69,10 +80,17 @@ struct TraceStats {
   std::uint64_t memcpy3d_d2h_bytes = 0;
   /// Direct peer-to-peer traffic over the inter-device interconnect.
   std::uint64_t p2p_bytes = 0;
+  /// Inter-node traffic over the sim::Fabric (send + RDMA, either path).
+  std::uint64_t net_bytes = 0;
   std::uint64_t num_kernels = 0;
   std::uint64_t num_copies = 0;
+  /// Fabric work requests completed (kNetSend/kRdmaRead/kRdmaWrite);
+  /// deliberately not counted into num_copies so device-only baselines
+  /// keep their exact copy counts.
+  std::uint64_t num_net_ops = 0;
   SimTime compute_busy = 0;  ///< total compute-engine busy time
   SimTime copy_busy = 0;     ///< total copy-engine busy time (both engines)
+  SimTime nic_busy = 0;      ///< total NIC busy time across all nodes
   SimTime makespan = 0;      ///< last finish - first start
 };
 

@@ -1,0 +1,636 @@
+// Cluster subsystem tests: the simulated RDMA fabric (queue pairs, memory
+// registration legality, two-sided send/recv credits, one-sided RDMA
+// pricing, completion polling), the ClusterTileArray sharding and
+// split-phase exchange on both wire paths, the golden-trace guarantee that
+// a 1-node ClusterTileArray reproduces MultiAccTileArray bit-for-bit, the
+// overlap win of exchange_begin/exchange_end over the blocking exchange,
+// and snapshot round trips with fabric state.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/cluster_tile_array.hpp"
+#include "core/tidacc.hpp"
+#include "core/world_snapshot.hpp"
+#include "net/fabric.hpp"
+#include "sim/trace.hpp"
+
+namespace tidacc::core {
+namespace {
+
+using sim::DeviceConfig;
+using sim::Fabric;
+using sim::FabricConfig;
+using sim::Interconnect;
+using tida::Boundary;
+using tida::Box;
+using tida::Index3;
+
+double pattern(const Index3& p) {
+  return static_cast<double>(1 + p.i + 10 * p.j + 100 * p.k);
+}
+
+oacc::LoopCost unit_cost() {
+  oacc::LoopCost c;
+  c.flops_per_iter = 2;
+  c.dev_bytes_per_iter = 16;
+  return c;
+}
+
+void enable_all_peers(int devices) {
+  for (int d = 0; d < devices; ++d) {
+    cuem::DeviceGuard guard(d);
+    for (int peer = 0; peer < devices; ++peer) {
+      if (peer != d) {
+        ASSERT_EQ(cuemDeviceEnablePeerAccess(peer, 0), cuemSuccess);
+      }
+    }
+  }
+}
+
+/// FNV-1a over every valid cell, row by row — order-independent of the
+/// exchange schedule, sensitive to any wrong byte.
+std::uint64_t checksum(MultiAccTileArray<double>& u) {
+  u.release_all_to_host();
+  std::uint64_t h = 1469598103934665603ull;
+  for (int r = 0; r < u.num_regions(); ++r) {
+    const tida::Region<double> reg = u.region(r);
+    for (int k = reg.valid.lo.k; k <= reg.valid.hi.k; ++k) {
+      for (int j = reg.valid.lo.j; j <= reg.valid.hi.j; ++j) {
+        for (int i = reg.valid.lo.i; i <= reg.valid.hi.i; ++i) {
+          const double v = reg.at(i, j, k);
+          const unsigned char* b = reinterpret_cast<const unsigned char*>(&v);
+          for (std::size_t n = 0; n < sizeof(double); ++n) {
+            h = (h ^ b[n]) * 1099511628211ull;
+          }
+        }
+      }
+    }
+  }
+  return h;
+}
+
+// --- fabric unit tests ---
+
+class FabricTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cuem::configure(DeviceConfig::k40m(), /*functional=*/true,
+                    /*num_devices=*/2, Interconnect::pcie());
+    oacc::reset();
+  }
+};
+
+TEST_F(FabricTest, TopologyAndPresets) {
+  Fabric f(2, FabricConfig::infiniband(), 1);
+  EXPECT_EQ(f.num_nodes(), 2);
+  EXPECT_EQ(f.node_of_device(0), 0);
+  EXPECT_EQ(f.node_of_device(1), 1);
+  EXPECT_EQ(f.first_device(1), 1);
+  EXPECT_THROW(f.node_of_device(2), Error);
+
+  EXPECT_EQ(FabricConfig::parse("ethernet").name, "ethernet");
+  EXPECT_TRUE(FabricConfig::parse("infiniband").gpudirect);
+  EXPECT_FALSE(FabricConfig::parse("ethernet").gpudirect);
+  EXPECT_DOUBLE_EQ(FabricConfig::parse("40").link_gbps, 40.0);
+  EXPECT_THROW(FabricConfig::parse("warp-drive"), Error);
+  // GPUDirect path trades a PCIe bounce for a small NIC-DMA efficiency hit.
+  const FabricConfig ib = FabricConfig::infiniband();
+  EXPECT_LT(ib.path_gbps(true), ib.path_gbps(false));
+
+  // More nodes than the platform has devices must fail loudly.
+  EXPECT_THROW(Fabric(4, FabricConfig::infiniband(), 1), Error);
+}
+
+TEST_F(FabricTest, MemoryRegistrationLegality) {
+  Fabric ib(2, FabricConfig::infiniband(), 1);
+  Fabric eth(2, FabricConfig::ethernet(), 1);
+
+  void* pinned = cuem::host_alloc(4096, /*pinned=*/true);
+  void* pageable = cuem::host_alloc(4096, /*pinned=*/false);
+  void* dev = nullptr;
+  ASSERT_EQ(cuemSetDevice(1), cuemSuccess);
+  ASSERT_EQ(cuemMalloc(&dev, 4096), cuemSuccess);
+  int stack_var = 0;
+
+  // Pinned host memory registers on any fabric.
+  const sim::MrId hm = ib.register_memory(0, pinned, 4096);
+  EXPECT_FALSE(ib.mr_is_device(hm));
+  EXPECT_GE(eth.register_memory(1, pinned, 4096), 0);
+
+  // Pageable host memory and foreign pointers never register.
+  EXPECT_THROW(ib.register_memory(0, pageable, 4096), Error);
+  EXPECT_THROW(ib.register_memory(0, &stack_var, 4), Error);
+
+  // Device memory needs a GPUDirect-capable fabric and the owning node.
+  const sim::MrId dm = ib.register_memory(1, dev, 4096);
+  EXPECT_TRUE(ib.mr_is_device(dm));
+  EXPECT_THROW(ib.register_memory(0, dev, 4096), Error);  // wrong node
+  EXPECT_THROW(eth.register_memory(1, dev, 4096), Error);  // no GPUDirect
+
+  ib.deregister_memory(hm);
+  EXPECT_THROW(ib.deregister_memory(hm), Error);  // already gone
+
+  EXPECT_EQ(cuemFree(dev), cuemSuccess);
+  cuem::host_free(pinned);
+  cuem::host_free(pageable);
+}
+
+TEST_F(FabricTest, SendNeedsAPostedReceive) {
+  Fabric f(2, FabricConfig::infiniband(), 1);
+  void* src = cuem::host_alloc(1024, /*pinned=*/true);
+  void* dst = cuem::host_alloc(1024, /*pinned=*/true);
+  const sim::MrId sm = f.register_memory(0, src, 1024);
+  const sim::MrId dm = f.register_memory(1, dst, 1024);
+  const sim::QpId qp = f.create_qp(0, 1);
+
+  // Receiver not ready: verbs would RNR-NAK, the model fails loudly.
+  EXPECT_THROW(f.post_send(qp, sm, 0, 256), Error);
+
+  f.post_recv(qp, dm, 0, 128);
+  // Payload overflowing the posted buffer is a hard error too.
+  EXPECT_THROW(f.post_send(qp, sm, 0, 256), Error);
+  // That failed send must not have consumed the credit.
+  const sim::WrId wr = f.post_send(qp, sm, 0, 128);
+  f.wait(wr);
+  EXPECT_TRUE(f.wr_reaped(wr));
+  EXPECT_EQ(f.counters().sends, 1u);
+  EXPECT_EQ(f.counters().net_bytes, 128u);
+
+  cuem::host_free(src);
+  cuem::host_free(dst);
+}
+
+TEST_F(FabricTest, CompletionsPollInFifoOrderAndReadsPayRoundTrip) {
+  Fabric f(2, FabricConfig::infiniband(), 1);
+  void* a = cuem::host_alloc(1 << 20, /*pinned=*/true);
+  void* b = cuem::host_alloc(1 << 20, /*pinned=*/true);
+  const sim::MrId am = f.register_memory(0, a, 1 << 20);
+  const sim::MrId bm = f.register_memory(1, b, 1 << 20);
+  const sim::QpId qp = f.create_qp(0, 1);
+
+  // Nothing outstanding: poll is a clean miss.
+  EXPECT_FALSE(f.poll(qp));
+
+  const sim::WrId w1 = f.rdma_write(qp, am, 0, bm, 0, 1 << 18);
+  // The QP stream was idle, so the write started at the current host time.
+  const SimTime write_dur = f.wr_finish(w1) - cuem::platform().now();
+  const sim::WrId w2 = f.rdma_read(qp, am, 0, bm, 0, 1 << 18);
+  // FIFO on the QP stream: the read starts when the write finishes. Same
+  // payload, same wire — the read's request/response round trip makes it
+  // strictly longer than the write's single traversal.
+  const SimTime read_dur = f.wr_finish(w2) - f.wr_finish(w1);
+  EXPECT_GT(read_dur, write_dur);
+
+  // Posting returns before the wire is done: the host clock trails the
+  // completion time, so an immediate poll misses.
+  EXPECT_LT(cuem::platform().now(), f.wr_finish(w1));
+  EXPECT_FALSE(f.poll(qp));
+
+  f.wait(w2);  // waiting on the younger one also covers the older
+  sim::WrId out = -1;
+  ASSERT_TRUE(f.poll(qp, &out));
+  EXPECT_EQ(out, w1);  // CQ drains oldest first
+  EXPECT_TRUE(f.wr_reaped(w1));
+  EXPECT_FALSE(f.poll(qp));  // w2 was reaped by wait()
+
+  EXPECT_EQ(f.counters().rdma_writes, 1u);
+  EXPECT_EQ(f.counters().rdma_reads, 1u);
+  // Both endpoints were device-free, so nothing went over GPUDirect.
+  EXPECT_EQ(f.counters().gpudirect_bytes, 0u);
+
+  // The NIC lanes show up in the trace as net ops.
+  const sim::TraceStats st = cuem::platform().trace().stats();
+  EXPECT_EQ(st.num_net_ops, 2u);
+  EXPECT_EQ(st.net_bytes, 2u << 18);
+  EXPECT_GT(st.nic_busy, 0);
+
+  f.destroy_qp(qp);
+  EXPECT_THROW(f.post_recv(qp, bm, 0, 64), Error);
+
+  cuem::host_free(a);
+  cuem::host_free(b);
+}
+
+// --- ClusterTileArray topology and guard rails ---
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cuem::configure(DeviceConfig::k40m(), /*functional=*/true,
+                    /*num_devices=*/2, Interconnect::pcie());
+    oacc::reset();
+  }
+};
+
+ClusterOptions two_nodes(NetPath path = NetPath::kAuto,
+                         FabricConfig fabric = FabricConfig::infiniband()) {
+  ClusterOptions o;
+  o.nodes = 2;
+  o.fabric = fabric;
+  o.path = path;
+  return o;
+}
+
+TEST_F(ClusterTest, ShardingAndPathResolution) {
+  ClusterTileArray<double> a(Box::cube(16), Index3{16, 16, 2}, 1,
+                             two_nodes());
+  ASSERT_EQ(a.num_regions(), 8);
+  EXPECT_EQ(a.num_nodes(), 2);
+  EXPECT_EQ(a.devices_per_node(), 1);
+  for (int r = 0; r < 8; ++r) {
+    EXPECT_EQ(a.node_of_region(r), r / 4);
+  }
+  EXPECT_TRUE(a.gpudirect_path());  // kAuto on infiniband
+
+  // Slab regions: only the faces at the node seam (and the periodic wrap)
+  // cross nodes, so 0, 3, 4, 7 are boundary and the rest are interior.
+  const std::vector<int> boundary =
+      a.node_boundary_regions(Boundary::kPeriodic);
+  EXPECT_EQ(boundary, (std::vector<int>{0, 3, 4, 7}));
+  EXPECT_TRUE(a.is_node_interior(1, Boundary::kPeriodic));
+  EXPECT_FALSE(a.is_node_interior(4, Boundary::kPeriodic));
+
+  ClusterTileArray<double> eth(Box::cube(16), Index3{16, 16, 2}, 1,
+                               two_nodes(NetPath::kAuto,
+                                         FabricConfig::ethernet()));
+  EXPECT_FALSE(eth.gpudirect_path());  // kAuto degrades to staged
+
+  EXPECT_THROW(ClusterTileArray<double>(
+                   Box::cube(16), Index3{16, 16, 2}, 1,
+                   two_nodes(NetPath::kGpuDirect, FabricConfig::ethernet())),
+               Error);
+
+  ClusterOptions bad = two_nodes();
+  bad.nodes = 3;  // 2 devices don't split into 3 nodes
+  EXPECT_THROW(ClusterTileArray<double>(Box::cube(16), Index3{16, 16, 2}, 1,
+                                        bad),
+               Error);
+
+  EXPECT_EQ(parse_net_path("gpudirect"), NetPath::kGpuDirect);
+  EXPECT_EQ(std::string(to_string(NetPath::kStaged)), "staged");
+  EXPECT_THROW(parse_net_path("carrier-pigeon"), Error);
+}
+
+// --- functional equality against MultiAccTileArray ---
+
+template <typename Array, typename Opts>
+std::uint64_t run_heat(Opts opts, int steps) {
+  Array u(Box::cube(16), Index3{16, 16, 2}, 1, opts);
+  Array un(Box::cube(16), Index3{16, 16, 2}, 1, opts);
+  u.fill(pattern);
+  const oacc::LoopCost cost = unit_cost();
+  for (int s = 0; s < steps; ++s) {
+    auto& in = s % 2 == 0 ? u : un;
+    auto& out = s % 2 == 0 ? un : u;
+    in.fill_boundary(Boundary::kPeriodic);
+    for (int r = 0; r < in.num_regions(); ++r) {
+      compute_gpu(in, out, r, cost,
+                  [](DeviceView<double> vi, DeviceView<double> vo, int i,
+                     int j, int k) {
+                    vo(i, j, k) = vi(i, j, k) +
+                                  0.1 * (vi(i, j, k - 1) + vi(i, j, k + 1) -
+                                         2.0 * vi(i, j, k));
+                  });
+    }
+  }
+  return checksum(steps % 2 == 0 ? u : un);
+}
+
+TEST_F(ClusterTest, TwoNodeHeatMatchesMultiAccOnBothPaths) {
+  const std::uint64_t plain =
+      run_heat<MultiAccTileArray<double>>(MultiAccOptions{}, 3);
+
+  cuem::configure(DeviceConfig::k40m(), /*functional=*/true,
+                  /*num_devices=*/2, Interconnect::pcie());
+  oacc::reset();
+  const std::uint64_t rdma =
+      run_heat<ClusterTileArray<double>>(two_nodes(NetPath::kGpuDirect), 3);
+
+  cuem::configure(DeviceConfig::k40m(), /*functional=*/true,
+                  /*num_devices=*/2, Interconnect::pcie());
+  oacc::reset();
+  const std::uint64_t staged =
+      run_heat<ClusterTileArray<double>>(two_nodes(NetPath::kStaged), 3);
+
+  EXPECT_EQ(plain, rdma);
+  EXPECT_EQ(plain, staged);
+}
+
+TEST_F(ClusterTest, ExchangeCountersTrackTheWirePath) {
+  {
+    ClusterTileArray<double> a(Box::cube(16), Index3{16, 16, 2}, 1,
+                               two_nodes(NetPath::kGpuDirect));
+    a.fill(pattern);
+    for (int r = 0; r < a.num_regions(); ++r) {
+      a.acquire_on_device(r);
+    }
+    a.fill_boundary(Boundary::kPeriodic);
+    EXPECT_EQ(a.net_exchanges(), 1u);
+    EXPECT_GT(a.rdma_ghost_reads(), 0u);
+    EXPECT_EQ(a.staged_ghost_sends(), 0u);
+    EXPECT_GT(a.fabric().counters().rdma_reads, 0u);
+    EXPECT_GT(a.fabric().counters().gpudirect_bytes, 0u);
+    // Intra-node faces still run as device update kernels.
+    EXPECT_GT(a.device_ghost_updates(), 0u);
+  }
+  oacc::reset();
+  cuem::configure(DeviceConfig::k40m(), /*functional=*/true,
+                  /*num_devices=*/2, Interconnect::pcie());
+  oacc::reset();
+  {
+    ClusterTileArray<double> a(Box::cube(16), Index3{16, 16, 2}, 1,
+                               two_nodes(NetPath::kStaged));
+    a.fill(pattern);
+    for (int r = 0; r < a.num_regions(); ++r) {
+      a.acquire_on_device(r);
+    }
+    a.fill_boundary(Boundary::kPeriodic);
+    EXPECT_EQ(a.rdma_ghost_reads(), 0u);
+    EXPECT_GT(a.staged_ghost_sends(), 0u);
+    EXPECT_GT(a.fabric().counters().sends, 0u);
+    EXPECT_EQ(a.fabric().counters().gpudirect_bytes, 0u);
+  }
+}
+
+TEST_F(ClusterTest, HostResidentExchangeStillPricesTheWire) {
+  ClusterTileArray<double> a(Box::cube(16), Index3{16, 16, 2}, 1,
+                             two_nodes());
+  a.fill(pattern);
+  // Nothing on any device: the base host exchange moves the data and the
+  // cross-node faces are priced as sends between the pinned buffers.
+  a.fill_boundary(Boundary::kPeriodic);
+  EXPECT_GT(a.staged_ghost_sends(), 0u);
+  EXPECT_GT(a.fabric().counters().net_bytes, 0u);
+  const tida::Region<double> r0 = a.region(0);
+  EXPECT_EQ(r0.at(3, 3, -1), pattern(Index3{3, 3, 15}));  // periodic wrap
+}
+
+// --- overlap: exchange_begin / compute interior / exchange_end ---
+
+/// One heat workload, overlap on or off; returns the virtual ns it took.
+SimTime timed_heat(bool overlap, NetPath path, int steps,
+                   FabricConfig fabric = FabricConfig::infiniband(),
+                   double flops_per_iter = 2.0) {
+  cuem::configure(DeviceConfig::k40m(), /*functional=*/true,
+                  /*num_devices=*/2, Interconnect::pcie());
+  oacc::reset();
+  ClusterTileArray<double> u(Box::cube(16), Index3{16, 16, 2}, 1,
+                             two_nodes(path, fabric));
+  ClusterTileArray<double> un(Box::cube(16), Index3{16, 16, 2}, 1,
+                              two_nodes(path, fabric));
+  u.fill(pattern);
+  oacc::LoopCost cost = unit_cost();
+  cost.flops_per_iter = flops_per_iter;
+  const std::vector<int> boundary =
+      u.node_boundary_regions(Boundary::kPeriodic);
+  const SimTime t0 = cuem::platform().now();
+  for (int s = 0; s < steps; ++s) {
+    auto& in = s % 2 == 0 ? u : un;
+    auto& out = s % 2 == 0 ? un : u;
+    const auto sweep = [&](bool interior) {
+      for (int r = 0; r < in.num_regions(); ++r) {
+        const bool is_interior =
+            std::find(boundary.begin(), boundary.end(), r) == boundary.end();
+        if (is_interior != interior) {
+          continue;
+        }
+        compute_gpu(in, out, r, cost,
+                    [](DeviceView<double> vi, DeviceView<double> vo, int i,
+                       int j, int k) {
+                      vo(i, j, k) = vi(i, j, k) +
+                                    0.1 * (vi(i, j, k - 1) + vi(i, j, k + 1) -
+                                           2.0 * vi(i, j, k));
+                    });
+      }
+    };
+    if (overlap) {
+      in.exchange_begin(Boundary::kPeriodic);
+      sweep(/*interior=*/true);  // computes while payloads are in flight
+      in.exchange_end();
+      sweep(/*interior=*/false);
+    } else {
+      in.fill_boundary(Boundary::kPeriodic);
+      sweep(/*interior=*/true);
+      sweep(/*interior=*/false);
+    }
+  }
+  (steps % 2 == 0 ? u : un).release_all_to_host();
+  oacc::wait_all();
+  return cuem::platform().now() - t0;
+}
+
+TEST_F(ClusterTest, OverlappedExchangeBeatsBlockingExchange) {
+  // A slow link makes the wire time visible next to the host-side posting
+  // costs, and a heavy stencil gives the interior kernels enough duration
+  // to hide under it. Blocking serializes wire-then-interior; the
+  // split-phase epoch runs them concurrently.
+  const FabricConfig slow = FabricConfig::custom(/*gbps=*/0.01);
+  const double heavy = 1.0e6;  // flops per cell
+  const SimTime blocking =
+      timed_heat(/*overlap=*/false, NetPath::kGpuDirect, 4, slow, heavy);
+  const SimTime overlapped =
+      timed_heat(/*overlap=*/true, NetPath::kGpuDirect, 4, slow, heavy);
+  EXPECT_LT(overlapped, blocking);
+}
+
+TEST_F(ClusterTest, GpuDirectBeatsHostStagingOnInfiniband) {
+  const SimTime staged =
+      timed_heat(/*overlap=*/false, NetPath::kStaged, 4);
+  const SimTime gpudirect =
+      timed_heat(/*overlap=*/false, NetPath::kGpuDirect, 4);
+  EXPECT_LT(gpudirect, staged);
+}
+
+TEST_F(ClusterTest, OverlapProducesTheSameField) {
+  const auto run = [](bool overlap) {
+    cuem::configure(DeviceConfig::k40m(), /*functional=*/true,
+                    /*num_devices=*/2, Interconnect::pcie());
+    oacc::reset();
+    ClusterTileArray<double> u(Box::cube(16), Index3{16, 16, 2}, 1,
+                               two_nodes());
+    ClusterTileArray<double> un(Box::cube(16), Index3{16, 16, 2}, 1,
+                                two_nodes());
+    u.fill(pattern);
+    const oacc::LoopCost cost = unit_cost();
+    for (int s = 0; s < 3; ++s) {
+      auto& in = s % 2 == 0 ? u : un;
+      auto& out = s % 2 == 0 ? un : u;
+      if (overlap) {
+        in.exchange_begin(Boundary::kPeriodic);
+      } else {
+        in.fill_boundary(Boundary::kPeriodic);
+      }
+      for (int r = 0; r < in.num_regions(); ++r) {
+        if (overlap && !in.is_node_interior(r, Boundary::kPeriodic)) {
+          continue;
+        }
+        compute_gpu(in, out, r, cost,
+                    [](DeviceView<double> vi, DeviceView<double> vo, int i,
+                       int j, int k) { vo(i, j, k) = vi(i, j, k) + 1.0; });
+      }
+      if (overlap) {
+        in.exchange_end();
+        for (int r = 0; r < in.num_regions(); ++r) {
+          if (in.is_node_interior(r, Boundary::kPeriodic)) {
+            continue;
+          }
+          compute_gpu(in, out, r, cost,
+                      [](DeviceView<double> vi, DeviceView<double> vo, int i,
+                         int j, int k) { vo(i, j, k) = vi(i, j, k) + 1.0; });
+        }
+      }
+    }
+    return checksum(un);
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST_F(ClusterTest, EpochMisuseFailsLoudly) {
+  ClusterTileArray<double> a(Box::cube(16), Index3{16, 16, 2}, 1,
+                             two_nodes());
+  a.fill(pattern);
+  EXPECT_THROW(a.exchange_end(), Error);
+  a.exchange_begin(Boundary::kPeriodic);
+  EXPECT_THROW(a.exchange_begin(Boundary::kPeriodic), Error);
+  a.exchange_end();
+}
+
+// --- golden trace: 1-node ClusterTileArray == MultiAccTileArray ---
+
+template <typename Array, typename Opts>
+std::vector<sim::TraceEvent> golden_run(Opts opts) {
+  cuem::configure(DeviceConfig::k40m(), /*functional=*/true,
+                  /*num_devices=*/2, Interconnect::nvlink());
+  oacc::reset();
+  enable_all_peers(2);
+  Array arr(Box::cube(16), Index3{16, 16, 4}, 1, opts);
+  arr.fill(pattern);
+  arr.fill_boundary(Boundary::kPeriodic);  // host-side exchange
+  const oacc::LoopCost cost = unit_cost();
+  for (int r = 0; r < arr.num_regions(); ++r) {
+    compute_gpu(arr, r, cost,
+                [](DeviceView<double> v, int i, int j, int k) {
+                  v(i, j, k) = 2.0 * v(i, j, k) + 1.0;
+                });
+  }
+  arr.fill_boundary(Boundary::kPeriodic);  // device-side exchange
+  for (int r = 0; r < arr.num_regions(); ++r) {
+    compute_gpu(arr, r, cost,
+                [](DeviceView<double> v, int i, int j, int k) {
+                  v(i, j, k) += 3.0;
+                });
+  }
+  arr.release_all_to_host();
+  return cuem::platform().trace().events();
+}
+
+TEST(ClusterGoldenTrace, OneNodeMatchesMultiAccTileArrayBitForBit) {
+  const std::vector<sim::TraceEvent> multi =
+      golden_run<MultiAccTileArray<double>>(MultiAccOptions{});
+  const SimTime multi_end = cuem::platform().now();
+  ClusterOptions one;  // nodes = 1: no fabric at all
+  const std::vector<sim::TraceEvent> cluster =
+      golden_run<ClusterTileArray<double>>(one);
+  const SimTime cluster_end = cuem::platform().now();
+
+  ASSERT_EQ(multi.size(), cluster.size());
+  for (std::size_t i = 0; i < multi.size(); ++i) {
+    SCOPED_TRACE("event " + std::to_string(i) + " '" + multi[i].label + "'");
+    EXPECT_EQ(multi[i].engine, cluster[i].engine);
+    EXPECT_EQ(multi[i].stream, cluster[i].stream);
+    EXPECT_EQ(multi[i].kind, cluster[i].kind);
+    EXPECT_EQ(multi[i].start, cluster[i].start);
+    EXPECT_EQ(multi[i].finish, cluster[i].finish);
+    EXPECT_EQ(multi[i].bytes, cluster[i].bytes);
+    EXPECT_EQ(multi[i].label, cluster[i].label);
+    EXPECT_EQ(multi[i].device, cluster[i].device);
+  }
+  EXPECT_EQ(multi_end, cluster_end);
+}
+
+// --- snapshot round trip with fabric state ---
+
+TEST_F(ClusterTest, CaptureRestoreReplaysIdentically) {
+  ClusterTileArray<double> u(Box::cube(16), Index3{16, 16, 2}, 1,
+                             two_nodes());
+  u.fill(pattern);
+  for (int r = 0; r < u.num_regions(); ++r) {
+    u.acquire_on_device(r);
+  }
+  u.fill_boundary(Boundary::kPeriodic);  // fabric has live WR/MR state
+
+  sim::SnapshotWriter w;
+  world_capture(w);
+  u.capture(w);
+  const std::vector<std::uint8_t> snap = w.take();
+
+  const auto tail = [&u]() {
+    const oacc::LoopCost cost = unit_cost();
+    u.exchange_begin(Boundary::kPeriodic);
+    for (int r = 0; r < u.num_regions(); ++r) {
+      if (!u.is_node_interior(r, Boundary::kPeriodic)) {
+        continue;
+      }
+      compute_gpu(u, r, cost, [](DeviceView<double> v, int i, int j, int k) {
+        v(i, j, k) = 0.5 * v(i, j, k) + 2.0;
+      });
+    }
+    u.exchange_end();
+    return std::make_pair(checksum(u), cuem::platform().now());
+  };
+
+  const auto first = tail();
+  {
+    sim::SnapshotReader r(snap);
+    world_restore(r);
+    u.restore(r);
+    ASSERT_TRUE(r.at_end());
+  }
+  const auto second = tail();
+  EXPECT_EQ(first.first, second.first);
+  EXPECT_EQ(first.second, second.second);
+}
+
+TEST_F(ClusterTest, SnapshotRejectsAnOpenEpoch) {
+  ClusterTileArray<double> u(Box::cube(16), Index3{16, 16, 2}, 1,
+                             two_nodes());
+  u.fill(pattern);
+  u.exchange_begin(Boundary::kPeriodic);
+  sim::SnapshotWriter w;
+  EXPECT_THROW(u.capture(w), Error);
+  u.exchange_end();
+}
+
+// --- sanitizer cleanliness (runs in the TIDACC_CUEM_SANITIZER build) ---
+
+TEST_F(ClusterTest, TwoNodeWorkloadIsRaceFreeUnderSanitizer) {
+#ifndef TIDACC_CUEM_SANITIZER
+  GTEST_SKIP() << "built without TIDACC_CUEM_SANITIZER";
+#else
+  cuem::CuemSanOptions opts;
+  opts.enabled = true;  // collect mode: findings inspected below
+  cuem::san::configure(opts);
+  const std::uint64_t rdma =
+      run_heat<ClusterTileArray<double>>(two_nodes(NetPath::kGpuDirect), 2);
+  EXPECT_TRUE(cuem::san::clean()) << cuem::san::report_json();
+
+  cuem::configure(DeviceConfig::k40m(), /*functional=*/true,
+                  /*num_devices=*/2, Interconnect::pcie());
+  oacc::reset();
+  cuem::san::configure(opts);
+  const std::uint64_t staged =
+      run_heat<ClusterTileArray<double>>(two_nodes(NetPath::kStaged), 2);
+  EXPECT_TRUE(cuem::san::clean()) << cuem::san::report_json();
+
+  EXPECT_EQ(rdma, staged);
+  cuem::san::configure(cuem::CuemSanOptions{});  // disabled, state cleared
+#endif
+}
+
+}  // namespace
+}  // namespace tidacc::core

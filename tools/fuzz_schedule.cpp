@@ -4,12 +4,20 @@
 // checksum + determinism replay as secondary invariants (docs/FUZZING.md).
 //
 // Outer loop: draw *world* knobs (slot policy, delta transfers, slot
-// budget, device count) from the seed, build a fresh world, run a warmup
-// step, and capture one snapshot (world + array). Inner loop: restore the
-// snapshot, draw *dynamic* knobs (transfer jitter, prefetch depth, region
-// visit order), and replay the tail. The workload is the Fig. 8
-// limited-memory halo pattern: a slab-decomposed AccTileArray<double>
-// doing fill_boundary + an in-place ghost-reading stencil each step.
+// budget, device count, node count, fabric preset) from the seed, build a
+// fresh world, run a warmup step, and capture one snapshot (world +
+// array). Inner loop: restore the snapshot, draw *dynamic* knobs (transfer
+// jitter, prefetch depth, region visit order, split-phase overlap), and
+// replay the tail. The workload is the Fig. 8 limited-memory halo pattern:
+// a slab-decomposed AccTileArray<double> doing fill_boundary + an in-place
+// ghost-reading stencil each step.
+//
+// Worlds with nodes > 1 run the same workload on a ClusterTileArray (its
+// capture/restore carries the fabric's QP/MR/counter state through every
+// replay), so the oracle also explores cross-node schedules: RDMA reads
+// and staged sends racing the intra-node exchange, and — under the overlap
+// dynamic knob — interior kernels running while ghost payloads are still
+// on the wire. The final field must not depend on any of it.
 //
 // Because functional-mode kernels execute eagerly in program order, and the
 // stencil reads cross-region data only through ghost cells frozen at
@@ -38,6 +46,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/acc_tile_array.hpp"
+#include "core/cluster_tile_array.hpp"
 #include "core/compute.hpp"
 #include "core/multi_acc_array.hpp"
 #include "core/slot_policy.hpp"
@@ -69,6 +78,11 @@ struct WorldKnobs {
   // drain; forcing both branches keeps the streaming exchange (and the
   // eviction/re-acquire schedules it produces) in the explored space.
   core::StreamingGuard guard = core::StreamingGuard::kAuto;
+  // Cluster worlds (nodes > 1) shard the regions over a ClusterTileArray
+  // and push cross-node ghost faces through a sim::Fabric.
+  int nodes = 1;
+  std::string fabric = "infiniband";  ///< FabricConfig::parse input
+  core::NetPath path = core::NetPath::kAuto;
 };
 
 // Mutated per iteration on top of a restored snapshot.
@@ -78,6 +92,7 @@ struct DynKnobs {
   int prefetch_depth = 0;         ///< regions prefetched ahead of the sweep
   std::uint64_t order_seed = 0;   ///< 0 = identity region visit order
   std::uint64_t stream_perm_seed = 0;  ///< 0 = identity slot->stream map
+  bool overlap = false;  ///< split-phase exchange (cluster worlds only)
   int steps = 3;                  ///< tail steps replayed after restore
 };
 
@@ -91,7 +106,8 @@ const char* policy_name(core::SlotPolicyKind k) {
 }
 
 WorldKnobs draw_world(std::uint64_t seed, std::uint64_t config_index,
-                      int n, int regions) {
+                      int n, int regions, int force_nodes,
+                      const std::string& force_fabric) {
   Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (config_index + 1)));
   WorldKnobs w;
   w.n = n;
@@ -116,6 +132,27 @@ WorldKnobs draw_world(std::uint64_t seed, std::uint64_t config_index,
     // in-flight cross-stream transfers, where schedule bugs live.
     default: w.guard = core::StreamingGuard::kForceStreaming; break;
   }
+  // A third of the worlds go cluster (--nodes / --fabric pin the draw).
+  w.nodes = force_nodes > 0 ? force_nodes
+                            : (rng.next_below(3) == 0 ? 2 : 1);
+  if (w.nodes > 1) {
+    // One or two devices per node; the latter keeps intra-node peer
+    // copies racing the wire traffic inside the same exchange epoch.
+    w.num_devices = w.nodes * (rng.next_below(4) == 0 ? 2 : 1);
+    w.fabric = force_fabric.empty()
+                   ? (rng.next_below(2) == 0 ? "ethernet" : "infiniband")
+                   : force_fabric;
+    // kAuto rides GPUDirect whenever the preset permits it; kStaged keeps
+    // the pinned-host bounce in the explored space even on infiniband.
+    w.path = rng.next_below(2) == 0 ? core::NetPath::kAuto
+                                    : core::NetPath::kStaged;
+    // The wire path engages only when every region is slot-resident, so
+    // most cluster worlds get a full slot budget; the rest stay
+    // under-provisioned and fuzz the host-fallback exchange instead.
+    if (rng.next_below(4) != 0) {
+      w.max_slots = regions + w.num_devices;
+    }
+  }
   return w;
 }
 
@@ -130,6 +167,7 @@ DynKnobs draw_dyn(std::uint64_t seed, std::uint64_t iter, int regions,
       rng.next_below(static_cast<std::uint64_t>(regions)));
   d.order_seed = rng.next_below(4) == 0 ? 0 : rng.next_u64();
   d.stream_perm_seed = rng.next_below(4) == 0 ? 0 : rng.next_u64();
+  d.overlap = rng.next_below(2) == 0;  // ignored by non-cluster worlds
   return d;
 }
 
@@ -204,12 +242,11 @@ void apply_stream_perm(core::MultiAccTileArray<double>& u,
   }
 }
 
-// One halo step: exchange ghosts, then sweep every region in-place in the
-// given order, prefetching the next `depth` regions after each kernel.
+// Sweeps the listed regions in order, prefetching the next `depth` after
+// each kernel.
 template <typename Array>
-void halo_step(Array& u, const std::vector<int>& order, int depth,
+void sweep_all(Array& u, const std::vector<int>& order, int depth,
                const oacc::LoopCost& cost) {
-  u.fill_boundary(tida::Boundary::kPeriodic);
   const int regions = static_cast<int>(order.size());
   for (int pos = 0; pos < regions; ++pos) {
     sweep_region(u, order[static_cast<std::size_t>(pos)], cost);
@@ -217,6 +254,41 @@ void halo_step(Array& u, const std::vector<int>& order, int depth,
       u.prefetch_to_device(order[static_cast<std::size_t>(pos + a)]);
     }
   }
+}
+
+// One halo step: exchange ghosts, then sweep every region in-place in the
+// given order. The overlap knob only has a cluster meaning; here the
+// exchange is always the blocking fill_boundary.
+template <typename Array>
+void halo_step(Array& u, const std::vector<int>& order, int depth,
+               const oacc::LoopCost& cost, bool /*overlap*/) {
+  u.fill_boundary(tida::Boundary::kPeriodic);
+  sweep_all(u, order, depth, cost);
+}
+
+// Cluster overload: with overlap on, node-interior regions compute while
+// the cross-node ghost payloads are still on the wire. The sweep writes
+// only valid cells and interior regions read no cross-node ghosts, so the
+// final field must match the blocking replay bit for bit — overlap is a
+// pure schedule mutation, which is exactly what makes it fuzzable.
+void halo_step(core::ClusterTileArray<double>& u,
+               const std::vector<int>& order, int depth,
+               const oacc::LoopCost& cost, bool overlap) {
+  if (!overlap || u.num_nodes() == 1) {
+    u.fill_boundary(tida::Boundary::kPeriodic);
+    sweep_all(u, order, depth, cost);
+    return;
+  }
+  u.exchange_begin(tida::Boundary::kPeriodic);
+  std::vector<int> interior;
+  std::vector<int> boundary;
+  for (const int r : order) {
+    (u.is_node_interior(r, tida::Boundary::kPeriodic) ? interior : boundary)
+        .push_back(r);
+  }
+  sweep_all(u, interior, depth, cost);
+  u.exchange_end();
+  sweep_all(u, boundary, depth, cost);
 }
 
 template <typename Array>
@@ -234,7 +306,7 @@ void run_tail(Array& u, core::SlotPolicyKind policy, const DynKnobs& d,
     u.set_future_accesses(std::move(future));
   }
   for (int s = 0; s < d.steps; ++s) {
-    halo_step(u, order, d.prefetch_depth, cost);
+    halo_step(u, order, d.prefetch_depth, cost, d.overlap);
   }
   u.release_all_to_host();
 }
@@ -314,11 +386,15 @@ void write_repro(const std::string& path, const WorldKnobs& w,
   f << "guard=" << static_cast<int>(w.guard) << "\n";
   f << "n=" << w.n << "\n";
   f << "regions=" << w.regions << "\n";
+  f << "nodes=" << w.nodes << "\n";
+  f << "fabric=" << w.fabric << "\n";
+  f << "net_path=" << core::to_string(w.path) << "\n";
   f << "jitter_max=" << d.jitter_max << "\n";
   f << "jitter_seed=" << d.jitter_seed << "\n";
   f << "prefetch_depth=" << d.prefetch_depth << "\n";
   f << "order_seed=" << d.order_seed << "\n";
   f << "stream_perm_seed=" << d.stream_perm_seed << "\n";
+  f << "overlap=" << (d.overlap ? 1 : 0) << "\n";
   f << "steps=" << d.steps << "\n";
   f << "# kind=" << o.kind << "\n";
 }
@@ -346,11 +422,15 @@ bool parse_repro(const std::string& path, WorldKnobs& w, DynKnobs& d) {
     else if (key == "guard") w.guard = static_cast<core::StreamingGuard>(num);
     else if (key == "n") w.n = static_cast<int>(num);
     else if (key == "regions") w.regions = static_cast<int>(num);
+    else if (key == "nodes") w.nodes = static_cast<int>(num);
+    else if (key == "fabric") w.fabric = val;
+    else if (key == "net_path") w.path = core::parse_net_path(val);
     else if (key == "jitter_max") d.jitter_max = num;
     else if (key == "jitter_seed") d.jitter_seed = num;
     else if (key == "prefetch_depth") d.prefetch_depth = static_cast<int>(num);
     else if (key == "order_seed") d.order_seed = num;
     else if (key == "stream_perm_seed") d.stream_perm_seed = num;
+    else if (key == "overlap") d.overlap = num != 0;
     else if (key == "steps") d.steps = static_cast<int>(num);
   }
   return true;
@@ -403,10 +483,14 @@ void write_report(const std::string& path, std::uint64_t seed,
       << ", \"max_slots\": " << x.world.max_slots
       << ", \"num_devices\": " << x.world.num_devices
       << ", \"guard\": " << static_cast<int>(x.world.guard)
-      << ", \"jitter_max\": " << x.dyn.jitter_max
+      << ", \"nodes\": " << x.world.nodes
+      << ", \"fabric\": \"" << json_escape(x.world.fabric)
+      << "\", \"net_path\": \"" << core::to_string(x.world.path)
+      << "\", \"jitter_max\": " << x.dyn.jitter_max
       << ", \"prefetch_depth\": " << x.dyn.prefetch_depth
       << ", \"order_seed\": " << x.dyn.order_seed
       << ", \"stream_perm_seed\": " << x.dyn.stream_perm_seed
+      << ", \"overlap\": " << (x.dyn.overlap ? "true" : "false")
       << ", \"repro\": \"" << json_escape(x.repro_path)
       << "\", \"detail\": \"" << json_escape(x.detail) << "\"}";
   }
@@ -458,6 +542,17 @@ core::MultiAccOptions multi_acc_options(const WorldKnobs& w) {
   return o;
 }
 
+core::ClusterOptions cluster_options(const WorldKnobs& w) {
+  core::ClusterOptions o;
+  o.multi = multi_acc_options(w);
+  o.nodes = w.nodes;
+  o.fabric = sim::FabricConfig::parse(w.fabric);
+  // kAuto on a GPUDirect-less preset degrades to staged by itself; only
+  // kGpuDirect would reject it, and the draw never emits that.
+  o.path = w.path;
+  return o;
+}
+
 /// Builds the world, runs the warmup step (so the snapshot holds a
 /// mid-workload state with live residency/dirty tracking), and captures
 /// world + array into one buffer.
@@ -471,7 +566,8 @@ std::vector<std::uint8_t> build_and_snapshot(const WorldKnobs& w, Array& u,
   if (w.policy == core::SlotPolicyKind::kBeladyOracle) {
     u.set_future_accesses(visit_order(w.regions, 0));
   }
-  halo_step(u, visit_order(w.regions, 0), /*depth=*/1, cost);
+  halo_step(u, visit_order(w.regions, 0), /*depth=*/1, cost,
+            /*overlap=*/false);
   sim::SnapshotWriter wr;
   core::world_capture(wr);
   u.capture(wr);
@@ -488,6 +584,10 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("iters", 200));
   const int n = static_cast<int>(cli.get_int("n", 32));
   const int regions = static_cast<int>(cli.get_int("regions", 8));
+  // 0 = let draw_world choose per config; >1 pins every world to a
+  // cluster of that many nodes (--fabric likewise pins the preset).
+  const int force_nodes = static_cast<int>(cli.get_int("nodes", 0));
+  const std::string force_fabric = cli.get_string("fabric", "");
   const int steps = static_cast<int>(cli.get_int("steps", 3));
   const std::uint64_t per_config =
       static_cast<std::uint64_t>(cli.get_int("iters-per-config", 32));
@@ -521,7 +621,12 @@ int main(int argc, char** argv) {
       return run_case(snap, u, w.policy, d, cost);
     };
     Outcome o;
-    if (w.num_devices > 1) {
+    if (w.nodes > 1) {
+      core::ClusterTileArray<double> u(tida::Box::cube(w.n),
+                                       tida::Index3{w.n, w.n, slab},
+                                       /*ghost=*/1, cluster_options(w));
+      o = replay(u);
+    } else if (w.num_devices > 1) {
       core::MultiAccTileArray<double> u(tida::Box::cube(w.n),
                                         tida::Index3{w.n, w.n, slab},
                                         /*ghost=*/1, multi_acc_options(w));
@@ -552,28 +657,39 @@ int main(int argc, char** argv) {
   std::uint64_t config_index = static_cast<std::uint64_t>(-1);
   std::optional<WorldKnobs> world;
   // The array must outlive every restore of its snapshot (the restore
-  // contract is address-stable), so both live in an optional rebuilt per
+  // contract is address-stable), so all live in an optional rebuilt per
   // config block. Worlds with num_devices > 1 exercise the multi-device
-  // array (its own capture/restore and per-device stream permutations).
+  // array (its own capture/restore and per-device stream permutations);
+  // worlds with nodes > 1 exercise the cluster array (fabric QP/MR state
+  // rides inside its snapshot).
   std::optional<AccTileArray<double>> u;
   std::optional<core::MultiAccTileArray<double>> um;
+  std::optional<core::ClusterTileArray<double>> uc;
   std::vector<std::uint8_t> snap;
   std::optional<Outcome> reference;
   const auto run_one = [&](const DynKnobs& d) {
-    return um ? run_case(snap, *um, world->policy, d, cost)
-              : run_case(snap, *u, world->policy, d, cost);
+    return uc   ? run_case(snap, *uc, world->policy, d, cost)
+           : um ? run_case(snap, *um, world->policy, d, cost)
+                : run_case(snap, *u, world->policy, d, cost);
   };
 
   for (std::uint64_t i = 0; i < iters; ++i) {
     if (i / per_config != config_index) {
       config_index = i / per_config;
-      world = draw_world(seed, config_index, n, regions);
+      world = draw_world(seed, config_index, n, regions, force_nodes,
+                         force_fabric);
       u.reset();  // free the old world's buffers before reconfiguring
       um.reset();
+      uc.reset();
       try {
         configure_world(*world);
         const int slab = (world->n + world->regions - 1) / world->regions;
-        if (world->num_devices > 1) {
+        if (world->nodes > 1) {
+          uc.emplace(tida::Box::cube(world->n),
+                     tida::Index3{world->n, world->n, slab}, /*ghost=*/1,
+                     cluster_options(*world));
+          snap = build_and_snapshot(*world, *uc, cost);
+        } else if (world->num_devices > 1) {
           um.emplace(tida::Box::cube(world->n),
                      tida::Index3{world->n, world->n, slab}, /*ghost=*/1,
                      multi_acc_options(*world));
@@ -667,6 +783,9 @@ int main(int argc, char** argv) {
       if (still_fails(cand)) min = cand;
       cand = min;
       cand.stream_perm_seed = 0;
+      if (still_fails(cand)) min = cand;
+      cand = min;
+      cand.overlap = false;
       if (still_fails(cand)) min = cand;
 
       Failure x;

@@ -1,0 +1,226 @@
+// Fabric micro-benchmark with server/client roles, in the spirit of the
+// verbs perftest suite: the server side owns the receive window and posts
+// credits, the client drives sends / RDMA reads / RDMA writes at it, and
+// the tool reports per-preset, per-path bandwidth and latency tables from
+// the discrete-event clock.
+//
+// Both endpoints live in one process (the fabric is simulated), so the
+// roles are program structure rather than separate binaries: --role=server
+// restricts the report to the server's view (RX counters), --role=client
+// to the client's (TX bandwidth, completion latency), and the default
+// "both" prints everything.
+//
+//   net_perftest                         # full table, both presets
+//   net_perftest --fabric=ethernet       # one preset
+//   net_perftest --fabric=2.5           # custom 2.5 GB/s link
+//   net_perftest --bytes=1048576 --iters=16 --role=client
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "cuem/cuem.hpp"
+#include "net/fabric.hpp"
+#include "net/fabric_config.hpp"
+#include "sim/platform.hpp"
+
+namespace {
+
+using namespace tidacc;
+using sim::Fabric;
+using sim::FabricConfig;
+using sim::MrId;
+using sim::QpId;
+using sim::WrId;
+
+enum class Op { kSend, kRdmaRead, kRdmaWrite };
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kSend:
+      return "send";
+    case Op::kRdmaRead:
+      return "rdma_read";
+    case Op::kRdmaWrite:
+      return "rdma_write";
+  }
+  return "?";
+}
+
+/// One endpoint's resources: its node, one buffer on the requested path
+/// and the MR covering it. The server additionally feeds receive credits.
+struct Endpoint {
+  int node = 0;
+  void* buf = nullptr;
+  bool device_path = false;
+  MrId mr = -1;
+
+  void open(Fabric& f, int n, std::size_t bytes, bool on_device) {
+    node = n;
+    device_path = on_device;
+    if (on_device) {
+      cuem::DeviceGuard guard(f.first_device(n));
+      CUEM_CHECK(cuemMalloc(&buf, bytes));
+    } else {
+      CUEM_CHECK(cuemMallocHost(&buf, bytes));
+    }
+    mr = f.register_memory(n, buf, bytes);
+  }
+
+  void close(Fabric& f) {
+    f.deregister_memory(mr);
+    if (device_path) {
+      CUEM_CHECK(cuemFree(buf));
+    } else {
+      CUEM_CHECK(cuemFreeHost(buf));
+    }
+    buf = nullptr;
+  }
+};
+
+struct Result {
+  double gbps = 0.0;     ///< payload bandwidth over the measured window
+  double lat_us = 0.0;   ///< single-message wire latency, post to finish
+  std::uint64_t bytes = 0;
+};
+
+/// Runs `iters` back-to-back transfers of `bytes` from client to server
+/// (rdma_read pulls the other way: the client still initiates) and one
+/// isolated small probe for latency.
+Result run_case(const FabricConfig& cfg, Op op, bool gpudirect,
+                std::size_t bytes, int iters) {
+  cuem::configure(sim::DeviceConfig::k40m(), /*functional=*/true,
+                  /*num_devices=*/2, sim::Interconnect::pcie());
+  Fabric fabric(/*num_nodes=*/2, cfg);
+
+  Endpoint server;
+  Endpoint client;
+  server.open(fabric, 0, bytes, gpudirect);
+  client.open(fabric, 1, bytes, gpudirect);
+
+  // The client connects to the server; sends need the server to post one
+  // receive credit per message before the client may fire.
+  const QpId qp = fabric.create_qp(client.node, server.node);
+
+  sim::Platform& p = sim::Platform::instance();
+
+  // Latency probe: one minimal message, quiet wire.
+  const std::size_t probe = 8;
+  if (op == Op::kSend) {
+    fabric.post_recv(qp, server.mr, 0, probe);
+  }
+  const SimTime post_t = p.now();
+  WrId wr = -1;
+  switch (op) {
+    case Op::kSend:
+      wr = fabric.post_send(qp, client.mr, 0, probe, "probe");
+      break;
+    case Op::kRdmaRead:
+      wr = fabric.rdma_read(qp, client.mr, 0, server.mr, 0, probe, "probe");
+      break;
+    case Op::kRdmaWrite:
+      wr = fabric.rdma_write(qp, client.mr, 0, server.mr, 0, probe, "probe");
+      break;
+  }
+  Result r;
+  r.lat_us = static_cast<double>(fabric.wr_finish(wr) - post_t) / 1000.0;
+  fabric.wait(wr);
+
+  // Bandwidth window: the server pre-posts all credits (real perftest
+  // servers keep the receive queue deep), then the client streams.
+  if (op == Op::kSend) {
+    for (int i = 0; i < iters; ++i) {
+      fabric.post_recv(qp, server.mr, 0, bytes);
+    }
+  }
+  const SimTime t0 = p.now();
+  for (int i = 0; i < iters; ++i) {
+    switch (op) {
+      case Op::kSend:
+        fabric.post_send(qp, client.mr, 0, bytes, "bw");
+        break;
+      case Op::kRdmaRead:
+        fabric.rdma_read(qp, client.mr, 0, server.mr, 0, bytes, "bw");
+        break;
+      case Op::kRdmaWrite:
+        fabric.rdma_write(qp, client.mr, 0, server.mr, 0, bytes, "bw");
+        break;
+    }
+  }
+  fabric.wait_all();
+  const SimTime elapsed = p.now() - t0;
+  r.bytes = static_cast<std::uint64_t>(bytes) * iters;
+  r.gbps = elapsed > 0
+               ? static_cast<double>(r.bytes) / static_cast<double>(elapsed)
+               : 0.0;
+
+  server.close(fabric);
+  client.close(fabric);
+  return r;
+}
+
+void print_header(const std::string& role) {
+  std::printf("%-11s %-10s %-10s %10s %8s", "preset", "path", "op", "bytes",
+              "iters");
+  if (role != "server") {
+    std::printf(" %9s %9s", "GB/s", "lat(us)");
+  }
+  if (role != "client") {
+    std::printf(" %12s %12s", "rx_bytes", "rx_msgs");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const std::string role = cli.get_string("role", "both");
+  TIDACC_CHECK_MSG(role == "both" || role == "server" || role == "client",
+                   "--role expects 'server', 'client' or 'both'");
+  const std::size_t bytes =
+      static_cast<std::size_t>(cli.get_int("bytes", 4 << 20));
+  const int iters = static_cast<int>(cli.get_int("iters", 8));
+  TIDACC_CHECK_MSG(bytes >= 8 && iters >= 1,
+                   "--bytes must be >= 8 and --iters >= 1");
+
+  std::vector<FabricConfig> presets;
+  if (cli.has("fabric")) {
+    presets.push_back(FabricConfig::parse(cli.get_string("fabric", "")));
+  } else {
+    presets.push_back(FabricConfig::ethernet());
+    presets.push_back(FabricConfig::infiniband());
+  }
+
+  print_header(role);
+  for (const FabricConfig& cfg : presets) {
+    for (const bool gpudirect : {false, true}) {
+      if (gpudirect && !cfg.gpudirect) {
+        continue;  // the preset's NIC cannot DMA device memory
+      }
+      for (const Op op : {Op::kSend, Op::kRdmaRead, Op::kRdmaWrite}) {
+        const Result r = run_case(cfg, op, gpudirect, bytes, iters);
+        std::printf("%-11s %-10s %-10s %10zu %8d", cfg.name.c_str(),
+                    gpudirect ? "gpudirect" : "host", op_name(op), bytes,
+                    iters);
+        if (role != "server") {
+          std::printf(" %9.2f %9.2f", r.gbps, r.lat_us);
+        }
+        if (role != "client") {
+          // The server's view: what landed in its memory. RDMA reads pull
+          // *from* the server, so nothing lands on it.
+          const bool inbound = op != Op::kRdmaRead;
+          std::printf(" %12llu %12d",
+                      static_cast<unsigned long long>(inbound ? r.bytes : 0),
+                      inbound ? iters : 0);
+        }
+        std::printf("\n");
+      }
+    }
+  }
+  return 0;
+}
