@@ -1,0 +1,258 @@
+// Ablation (beyond the paper): transfer compression as a link
+// optimization. Every host<->device copy (and every inter-node wire
+// message) can run through a modeled codec — encode, shrunken payload on
+// the link, decode — priced by DeviceConfig::codec / FabricConfig::codec.
+// Options::compression picks the policy: kOff (raw, the seed behaviour),
+// kOn (always compress), kAuto (per-transfer cost model).
+//
+// Two sections:
+//   * host link: out-of-core delta sweep, codec ratio x link-bandwidth
+//     scale x policy. Slow links amortize the codec stages and compression
+//     wins; fast links with thin ratios favour raw, and kAuto must track
+//     the per-config winner from the DeviceConfig constants alone.
+//   * wire: 2-node ClusterTileArray ghost exchange across fabric presets
+//     (staged ethernet, GPUDirect infiniband, and a 0.25 GB/s custom link
+//     slow enough that the wire leg escapes the intra-node overlap and the
+//     codec pays off).
+//
+// The structural claim under test: kAuto never loses wall-clock to either
+// fixed policy on any swept config — the cost model mirrors the pricing
+// exactly and the event schedule is monotone in op durations.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "core/cluster_tile_array.hpp"
+#include "core/tidacc.hpp"
+#include "kernels/stencil27.hpp"
+#include "net/fabric.hpp"
+
+namespace {
+
+using namespace tidacc;
+
+struct HostRun {
+  SimTime t = 0;
+  std::uint64_t bytes = 0;      ///< logical payload, both directions
+  std::uint64_t wire = 0;       ///< bytes that crossed the link
+  std::uint64_t comp_ops = 0;   ///< transfers that took the codec path
+};
+
+/// Out-of-core delta sweep (half the regions fit) on a host link scaled by
+/// `link_scale`, with every codec ratio pinned to `ratio`-ish values.
+HostRun run_host(int n, int regions, int steps, double ratio,
+                 double link_scale, core::Compression mode) {
+  using namespace tidacc::core;
+  sim::DeviceConfig cfg = sim::DeviceConfig::k40m();
+  cfg.pinned_h2d_gbps *= link_scale;
+  cfg.pinned_d2h_gbps *= link_scale;
+  cfg.pageable_h2d_gbps *= link_scale;
+  cfg.pageable_d2h_gbps *= link_scale;
+  cfg.codec.interior_ratio = ratio;
+  cfg.codec.face_ratio = std::max(1.0, ratio * 0.75);
+  cfg.codec.ghost_ratio = std::max(1.0, ratio * 0.6);
+  bench::fresh_platform(cfg);
+
+  const int ghost = 1;
+  const int slab = (n + regions - 1) / regions;
+  AccOptions o;
+  o.max_slots = regions / 2;
+  o.delta_transfers = true;
+  o.compression = mode;
+  AccTileArray<double> u(tida::Box::cube(n), tida::Index3{n, n, slab},
+                         ghost, o);
+  u.assume_host_initialized();
+  const oacc::LoopCost cost = kernels::box_stencil_cost(ghost);
+  AccTileIterator<double> it(u);
+  const SimTime t0 = cuem::platform().now();
+  for (int s = 0; s < steps; ++s) {
+    u.fill_boundary(tida::Boundary::kPeriodic);
+    for (it.reset(true); it.isValid(); it.next()) {
+      core::compute(it.tile(), cost,
+                    [](core::DeviceView<double>, int, int, int) {});
+    }
+  }
+  u.release_all_to_host();
+  HostRun r;
+  r.t = cuem::platform().now() - t0;
+  const core::TransferAccounting& x = u.transfers();
+  r.bytes = x.h2d_bytes + x.d2h_bytes;
+  r.wire = x.h2d_wire_bytes + x.d2h_wire_bytes;
+  r.comp_ops = x.comp_h2d_ops + x.comp_d2h_ops;
+  return r;
+}
+
+struct NetRun {
+  SimTime t = 0;
+  std::uint64_t bytes = 0;  ///< logical payload on the fabric
+  std::uint64_t wire = 0;   ///< bytes that crossed the wire
+  std::uint64_t wrs = 0;    ///< compressed work requests
+};
+
+/// 2-node ghost exchange (one device per node); the wire codec is the only
+/// thing the policy changes — host<->device hops stay raw.
+NetRun run_net(int n, int regions, int steps, const sim::FabricConfig& fc,
+               core::Compression mode) {
+  using namespace tidacc::core;
+  bench::fresh_platform_multi(sim::DeviceConfig::k40m(), 2,
+                              sim::Interconnect::pcie());
+  const int slab = (n + regions - 1) / regions;
+  ClusterOptions opts;
+  opts.multi.devices = 2;
+  opts.nodes = 2;
+  opts.fabric = fc;
+  opts.compression = mode;
+  ClusterTileArray<double> u(tida::Box::cube(n), tida::Index3{n, n, slab},
+                             /*ghost=*/1, opts);
+  u.assume_host_initialized();
+  for (int r = 0; r < u.num_regions(); ++r) {
+    u.acquire_on_device(r);
+  }
+  oacc::wait_all();
+  const SimTime t0 = cuem::platform().now();
+  for (int s = 0; s < steps; ++s) {
+    u.fill_boundary(tida::Boundary::kPeriodic);
+  }
+  oacc::wait_all();
+  NetRun r;
+  r.t = cuem::platform().now() - t0;
+  const sim::FabricCounters& c = u.fabric().counters();
+  r.bytes = c.net_bytes;
+  r.wire = c.net_wire_bytes;
+  r.wrs = c.compressed_wrs;
+  u.release_all_to_host();
+  return r;
+}
+
+std::string key_of(double ratio, double scale) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "r%d_s%d",
+                static_cast<int>(ratio * 10 + 0.5),
+                static_cast<int>(scale * 100 + 0.5));
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const int n = static_cast<int>(cli.get_int("n", 64));
+  const int regions = static_cast<int>(cli.get_int("regions", 8));
+  const int steps = static_cast<int>(cli.get_int("steps", 4));
+  const int net_n = static_cast<int>(cli.get_int("net-n", 96));
+
+  bench::banner("abl_compression",
+                "extension ablation — transfer compression with a "
+                "per-transfer raw-vs-compressed cost model, " +
+                    std::to_string(n) + "^3 out-of-core delta sweep + " +
+                    std::to_string(net_n) + "^3 2-node exchange",
+                sim::DeviceConfig::k40m());
+
+  bench::CsvSink csv(cli,
+                     "section,config,off_ns,on_ns,auto_ns,on_wire_bytes");
+  bench::ShapeChecks checks;
+  std::vector<std::pair<std::string, double>> json;
+
+  // --- host link: ratio x bandwidth x policy ---
+  Table host_table({"ratio", "link", "time off", "time on", "time auto",
+                    "wire on/off", "auto comp ops"});
+  bool on_wins_somewhere = false;
+  bool auto_never_loses = true;
+  for (const double ratio : {1.2, 2.6}) {
+    for (const double scale : {0.25, 1.0}) {
+      const HostRun off =
+          run_host(n, regions, steps, ratio, scale, core::Compression::kOff);
+      const HostRun on =
+          run_host(n, regions, steps, ratio, scale, core::Compression::kOn);
+      const HostRun au =
+          run_host(n, regions, steps, ratio, scale, core::Compression::kAuto);
+      const std::string key = key_of(ratio, scale);
+      host_table.add_row(
+          {fmt(ratio, 1), fmt(scale, 2) + "x", bench::ms(off.t),
+           bench::ms(on.t), bench::ms(au.t),
+           fmt(static_cast<double>(on.wire) / static_cast<double>(off.wire),
+               2),
+           std::to_string(au.comp_ops)});
+      csv.row({"host", key, std::to_string(off.t), std::to_string(on.t),
+               std::to_string(au.t), std::to_string(on.wire)});
+      json.emplace_back(key + "_off_ns", static_cast<double>(off.t));
+      json.emplace_back(key + "_on_ns", static_cast<double>(on.t));
+      json.emplace_back(key + "_auto_ns", static_cast<double>(au.t));
+      json.emplace_back(key + "_off_wire_bytes",
+                        static_cast<double>(off.wire));
+      json.emplace_back(key + "_on_wire_bytes",
+                        static_cast<double>(on.wire));
+      json.emplace_back(key + "_auto_comp_ops",
+                        static_cast<double>(au.comp_ops));
+      checks.expect(key + ": raw runs put their full payload on the wire",
+                    off.wire == off.bytes && off.comp_ops == 0);
+      checks.expect(key + ": forced compression shrinks the wire",
+                    on.wire < off.wire && on.comp_ops > 0);
+      if (scale < 1.0 && on.t < off.t) {
+        on_wins_somewhere = true;
+      }
+      auto_never_loses =
+          auto_never_loses && au.t <= off.t && au.t <= on.t;
+    }
+  }
+  std::printf("%s\n", host_table.render().c_str());
+
+  // --- wire: fabric preset x policy ---
+  Table net_table({"fabric", "time off", "time on", "time auto",
+                   "wire on/off", "auto comp wrs"});
+  const std::vector<std::pair<std::string, sim::FabricConfig>> fabrics = {
+      {"ethernet", sim::FabricConfig::ethernet()},
+      {"infiniband", sim::FabricConfig::infiniband()},
+      {"custom025", sim::FabricConfig::custom(0.25)},
+  };
+  bool net_on_wins = false;
+  for (const auto& [fname, fc] : fabrics) {
+    const NetRun off =
+        run_net(net_n, regions, steps, fc, core::Compression::kOff);
+    const NetRun on =
+        run_net(net_n, regions, steps, fc, core::Compression::kOn);
+    const NetRun au =
+        run_net(net_n, regions, steps, fc, core::Compression::kAuto);
+    net_table.add_row(
+        {fname, bench::ms(off.t), bench::ms(on.t), bench::ms(au.t),
+         fmt(static_cast<double>(on.wire) / static_cast<double>(off.wire),
+             2),
+         std::to_string(au.wrs)});
+    csv.row({"net", fname, std::to_string(off.t), std::to_string(on.t),
+             std::to_string(au.t), std::to_string(on.wire)});
+    json.emplace_back("net_" + fname + "_off_ns",
+                      static_cast<double>(off.t));
+    json.emplace_back("net_" + fname + "_on_ns", static_cast<double>(on.t));
+    json.emplace_back("net_" + fname + "_auto_ns",
+                      static_cast<double>(au.t));
+    json.emplace_back("net_" + fname + "_on_wire_bytes",
+                      static_cast<double>(on.wire));
+    json.emplace_back("net_" + fname + "_auto_comp_wrs",
+                      static_cast<double>(au.wrs));
+    checks.expect("net " + fname + ": raw wire bytes equal the payload",
+                  off.wire == off.bytes && off.wrs == 0);
+    checks.expect("net " + fname + ": forced compression shrinks the wire",
+                  on.wire < on.bytes && on.wrs > 0);
+    if (on.t < off.t) {
+      net_on_wins = true;
+    }
+    auto_never_loses =
+        auto_never_loses && au.t <= off.t && au.t <= on.t;
+  }
+  std::printf("%s", net_table.render().c_str());
+
+  checks.expect("compression beats raw on at least one low-bandwidth "
+                "host config",
+                on_wins_somewhere);
+  checks.expect("compression beats raw on at least one fabric",
+                net_on_wins);
+  checks.expect("auto never loses wall-clock to either fixed policy, on "
+                "any swept config",
+                auto_never_loses);
+  bench::write_bench_json("abl_compression", json);
+  return checks.report();
+}

@@ -42,6 +42,21 @@ namespace tidacc::core {
 ///   kForceDrain     — never stream; drain and exchange on the host.
 enum class StreamingGuard : int { kAuto = 0, kForceStreaming, kForceDrain };
 
+/// Transfer compression policy for the host<->device link (and, through
+/// ClusterOptions, the inter-node wire).
+///   kOff  — every transfer moves raw bytes. Default; reproduces the
+///           uncompressed transfer timings bit-for-bit.
+///   kOn   — every eligible transfer runs through the codec, paying
+///           encode + decode while only the shrunken payload crosses the
+///           link (DeviceConfig::codec prices both stages).
+///   kAuto — per-transfer cost model: compress exactly when the modeled
+///           encode + wire-at-ratio + decode time beats the raw wire time
+///           for this payload size, kind and link rate.
+/// Prefetches always move raw: they ride a dedicated early-upload path
+/// whose whole point is hiding wire time under compute, so shrinking the
+/// wire buys nothing while the codec stages would delay the hint.
+enum class Compression : int { kOff = 0, kOn = 1, kAuto = 2 };
+
 /// Construction options for AccTileArray.
 struct AccOptions {
   tida::HostAlloc host_alloc = tida::HostAlloc::kPinned;
@@ -74,6 +89,10 @@ struct AccOptions {
   /// buffer and deepens the prefetch hint to k. The array must then be
   /// built with ghost = k * stencil_radius (see choose_time_block_k).
   int time_block_k = 1;
+  /// Codec policy for this array's host<->device transfers (flat region
+  /// copies and pitched delta copies; prefetches stay raw). kOff keeps the
+  /// transfer timings bit-identical to an uncompressed build.
+  Compression compression = Compression::kOff;
 };
 
 template <typename T>
@@ -95,9 +114,15 @@ class AccTileArray : public tida::TileArray<T> {
         disable_caching_(opts.disable_caching),
         delta_transfers_(opts.delta_transfers),
         streaming_guard_(opts.streaming_guard),
-        time_block_k_(opts.time_block_k) {
+        time_block_k_(opts.time_block_k),
+        compression_(opts.compression) {
     TIDACC_CHECK_MSG(opts.time_block_k >= 1,
                      "time_block_k must be at least 1");
+    TIDACC_CHECK_MSG(
+        compression_ == Compression::kOff ||
+            sim::Platform::instance().config().codec.available,
+        "compression requested on a device config without a codec "
+        "(DeviceConfig::codec.available is false)");
     if (opts.time_block_k > 1) {
       // A k-deep residency spans k kernel launches; let the prefetcher run
       // as many regions ahead so the copy engine stays busy throughout.
@@ -125,6 +150,9 @@ class AccTileArray : public tida::TileArray<T> {
 
   /// Temporal blocking depth this array was built for (1 = off).
   int time_block_k() const { return time_block_k_; }
+
+  /// Codec policy this array was built with.
+  Compression compression() const { return compression_; }
 
   /// True when every slot carries an in-slot scratch double buffer
   /// (time_block_k > 1 at construction).
@@ -328,6 +356,7 @@ class AccTileArray : public tida::TileArray<T> {
           tracing() ? "P:R" + std::to_string(region) : std::string()));
       pending_xfer_[static_cast<std::size_t>(region)] = stream;
       xfer_.h2d_bytes += this->region_bytes(region);
+      xfer_.h2d_wire_bytes += this->region_bytes(region);
       ++xfer_.prefetch_ops;
       ++prefetches_issued_;
     }
@@ -485,8 +514,8 @@ class AccTileArray : public tida::TileArray<T> {
       const int slot = pool_.slot_of_region(r);
       TIDACC_CHECK_MSG(pool_.cache().resident(slot) == r,
                        "region marked on-device but not resident");
-      copy_boxes(r, list, cuemMemcpyDeviceToHost,
-                 pool_.stream_of_slot(slot));
+      copy_boxes(r, list, cuemMemcpyDeviceToHost, pool_.stream_of_slot(slot),
+                 sim::PayloadKind::kFaceShell);
       for (const tida::Box& b : list) {
         dirty_.note_device_shipped(r, b);
       }
@@ -518,7 +547,8 @@ class AccTileArray : public tida::TileArray<T> {
       if (hd.empty()) {
         continue;
       }
-      copy_boxes(r, hd, cuemMemcpyHostToDevice, stream_of_region(r));
+      copy_boxes(r, hd, cuemMemcpyHostToDevice, stream_of_region(r),
+                 sim::PayloadKind::kGhostRefresh);
       dirty_.clear_host(r);
     }
     ++streaming_exchanges_;
@@ -659,6 +689,7 @@ class AccTileArray : public tida::TileArray<T> {
     w.put_bool(delta_transfers_);
     w.put_int(static_cast<int>(streaming_guard_));
     w.put_int(time_block_k_);
+    w.put_int(static_cast<int>(compression_));
     pool_.capture(w);
     loc_.capture(w);
     dirty_.capture(w);
@@ -682,6 +713,8 @@ class AccTileArray : public tida::TileArray<T> {
                      "array snapshot disagrees on streaming_guard");
     TIDACC_CHECK_MSG(r.get_int() == time_block_k_,
                      "array snapshot disagrees on time_block_k");
+    TIDACC_CHECK_MSG(static_cast<Compression>(r.get_int()) == compression_,
+                     "array snapshot disagrees on compression");
     pool_.restore(r);
     loc_.restore(r);
     dirty_.restore(r);
@@ -791,13 +824,68 @@ class AccTileArray : public tida::TileArray<T> {
     }
   }
 
-  /// Queues one whole-region transfer on `stream`.
+  /// Raw-vs-compressed decision for one host<->device transfer of `bytes`
+  /// logical payload. Mirrors the platform's compressed-copy pricing
+  /// exactly: setup, latency and (for pitched copies) the memcpy3d
+  /// overhead are identical on both paths, so the comparison reduces to
+  /// the codec stages plus the shrunken wire against the raw wire. Because
+  /// the discrete-event schedule is monotone in op durations and the op
+  /// *sequence* is mode-independent, picking the per-op minimum here means
+  /// kAuto's makespan never exceeds kOff's or kOn's.
+  bool compress_transfer(std::uint64_t bytes, bool h2d,
+                         sim::PayloadKind payload) const {
+    if (compression_ == Compression::kOff || bytes == 0) {
+      return false;
+    }
+    if (compression_ == Compression::kOn) {
+      return true;
+    }
+    const sim::DeviceConfig& cfg = sim::Platform::instance().config();
+    const bool pinned = this->host_alloc_kind() == tida::HostAlloc::kPinned;
+    const double gbps = h2d ? (pinned ? cfg.pinned_h2d_gbps
+                                      : cfg.pageable_h2d_gbps)
+                            : (pinned ? cfg.pinned_d2h_gbps
+                                      : cfg.pageable_d2h_gbps);
+    const std::uint64_t wire = cfg.codec.wire_bytes(bytes, payload);
+    return cfg.codec.codec_time_ns(bytes) + transfer_time_ns(wire, gbps) <
+           transfer_time_ns(bytes, gbps);
+  }
+
+  /// Wire-byte accounting shared by every transfer path: raw transfers put
+  /// their full payload on the wire, compressed ones only the codec output.
+  void note_wire(bool h2d, std::uint64_t wire_bytes) {
+    if (h2d) {
+      xfer_.h2d_wire_bytes += wire_bytes;
+    } else {
+      xfer_.d2h_wire_bytes += wire_bytes;
+    }
+  }
+
+  /// Queues one whole-region transfer on `stream`, through the codec when
+  /// the policy and cost model say so (whole regions compress at the
+  /// interior ratio).
   void copy_region(T* dst, const T* src, int region, cuemMemcpyKind kind,
                    cuemStream_t stream) {
     const std::size_t bytes = this->region_bytes(region);
-    CUEM_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream));
+    const bool h2d = kind == cuemMemcpyHostToDevice;
+    if (compress_transfer(bytes, h2d, sim::PayloadKind::kInterior)) {
+      CUEM_CHECK(cuem::compressed_memcpy_async(
+          dst, src, bytes, kind, stream, sim::PayloadKind::kInterior,
+          tracing() ? (h2d ? "zH2D:R" : "zD2H:R") + std::to_string(region)
+                    : std::string()));
+      note_wire(h2d, sim::Platform::instance().config().codec.wire_bytes(
+                         bytes, sim::PayloadKind::kInterior));
+      if (h2d) {
+        ++xfer_.comp_h2d_ops;
+      } else {
+        ++xfer_.comp_d2h_ops;
+      }
+    } else {
+      CUEM_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream));
+      note_wire(h2d, bytes);
+    }
     pending_xfer_[static_cast<std::size_t>(region)] = stream;
-    if (kind == cuemMemcpyHostToDevice) {
+    if (h2d) {
       xfer_.h2d_bytes += bytes;
       ++xfer_.flat_h2d_ops;
     } else {
@@ -941,9 +1029,13 @@ class AccTileArray : public tida::TileArray<T> {
 
   /// Queues one pitched sub-box copy per box per component between the
   /// host and device buffers of `region` (both share the grown-box
-  /// geometry, so pitches are identical on both sides).
+  /// geometry, so pitches are identical on both sides). Each box is priced
+  /// through the codec independently when the policy allows it — `payload`
+  /// names what the boxes carry (face shells of a delta exchange, ghost
+  /// refreshes), which sets the modeled compression ratio.
   void copy_boxes(int region, const std::vector<tida::Box>& boxes,
-                  cuemMemcpyKind kind, cuemStream_t stream) {
+                  cuemMemcpyKind kind, cuemStream_t stream,
+                  sim::PayloadKind payload) {
     const tida::Region<T> host = this->region(region);
     const tida::Region<T> dev = device_region(region);
     const tida::Index3 ge = host.grown.extent();
@@ -968,10 +1060,26 @@ class AccTileArray : public tida::TileArray<T> {
         parms.height = static_cast<std::size_t>(e.j);
         parms.depth = static_cast<std::size_t>(e.k);
         parms.kind = kind;
-        CUEM_CHECK(cuem::memcpy3d_async(
-            parms, stream,
-            tracing() ? (h2d ? "dH2D:R" : "dD2H:R") + std::to_string(region)
-                      : std::string()));
+        if (compress_transfer(bytes, h2d, payload)) {
+          CUEM_CHECK(cuem::compressed_memcpy3d_async(
+              parms, stream, payload,
+              tracing()
+                  ? (h2d ? "zdH2D:R" : "zdD2H:R") + std::to_string(region)
+                  : std::string()));
+          note_wire(h2d, sim::Platform::instance().config().codec.wire_bytes(
+                             bytes, payload));
+          if (h2d) {
+            ++xfer_.comp_h2d_ops;
+          } else {
+            ++xfer_.comp_d2h_ops;
+          }
+        } else {
+          CUEM_CHECK(cuem::memcpy3d_async(
+              parms, stream,
+              tracing() ? (h2d ? "dH2D:R" : "dD2H:R") + std::to_string(region)
+                        : std::string()));
+          note_wire(h2d, bytes);
+        }
         pending_xfer_[static_cast<std::size_t>(region)] = stream;
         if (h2d) {
           xfer_.h2d_bytes += bytes;
@@ -993,7 +1101,8 @@ class AccTileArray : public tida::TileArray<T> {
       const std::vector<tida::Box>& dd = dirty_.dev_dirty(region);
       if (!dirty_.host_clean(region) ||
           delta_cheaper(region, dd, /*h2d=*/false)) {
-        copy_boxes(region, dd, cuemMemcpyDeviceToHost, stream);
+        copy_boxes(region, dd, cuemMemcpyDeviceToHost, stream,
+                   sim::PayloadKind::kFaceShell);
         dirty_.clear_device(region);
         return;
       }
@@ -1012,7 +1121,8 @@ class AccTileArray : public tida::TileArray<T> {
       const std::vector<tida::Box>& hd = dirty_.host_dirty(region);
       if (!dirty_.device_clean(region) ||
           delta_cheaper(region, hd, /*h2d=*/true)) {
-        copy_boxes(region, hd, cuemMemcpyHostToDevice, stream);
+        copy_boxes(region, hd, cuemMemcpyHostToDevice, stream,
+                   sim::PayloadKind::kFaceShell);
         dirty_.clear_host(region);
         return;
       }
@@ -1055,6 +1165,7 @@ class AccTileArray : public tida::TileArray<T> {
   bool delta_transfers_ = false;
   StreamingGuard streaming_guard_ = StreamingGuard::kAuto;
   int time_block_k_ = 1;
+  Compression compression_ = Compression::kOff;
 };
 
 /// A tile bound to its AccTileArray plus the traversal's GPU flag — what

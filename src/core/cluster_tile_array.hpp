@@ -64,6 +64,12 @@ struct ClusterOptions {
   int nodes = 1;
   sim::FabricConfig fabric = sim::FabricConfig::infiniband();
   NetPath path = NetPath::kAuto;
+  /// Codec policy for the inter-node *wire* (FabricConfig::codec prices
+  /// the encode/decode stages; only the shrunken payload crosses the
+  /// link). Independent of multi.compression, which governs the
+  /// host<->device hops — a staged exchange can compress the wire leg
+  /// while the PCIe legs stay raw, and vice versa.
+  Compression compression = Compression::kOff;
 };
 
 template <typename T>
@@ -73,7 +79,9 @@ class ClusterTileArray : public MultiAccTileArray<T> {
 
   ClusterTileArray(const tida::Box& domain, const tida::Index3& region_size,
                    int ghost, ClusterOptions opts = {})
-      : Multi(domain, region_size, ghost, opts.multi), nodes_(opts.nodes) {
+      : Multi(domain, region_size, ghost, opts.multi),
+        nodes_(opts.nodes),
+        wire_compression_(opts.compression) {
     TIDACC_CHECK_MSG(nodes_ >= 1, "node count must be at least 1");
     if (nodes_ == 1) {
       return;  // degenerates to MultiAccTileArray exactly
@@ -83,9 +91,19 @@ class ClusterTileArray : public MultiAccTileArray<T> {
     TIDACC_CHECK_MSG(opts.multi.placement == DevicePlacement::kBlock,
                      "cluster sharding needs block placement (contiguous "
                      "region slabs per node)");
-    TIDACC_CHECK_MSG(opts.multi.time_block_k == 1,
-                     "cluster exchange does not compose with temporal "
-                     "blocking yet");
+    TIDACC_CHECK_MSG(
+        opts.multi.time_block_k == 1,
+        "the cluster exchange does not compose with temporal blocking: "
+        "ClusterOptions::nodes=" +
+            std::to_string(opts.nodes) +
+            " requires MultiAccOptions::time_block_k=1, got time_block_k=" +
+            std::to_string(opts.multi.time_block_k) +
+            " (drop one of the two)");
+    TIDACC_CHECK_MSG(
+        wire_compression_ == Compression::kOff ||
+            opts.fabric.codec.available,
+        "wire compression requested on a fabric without a codec "
+        "(FabricConfig::codec.available is false)");
     TIDACC_CHECK_MSG(opts.multi.host_alloc == tida::HostAlloc::kPinned,
                      "cluster arrays need pinned host buffers (the NIC "
                      "cannot register pageable memory)");
@@ -131,6 +149,9 @@ class ClusterTileArray : public MultiAccTileArray<T> {
                        : fabric_->node_of_device(this->device_of_region(region));
   }
   bool gpudirect_path() const { return use_gpudirect_; }
+
+  /// Wire codec policy this array was built with.
+  Compression wire_compression() const { return wire_compression_; }
 
   /// The fabric (throws via null deref only if nodes == 1 — guard with
   /// num_nodes() > 1).
@@ -188,6 +209,13 @@ class ClusterTileArray : public MultiAccTileArray<T> {
     // movement (host exchange, streaming, or drain), and the cross-node
     // faces are priced as synchronous sends between the nodes' pinned
     // host buffers — no overlap to be had here.
+    if (!host_fallback_warned_) {
+      host_fallback_warned_ = true;
+      sim::Platform::instance().trace().note_warning(
+          "cluster exchange fell back to the host path (regions out of "
+          "core or host-resident): cross-node faces move as synchronous "
+          "host sends with no compute overlap — see DESIGN.md");
+    }
     Multi::fill_boundary(bc);
     price_host_exchange(bc);
   }
@@ -212,7 +240,8 @@ class ClusterTileArray : public MultiAccTileArray<T> {
         cuem::DeviceGuard guard(this->device_of_region(gc.dst_region));
         this->copy_boxes(gc.dst_region, {gc.dst_box},
                          cuemMemcpyHostToDevice,
-                         this->stream_of_region(gc.dst_region));
+                         this->stream_of_region(gc.dst_region),
+                         sim::PayloadKind::kGhostRefresh);
         this->note_device_write(gc.dst_region, gc.dst_box);
       }
       epoch_staged_.clear();
@@ -250,6 +279,8 @@ class ClusterTileArray : public MultiAccTileArray<T> {
     w.section("cluster_tile_array");
     w.put_int(nodes_);
     w.put_bool(use_gpudirect_);
+    w.put_int(static_cast<int>(wire_compression_));
+    w.put_bool(host_fallback_warned_);
     if (nodes_ > 1) {
       fabric_->capture(w);
       w.put_u32(static_cast<std::uint32_t>(mr_cache_.size()));
@@ -273,6 +304,10 @@ class ClusterTileArray : public MultiAccTileArray<T> {
                      "cluster snapshot has a different node count");
     TIDACC_CHECK_MSG(r.get_bool() == use_gpudirect_,
                      "cluster snapshot disagrees on the wire path");
+    TIDACC_CHECK_MSG(static_cast<Compression>(r.get_int()) ==
+                         wire_compression_,
+                     "cluster snapshot disagrees on wire compression");
+    host_fallback_warned_ = r.get_bool();
     if (nodes_ > 1) {
       fabric_->restore(r);
       // MRs registered after the snapshot no longer exist in the fabric
@@ -336,6 +371,30 @@ class ClusterTileArray : public MultiAccTileArray<T> {
            static_cast<SimTime>(nodes_);
   }
 
+  /// Wire bytes one cross-node ghost message of `bytes` logical payload
+  /// puts on the link: 0 = send raw. Mirrors the fabric's work-request
+  /// pricing exactly — hop latency and completion cost are identical on
+  /// both paths, so kAuto compares just the codec stages plus the shrunken
+  /// wire against the raw wire at the path's effective rate. Ghost
+  /// messages carry boundary shells, hence the ghost-refresh ratio.
+  std::uint64_t wire_bytes_for(std::uint64_t bytes,
+                               bool gpudirect_path) const {
+    if (wire_compression_ == Compression::kOff || bytes == 0) {
+      return 0;
+    }
+    const sim::CodecConfig& codec = fabric_->config().codec;
+    const std::uint64_t wire =
+        codec.wire_bytes(bytes, sim::PayloadKind::kGhostRefresh);
+    if (wire_compression_ == Compression::kAuto) {
+      const double gbps = fabric_->config().path_gbps(gpudirect_path);
+      if (codec.codec_time_ns(bytes) + transfer_time_ns(wire, gbps) >=
+          transfer_time_ns(bytes, gbps)) {
+        return 0;
+      }
+    }
+    return wire;
+  }
+
   /// All regions resident: post cross-node faces first (phase 1), then run
   /// the intra-node exchange (phase 2) while the payloads fly.
   void exchange_begin_device(tida::Boundary bc) {
@@ -394,7 +453,8 @@ class ClusterTileArray : public MultiAccTileArray<T> {
         const sim::WrId wr = fabric_->rdma_read(
             qp, device_mr_of(head.dst_region), 0,
             device_mr_of(head.src_region), 0, bytes, label,
-            std::move(action), /*after_stream=*/-1, /*san_note=*/false);
+            std::move(action), /*after_stream=*/-1, /*san_note=*/false,
+            wire_bytes_for(bytes, /*gpudirect_path=*/true));
         for (const std::size_t c : group) {
           if (cuem::san::enabled()) {
             // Precise strided boxes, not the MR-flat note the fabric
@@ -419,7 +479,8 @@ class ClusterTileArray : public MultiAccTileArray<T> {
             src_boxes.push_back(plan[c].src_box);
           }
           this->copy_boxes(head.src_region, src_boxes,
-                           cuemMemcpyDeviceToHost, sstream);
+                           cuemMemcpyDeviceToHost, sstream,
+                           sim::PayloadKind::kFaceShell);
         }
         const sim::QpId qp = qp_for(src_node, dst_node);
         fabric_->post_recv(qp, host_mr_of(head.dst_region), 0, bytes);
@@ -432,7 +493,8 @@ class ClusterTileArray : public MultiAccTileArray<T> {
         const sim::WrId wr = fabric_->post_send(
             qp, host_mr_of(head.src_region), 0, bytes, label,
             std::move(action), /*after_stream=*/sstream,
-            /*san_note=*/false);
+            /*san_note=*/false,
+            wire_bytes_for(bytes, /*gpudirect_path=*/false));
         for (const std::size_t c : group) {
           if (cuem::san::enabled()) {
             note_ghost_copy_access_host(fabric_->qp_stream(qp), plan[c],
@@ -571,7 +633,8 @@ class ClusterTileArray : public MultiAccTileArray<T> {
           qp, host_mr_of(gc.src_region), 0, bytes,
           "S:R" + std::to_string(gc.src_region) + ">R" +
               std::to_string(gc.dst_region),
-          /*action=*/{}, /*after_stream=*/-1, /*san_note=*/false));
+          /*action=*/{}, /*after_stream=*/-1, /*san_note=*/false,
+          wire_bytes_for(bytes, /*gpudirect_path=*/false)));
       ++staged_ghost_sends_;
     }
     for (const sim::WrId wr : wrs) {
@@ -624,6 +687,10 @@ class ClusterTileArray : public MultiAccTileArray<T> {
 
   int nodes_ = 1;
   bool use_gpudirect_ = false;
+  Compression wire_compression_ = Compression::kOff;
+  /// One-shot flag for the out-of-core host-exchange fallback warning
+  /// (Trace::note_warning fires on the first fallback only).
+  bool host_fallback_warned_ = false;
   std::unique_ptr<sim::Fabric> fabric_;
   /// Dense (local, remote) -> QpId table, -1 on the diagonal.
   std::vector<sim::QpId> qp_;

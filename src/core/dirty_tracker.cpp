@@ -159,6 +159,10 @@ void TransferAccounting::capture(sim::SnapshotWriter& w) const {
   w.put_u64(delta_h2d_ops);
   w.put_u64(delta_d2h_ops);
   w.put_u64(prefetch_ops);
+  w.put_u64(h2d_wire_bytes);
+  w.put_u64(d2h_wire_bytes);
+  w.put_u64(comp_h2d_ops);
+  w.put_u64(comp_d2h_ops);
 }
 
 void TransferAccounting::restore(sim::SnapshotReader& r) {
@@ -170,6 +174,10 @@ void TransferAccounting::restore(sim::SnapshotReader& r) {
   delta_h2d_ops = r.get_u64();
   delta_d2h_ops = r.get_u64();
   prefetch_ops = r.get_u64();
+  h2d_wire_bytes = r.get_u64();
+  d2h_wire_bytes = r.get_u64();
+  comp_h2d_ops = r.get_u64();
+  comp_d2h_ops = r.get_u64();
 }
 
 }  // namespace tidacc::core

@@ -32,13 +32,20 @@ namespace tidacc::core {
 /// Host↔device traffic totals of one accelerated array, split by transfer
 /// shape — what the benches print and the delta-transfer ablation compares.
 struct TransferAccounting {
-  std::uint64_t h2d_bytes = 0;  ///< all host→device payload bytes
-  std::uint64_t d2h_bytes = 0;  ///< all device→host payload bytes
+  std::uint64_t h2d_bytes = 0;  ///< all host→device payload bytes (logical)
+  std::uint64_t d2h_bytes = 0;  ///< all device→host payload bytes (logical)
   std::uint64_t flat_h2d_ops = 0;   ///< full-region uploads
   std::uint64_t flat_d2h_ops = 0;   ///< full-region downloads
   std::uint64_t delta_h2d_ops = 0;  ///< pitched sub-box uploads
   std::uint64_t delta_d2h_ops = 0;  ///< pitched sub-box downloads
   std::uint64_t prefetch_ops = 0;   ///< scheduler-issued prefetch uploads
+  /// Bytes that actually crossed the link: equal to the logical counters
+  /// for raw transfers, shrunken by the codec's achieved ratio for
+  /// compressed ones. wire <= logical always.
+  std::uint64_t h2d_wire_bytes = 0;
+  std::uint64_t d2h_wire_bytes = 0;
+  std::uint64_t comp_h2d_ops = 0;  ///< uploads that took a compressed kind
+  std::uint64_t comp_d2h_ops = 0;  ///< downloads that took a compressed kind
 
   void capture(sim::SnapshotWriter& w) const;
   void restore(sim::SnapshotReader& r);

@@ -76,6 +76,8 @@ struct MultiAccOptions {
   /// every slot on every device a scratch double buffer and deepens the
   /// prefetch hint.
   int time_block_k = 1;
+  /// Codec policy for host<->device transfers (see AccOptions::compression).
+  Compression compression = Compression::kOff;
 };
 
 template <typename T>
@@ -92,9 +94,15 @@ class MultiAccTileArray : public tida::TileArray<T> {
         placement_(opts.placement),
         delta_transfers_(opts.delta_transfers),
         streaming_guard_(opts.streaming_guard),
-        time_block_k_(opts.time_block_k) {
+        time_block_k_(opts.time_block_k),
+        compression_(opts.compression) {
     TIDACC_CHECK_MSG(opts.time_block_k >= 1,
                      "time_block_k must be at least 1");
+    TIDACC_CHECK_MSG(
+        compression_ == Compression::kOff ||
+            sim::Platform::instance().config().codec.available,
+        "compression requested on a device config without a codec "
+        "(DeviceConfig::codec.available is false)");
     if (cuem::san::enabled()) {
       for (int r = 0; r < this->num_regions(); ++r) {
         CUEM_CHECK(cuemSanAnnotate(this->region(r).data,
@@ -179,6 +187,9 @@ class MultiAccTileArray : public tida::TileArray<T> {
 
   /// Temporal blocking depth this array was built for (1 = off).
   int time_block_k() const { return time_block_k_; }
+
+  /// Codec policy this array was built with.
+  Compression compression() const { return compression_; }
 
   /// True when slots carry scratch double buffers (time_block_k > 1).
   bool has_scratch() const {
@@ -394,6 +405,7 @@ class MultiAccTileArray : public tida::TileArray<T> {
                                           "P:R" + std::to_string(region)));
       pending_xfer_[static_cast<std::size_t>(region)] = stream;
       xfer_.h2d_bytes += this->region_bytes(region);
+      xfer_.h2d_wire_bytes += this->region_bytes(region);
       ++xfer_.prefetch_ops;
       ++prefetches_issued_;
     }
@@ -551,7 +563,8 @@ class MultiAccTileArray : public tida::TileArray<T> {
                            local_[static_cast<std::size_t>(r)],
                        "region marked on-device but not resident");
       const cuemStream_t stream = pool.stream_of_slot(slot);
-      copy_boxes(r, list, cuemMemcpyDeviceToHost, stream);
+      copy_boxes(r, list, cuemMemcpyDeviceToHost, stream,
+                 sim::PayloadKind::kFaceShell);
       for (const tida::Box& b : list) {
         dirty_.note_device_shipped(r, b);
       }
@@ -578,7 +591,8 @@ class MultiAccTileArray : public tida::TileArray<T> {
       if (hd.empty()) {
         continue;
       }
-      copy_boxes(r, hd, cuemMemcpyHostToDevice, stream_of_region(r));
+      copy_boxes(r, hd, cuemMemcpyHostToDevice, stream_of_region(r),
+                 sim::PayloadKind::kGhostRefresh);
       dirty_.clear_host(r);
     }
     ++streaming_exchanges_;
@@ -744,6 +758,7 @@ class MultiAccTileArray : public tida::TileArray<T> {
     w.put_bool(delta_transfers_);
     w.put_int(static_cast<int>(streaming_guard_));
     w.put_int(time_block_k_);
+    w.put_int(static_cast<int>(compression_));
     for (int d = 0; d < num_devices_; ++d) {
       const DeviceShard& s = shards_[static_cast<std::size_t>(d)];
       w.put_int(s.pool ? 1 : 0);
@@ -776,6 +791,8 @@ class MultiAccTileArray : public tida::TileArray<T> {
                      "array snapshot disagrees on streaming_guard");
     TIDACC_CHECK_MSG(r.get_int() == time_block_k_,
                      "array snapshot disagrees on time_block_k");
+    TIDACC_CHECK_MSG(static_cast<Compression>(r.get_int()) == compression_,
+                     "array snapshot disagrees on compression");
     for (int d = 0; d < num_devices_; ++d) {
       DeviceShard& s = shards_[static_cast<std::size_t>(d)];
       TIDACC_CHECK_MSG((r.get_int() != 0) == (s.pool != nullptr),
@@ -912,13 +929,60 @@ class MultiAccTileArray : public tida::TileArray<T> {
     }
   }
 
-  /// Queues one whole-region transfer on `stream` (owner's device).
+  /// Raw-vs-compressed decision for one host<->device transfer (see
+  /// AccTileArray::compress_transfer — identical model, so single-device
+  /// programs make identical choices through either class).
+  bool compress_transfer(std::uint64_t bytes, bool h2d,
+                         sim::PayloadKind payload) const {
+    if (compression_ == Compression::kOff || bytes == 0) {
+      return false;
+    }
+    if (compression_ == Compression::kOn) {
+      return true;
+    }
+    const sim::DeviceConfig& cfg = sim::Platform::instance().config();
+    const bool pinned = this->host_alloc_kind() == tida::HostAlloc::kPinned;
+    const double gbps = h2d ? (pinned ? cfg.pinned_h2d_gbps
+                                      : cfg.pageable_h2d_gbps)
+                            : (pinned ? cfg.pinned_d2h_gbps
+                                      : cfg.pageable_d2h_gbps);
+    const std::uint64_t wire = cfg.codec.wire_bytes(bytes, payload);
+    return cfg.codec.codec_time_ns(bytes) + transfer_time_ns(wire, gbps) <
+           transfer_time_ns(bytes, gbps);
+  }
+
+  /// Wire-byte accounting shared by every transfer path (see AccTileArray).
+  void note_wire(bool h2d, std::uint64_t wire_bytes) {
+    if (h2d) {
+      xfer_.h2d_wire_bytes += wire_bytes;
+    } else {
+      xfer_.d2h_wire_bytes += wire_bytes;
+    }
+  }
+
+  /// Queues one whole-region transfer on `stream` (owner's device),
+  /// through the codec when the policy and cost model say so.
   void copy_region(T* dst, const T* src, int region, cuemMemcpyKind kind,
                    cuemStream_t stream) {
     const std::size_t bytes = this->region_bytes(region);
-    CUEM_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream));
+    const bool h2d = kind == cuemMemcpyHostToDevice;
+    if (compress_transfer(bytes, h2d, sim::PayloadKind::kInterior)) {
+      CUEM_CHECK(cuem::compressed_memcpy_async(
+          dst, src, bytes, kind, stream, sim::PayloadKind::kInterior,
+          (h2d ? "zH2D:R" : "zD2H:R") + std::to_string(region)));
+      note_wire(h2d, sim::Platform::instance().config().codec.wire_bytes(
+                         bytes, sim::PayloadKind::kInterior));
+      if (h2d) {
+        ++xfer_.comp_h2d_ops;
+      } else {
+        ++xfer_.comp_d2h_ops;
+      }
+    } else {
+      CUEM_CHECK(cuemMemcpyAsync(dst, src, bytes, kind, stream));
+      note_wire(h2d, bytes);
+    }
     pending_xfer_[static_cast<std::size_t>(region)] = stream;
-    if (kind == cuemMemcpyHostToDevice) {
+    if (h2d) {
       xfer_.h2d_bytes += bytes;
       ++xfer_.flat_h2d_ops;
     } else {
@@ -1046,9 +1110,12 @@ class MultiAccTileArray : public tida::TileArray<T> {
   }
 
   /// Queues one pitched sub-box copy per box per component between the
-  /// host buffer and the owner-device slot buffer of `region`.
+  /// host buffer and the owner-device slot buffer of `region`. `payload`
+  /// names what the boxes carry, which sets the modeled compression ratio
+  /// (see AccTileArray::copy_boxes).
   void copy_boxes(int region, const std::vector<tida::Box>& boxes,
-                  cuemMemcpyKind kind, cuemStream_t stream) {
+                  cuemMemcpyKind kind, cuemStream_t stream,
+                  sim::PayloadKind payload) {
     const tida::Region<T> host = this->region(region);
     const tida::Region<T> dev = device_region(region);
     const tida::Index3 ge = host.grown.extent();
@@ -1073,9 +1140,23 @@ class MultiAccTileArray : public tida::TileArray<T> {
         parms.height = static_cast<std::size_t>(e.j);
         parms.depth = static_cast<std::size_t>(e.k);
         parms.kind = kind;
-        CUEM_CHECK(cuem::memcpy3d_async(parms, stream,
-                                        (h2d ? "dH2D:R" : "dD2H:R") +
-                                            std::to_string(region)));
+        if (compress_transfer(bytes, h2d, payload)) {
+          CUEM_CHECK(cuem::compressed_memcpy3d_async(
+              parms, stream, payload,
+              (h2d ? "zdH2D:R" : "zdD2H:R") + std::to_string(region)));
+          note_wire(h2d, sim::Platform::instance().config().codec.wire_bytes(
+                             bytes, payload));
+          if (h2d) {
+            ++xfer_.comp_h2d_ops;
+          } else {
+            ++xfer_.comp_d2h_ops;
+          }
+        } else {
+          CUEM_CHECK(cuem::memcpy3d_async(parms, stream,
+                                          (h2d ? "dH2D:R" : "dD2H:R") +
+                                              std::to_string(region)));
+          note_wire(h2d, bytes);
+        }
         pending_xfer_[static_cast<std::size_t>(region)] = stream;
         if (h2d) {
           xfer_.h2d_bytes += bytes;
@@ -1095,7 +1176,8 @@ class MultiAccTileArray : public tida::TileArray<T> {
       const std::vector<tida::Box>& dd = dirty_.dev_dirty(region);
       if (!dirty_.host_clean(region) ||
           delta_cheaper(region, dd, /*h2d=*/false)) {
-        copy_boxes(region, dd, cuemMemcpyDeviceToHost, stream);
+        copy_boxes(region, dd, cuemMemcpyDeviceToHost, stream,
+                   sim::PayloadKind::kFaceShell);
         dirty_.clear_device(region);
         return;
       }
@@ -1112,7 +1194,8 @@ class MultiAccTileArray : public tida::TileArray<T> {
       const std::vector<tida::Box>& hd = dirty_.host_dirty(region);
       if (!dirty_.device_clean(region) ||
           delta_cheaper(region, hd, /*h2d=*/true)) {
-        copy_boxes(region, hd, cuemMemcpyHostToDevice, stream);
+        copy_boxes(region, hd, cuemMemcpyHostToDevice, stream,
+                   sim::PayloadKind::kFaceShell);
         dirty_.clear_host(region);
         return;
       }
@@ -1159,6 +1242,7 @@ class MultiAccTileArray : public tida::TileArray<T> {
   bool delta_transfers_ = false;
   StreamingGuard streaming_guard_ = StreamingGuard::kAuto;
   int time_block_k_ = 1;
+  Compression compression_ = Compression::kOff;
 };
 
 // --- whole-region compute on the owning device ---

@@ -384,8 +384,13 @@ std::uint64_t memcpy3d_chunks(const cuemMemcpy3DParms& parms) {
   return slices_contiguous ? 1 : static_cast<std::uint64_t>(parms.depth);
 }
 
+/// `compressed` routes the transfer through the link codec: the kind
+/// becomes kMemcpy3D{H2D,D2H}Compressed and `wire_bytes` (computed by the
+/// caller from DeviceConfig::codec) rides the CopyRequest into the
+/// encode + wire-at-ratio + decode pricing.
 cuemError_t do_memcpy3d(const cuemMemcpy3DParms& parms, cuemStream_t stream,
-                        std::string label) {
+                        std::string label, bool compressed = false,
+                        std::uint64_t wire_bytes = 0) {
   if (parms.dst == nullptr || parms.src == nullptr) {
     return cuemErrorInvalidValue;
   }
@@ -430,14 +435,16 @@ cuemError_t do_memcpy3d(const cuemMemcpy3DParms& parms, cuemStream_t stream,
       if (!is_device_space(dst_space) || !is_host_space(src_space)) {
         return cuemErrorInvalidMemcpyDirection;
       }
-      req.kind = OpKind::kMemcpy3DH2D;
+      req.kind = compressed ? OpKind::kMemcpy3DH2DCompressed
+                            : OpKind::kMemcpy3DH2D;
       req.host_mem = host_kind_of(src_space);
       break;
     case cuemMemcpyDeviceToHost:
       if (!is_host_space(dst_space) || !is_device_space(src_space)) {
         return cuemErrorInvalidMemcpyDirection;
       }
-      req.kind = OpKind::kMemcpy3DD2H;
+      req.kind = compressed ? OpKind::kMemcpy3DD2HCompressed
+                            : OpKind::kMemcpy3DD2H;
       req.host_mem = host_kind_of(dst_space);
       break;
     default:
@@ -445,6 +452,7 @@ cuemError_t do_memcpy3d(const cuemMemcpy3DParms& parms, cuemStream_t stream,
       // copies have no consumer and no cost model.
       return cuemErrorInvalidMemcpyDirection;
   }
+  req.wire_bytes = compressed ? wire_bytes : 0;
   req.label = std::move(label);
 
   std::function<void()> action;
@@ -715,6 +723,81 @@ cuemError_t prefetch_h2d_async(void* dst, const void* src, std::size_t count,
 cuemError_t memcpy3d_async(const cuemMemcpy3DParms& parms,
                            cuemStream_t stream, std::string label) {
   return do_memcpy3d(parms, stream, std::move(label));
+}
+
+cuemError_t compressed_memcpy_async(void* dst, const void* src,
+                                    std::size_t count, cuemMemcpyKind kind,
+                                    cuemStream_t stream,
+                                    sim::PayloadKind payload,
+                                    std::string label) {
+  if (dst == nullptr || src == nullptr) {
+    return cuemErrorInvalidValue;
+  }
+  Platform& p = Platform::instance();
+  stream = resolve_stream(stream);
+  if (!p.stream_valid(stream)) {
+    return cuemErrorInvalidResourceHandle;
+  }
+  if (count == 0) {
+    return cuemSuccess;
+  }
+  const MemSpace dst_space = space_of(dst);
+  const MemSpace src_space = space_of(src);
+  if (kind == cuemMemcpyDefault) {
+    kind = infer_kind(dst_space, src_space);
+  }
+  const std::string op = label.empty() ? "compressed_memcpy_async" : label;
+  if (!san::hook::precheck_range(dst, count, op.c_str()) ||
+      !san::hook::precheck_range(src, count, op.c_str())) {
+    return cuemErrorInvalidValue;
+  }
+  // Lossless codec: the functional action is the plain move — decode
+  // reproduces the payload bitwise.
+  std::function<void()> action;
+  if (p.functional()) {
+    action = [dst, src, count] { std::memcpy(dst, src, count); };
+  }
+  CopyRequest req;
+  req.bytes = count;
+  switch (kind) {
+    case cuemMemcpyHostToDevice:
+      if (!is_device_space(dst_space) || !is_host_space(src_space)) {
+        return cuemErrorInvalidMemcpyDirection;
+      }
+      req.kind = OpKind::kMemcpyH2DCompressed;
+      req.host_mem = host_kind_of(src_space);
+      break;
+    case cuemMemcpyDeviceToHost:
+      if (!is_host_space(dst_space) || !is_device_space(src_space)) {
+        return cuemErrorInvalidMemcpyDirection;
+      }
+      req.kind = OpKind::kMemcpyD2HCompressed;
+      req.host_mem = host_kind_of(dst_space);
+      break;
+    default:
+      // Only link transfers can compress; H2H/D2D have no wire to shrink.
+      return cuemErrorInvalidMemcpyDirection;
+  }
+  req.wire_bytes = p.config().codec.wire_bytes(count, payload);
+  req.label = std::move(label);
+  if (req.host_mem == HostMemKind::kPageable) {
+    san::hook::on_pageable_async(stream, op.c_str());
+  }
+  p.enqueue_copy(stream, req, std::move(action));
+  san::hook::note_op_access(stream, dst, src, count, op.c_str());
+  return cuemSuccess;
+}
+
+cuemError_t compressed_memcpy3d_async(const cuemMemcpy3DParms& parms,
+                                      cuemStream_t stream,
+                                      sim::PayloadKind payload,
+                                      std::string label) {
+  const std::uint64_t logical = static_cast<std::uint64_t>(parms.width) *
+                                parms.height * parms.depth;
+  const std::uint64_t wire =
+      Platform::instance().config().codec.wire_bytes(logical, payload);
+  return do_memcpy3d(parms, stream, std::move(label), /*compressed=*/true,
+                     wire);
 }
 
 cuemError_t host_touch(void* ptr, std::size_t bytes) {

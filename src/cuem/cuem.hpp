@@ -230,6 +230,29 @@ cuemError_t prefetch_h2d_async(void* dst, const void* src, std::size_t count,
 cuemError_t memcpy3d_async(const cuemMemcpy3DParms& parms,
                            cuemStream_t stream, std::string label);
 
+/// Queues an asynchronous flat copy through the link codec
+/// (sim::OpKind::kMemcpyH2DCompressed / kMemcpyD2HCompressed): priced as
+/// encode + wire-at-ratio + decode with the wire bytes derived from
+/// DeviceConfig::codec and `payload`, engine-routed and
+/// happens-before-tracked exactly like cuemMemcpyAsync. `kind` must be
+/// HostToDevice or DeviceToHost (or Default, inferred); fails loudly on a
+/// codec-less config. The codec is lossless: functional-mode results are
+/// bitwise identical to the raw path.
+cuemError_t compressed_memcpy_async(void* dst, const void* src,
+                                    std::size_t count, cuemMemcpyKind kind,
+                                    cuemStream_t stream,
+                                    sim::PayloadKind payload,
+                                    std::string label);
+
+/// memcpy3d_async through the link codec (kMemcpy3DH2DCompressed /
+/// kMemcpy3DD2HCompressed): the pitched sub-box is gathered/chunk-priced as
+/// usual, then pays codec stages and ships wire bytes at the achieved
+/// ratio for `payload`.
+cuemError_t compressed_memcpy3d_async(const cuemMemcpy3DParms& parms,
+                                      cuemStream_t stream,
+                                      sim::PayloadKind payload,
+                                      std::string label);
+
 /// Declares that host code is about to read/write `bytes` at `ptr` inside a
 /// managed allocation. Stands in for the CPU-side page fault: blocks until
 /// outstanding device work finishes and charges page-granular migration.

@@ -152,7 +152,7 @@ void Fabric::post_recv(QpId qp, MrId dst_mr, std::size_t dst_off,
 WrId Fabric::post_send(QpId qp, MrId src_mr, std::size_t src_off,
                        std::size_t bytes, std::string label,
                        std::function<void()> action, int after_stream,
-                       bool san_note) {
+                       bool san_note, std::uint64_t wire_bytes) {
   checked_qp(qp);
   Qp& q = qps_[static_cast<size_t>(qp)];
   TIDACC_CHECK_MSG(
@@ -168,13 +168,14 @@ WrId Fabric::post_send(QpId qp, MrId src_mr, std::size_t src_off,
   q.recv_queue.erase(q.recv_queue.begin());
   return submit(qp, OpKind::kNetSend, src_mr, src_off, desc.mr,
                 static_cast<std::size_t>(desc.off), bytes, std::move(label),
-                std::move(action), after_stream, san_note);
+                std::move(action), after_stream, san_note, wire_bytes);
 }
 
 WrId Fabric::rdma_read(QpId qp, MrId dst_mr, std::size_t dst_off,
                        MrId src_mr, std::size_t src_off, std::size_t bytes,
                        std::string label, std::function<void()> action,
-                       int after_stream, bool san_note) {
+                       int after_stream, bool san_note,
+                       std::uint64_t wire_bytes) {
   const Qp& q = checked_qp(qp);
   TIDACC_CHECK_MSG(checked_mr(src_mr, src_off, bytes).node == q.remote,
                    "fabric: rdma_read source must be a remote MR");
@@ -182,13 +183,14 @@ WrId Fabric::rdma_read(QpId qp, MrId dst_mr, std::size_t dst_off,
                    "fabric: rdma_read destination must be a local MR");
   return submit(qp, OpKind::kRdmaRead, src_mr, src_off, dst_mr, dst_off,
                 bytes, std::move(label), std::move(action), after_stream,
-                san_note);
+                san_note, wire_bytes);
 }
 
 WrId Fabric::rdma_write(QpId qp, MrId src_mr, std::size_t src_off,
                         MrId dst_mr, std::size_t dst_off, std::size_t bytes,
                         std::string label, std::function<void()> action,
-                        int after_stream, bool san_note) {
+                        int after_stream, bool san_note,
+                        std::uint64_t wire_bytes) {
   const Qp& q = checked_qp(qp);
   TIDACC_CHECK_MSG(checked_mr(src_mr, src_off, bytes).node == q.local,
                    "fabric: rdma_write source must be a local MR");
@@ -196,13 +198,14 @@ WrId Fabric::rdma_write(QpId qp, MrId src_mr, std::size_t src_off,
                    "fabric: rdma_write destination must be a remote MR");
   return submit(qp, OpKind::kRdmaWrite, src_mr, src_off, dst_mr, dst_off,
                 bytes, std::move(label), std::move(action), after_stream,
-                san_note);
+                san_note, wire_bytes);
 }
 
 WrId Fabric::submit(QpId qp, OpKind kind, MrId src_mr, std::size_t src_off,
                     MrId dst_mr, std::size_t dst_off, std::size_t bytes,
                     std::string label, std::function<void()> action,
-                    int after_stream, bool san_note) {
+                    int after_stream, bool san_note,
+                    std::uint64_t wire_bytes) {
   Platform& p = Platform::instance();
   Qp& q = qps_[static_cast<size_t>(qp)];
   const Mr& src = checked_mr(src_mr, src_off, bytes);
@@ -217,18 +220,32 @@ WrId Fabric::submit(QpId qp, OpKind kind, MrId src_mr, std::size_t src_off,
   // Data moves src.node -> dst.node regardless of which end initiated:
   // the sender's TX lane and the receiver's RX lane are held for the
   // transfer. An RDMA read additionally pays the request's wire traversal
-  // before any data flows back.
+  // before any data flows back. A compressed payload (wire_bytes > 0)
+  // pays the wire codec's encode + decode stages serially around a wire
+  // traversal of only the shrunken bytes — on either path: GPUDirect runs
+  // the codec kernels on the endpoint GPUs, host staging on the hosts.
   const bool gpudirect_path = src.device || dst.device;
   const double gbps = cfg_.path_gbps(gpudirect_path);
   const int hops = kind == OpKind::kRdmaRead ? 2 : 1;
+  const bool compressed = wire_bytes > 0;
+  SimTime codec_ns = 0;
+  if (compressed) {
+    TIDACC_CHECK_MSG(cfg_.codec.available,
+                     "fabric: compressed work request on a codec-less "
+                     "fabric (FabricConfig::codec.available is false)");
+    TIDACC_CHECK_MSG(wire_bytes <= bytes,
+                     "fabric: wire_bytes above the logical payload");
+    codec_ns = cfg_.codec.codec_time_ns(bytes);
+  }
+  const std::uint64_t link_bytes = compressed ? wire_bytes : bytes;
   const SimTime duration = hops * cfg_.link_latency_ns + cfg_.completion_ns +
-                           transfer_time_ns(bytes, gbps);
+                           codec_ns + transfer_time_ns(link_bytes, gbps);
   const std::vector<SimTime*> lanes = {
       &tx_[static_cast<size_t>(src.node)],
       &rx_[static_cast<size_t>(dst.node)]};
   p.enqueue_external(q.stream, first_device(q.local), EngineId::kNic, kind,
                      duration, bytes, std::move(label), lanes,
-                     std::move(action));
+                     std::move(action), compressed ? wire_bytes : 0);
   if (san_note) {
     const char* op = to_string(kind);
     cuem::san::note_kernel_access(
@@ -262,6 +279,10 @@ WrId Fabric::submit(QpId qp, OpKind kind, MrId src_mr, std::size_t src_off,
       TIDACC_FAIL("fabric: submit with a non-fabric OpKind");
   }
   counters_.net_bytes += bytes;
+  counters_.net_wire_bytes += link_bytes;
+  if (compressed) {
+    ++counters_.compressed_wrs;
+  }
   if (gpudirect_path) {
     counters_.gpudirect_bytes += bytes;
   }
@@ -385,6 +406,8 @@ void Fabric::capture(SnapshotWriter& w) const {
   w.put_u64(counters_.rdma_writes);
   w.put_u64(counters_.net_bytes);
   w.put_u64(counters_.gpudirect_bytes);
+  w.put_u64(counters_.net_wire_bytes);
+  w.put_u64(counters_.compressed_wrs);
 }
 
 void Fabric::restore(SnapshotReader& r) {
@@ -463,6 +486,8 @@ void Fabric::restore(SnapshotReader& r) {
   counters_.rdma_writes = r.get_u64();
   counters_.net_bytes = r.get_u64();
   counters_.gpudirect_bytes = r.get_u64();
+  counters_.net_wire_bytes = r.get_u64();
+  counters_.compressed_wrs = r.get_u64();
 }
 
 }  // namespace tidacc::sim

@@ -55,8 +55,13 @@ struct FabricCounters {
   std::uint64_t sends = 0;
   std::uint64_t rdma_reads = 0;
   std::uint64_t rdma_writes = 0;
-  std::uint64_t net_bytes = 0;        ///< payload bytes, both paths
+  std::uint64_t net_bytes = 0;        ///< logical payload bytes, both paths
   std::uint64_t gpudirect_bytes = 0;  ///< share moved by NIC<->device DMA
+  /// Bytes that traversed the wire: equal to net_bytes for raw work
+  /// requests, shrunken by the wire codec for compressed ones.
+  std::uint64_t net_wire_bytes = 0;
+  std::uint64_t compressed_wrs = 0;  ///< work requests that carried
+                                     ///< codec-compressed payload
 };
 
 class Fabric {
@@ -120,25 +125,31 @@ class Fabric {
   /// mode; `after_stream` (>= 0) orders the send after work enqueued on
   /// that stream via an event edge; `san_note` off lets callers with
   /// strided payloads record precise box accesses themselves.
+  /// `wire_bytes` > 0 routes the payload through the fabric's wire codec:
+  /// only that many bytes traverse the link while both ends pay the
+  /// encode/decode stages (FabricConfig::codec). 0 = raw.
   WrId post_send(QpId qp, MrId src_mr, std::size_t src_off,
                  std::size_t bytes, std::string label = {},
                  std::function<void()> action = {}, int after_stream = -1,
-                 bool san_note = true);
+                 bool san_note = true, std::uint64_t wire_bytes = 0);
 
   // --- one-sided RDMA ---
 
   /// Reads `bytes` from the remote `src_mr` into the local `dst_mr`
-  /// (request/response round trip on the wire).
+  /// (request/response round trip on the wire). `wire_bytes` as post_send.
   WrId rdma_read(QpId qp, MrId dst_mr, std::size_t dst_off, MrId src_mr,
                  std::size_t src_off, std::size_t bytes,
                  std::string label = {}, std::function<void()> action = {},
-                 int after_stream = -1, bool san_note = true);
+                 int after_stream = -1, bool san_note = true,
+                 std::uint64_t wire_bytes = 0);
 
   /// Writes `bytes` from the local `src_mr` into the remote `dst_mr`.
+  /// `wire_bytes` as post_send.
   WrId rdma_write(QpId qp, MrId src_mr, std::size_t src_off, MrId dst_mr,
                   std::size_t dst_off, std::size_t bytes,
                   std::string label = {}, std::function<void()> action = {},
-                  int after_stream = -1, bool san_note = true);
+                  int after_stream = -1, bool san_note = true,
+                  std::uint64_t wire_bytes = 0);
 
   // --- completion queue ---
 
@@ -208,7 +219,7 @@ class Fabric {
   WrId submit(QpId qp, OpKind kind, MrId src_mr, std::size_t src_off,
               MrId dst_mr, std::size_t dst_off, std::size_t bytes,
               std::string label, std::function<void()> action,
-              int after_stream, bool san_note);
+              int after_stream, bool san_note, std::uint64_t wire_bytes);
 
   int num_nodes_;
   int devices_per_node_;

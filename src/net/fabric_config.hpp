@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/units.hpp"
+#include "sim/device_config.hpp"
 
 namespace tidacc::sim {
 
@@ -41,6 +42,14 @@ struct FabricConfig {
   /// Fraction of link_gbps achieved on the GPUDirect path (peer DMA across
   /// the PCIe switch is slightly below the host-memory line rate).
   double gpudirect_efficiency = 0.92;
+  /// Wire-side codec: when a work request carries compressed payload
+  /// (wire_bytes > 0), the sender encodes and the receiver decodes at these
+  /// rates while only the shrunken bytes traverse the link. Composes with
+  /// either path — a GPUDirect transfer runs the codec on the GPUs, a
+  /// host-staged one on the hosts; both are priced by the same serial
+  /// encode + wire + decode model. Engaged only by compressed work
+  /// requests (ClusterOptions::compression != kOff).
+  CodecConfig codec;
 
   /// Effective bandwidth of a transfer: the GPUDirect path (either endpoint
   /// registered in device memory) runs at link_gbps * gpudirect_efficiency,

@@ -20,6 +20,69 @@ const char* to_string(MathClass m) {
   return "?";
 }
 
+const char* to_string(PayloadKind k) {
+  switch (k) {
+    case PayloadKind::kInterior:
+      return "interior";
+    case PayloadKind::kFaceShell:
+      return "face-shell";
+    case PayloadKind::kGhostRefresh:
+      return "ghost-refresh";
+  }
+  return "?";
+}
+
+double CodecConfig::ratio(PayloadKind k) const {
+  double r = 1.0;
+  switch (k) {
+    case PayloadKind::kInterior:
+      r = interior_ratio;
+      break;
+    case PayloadKind::kFaceShell:
+      r = face_ratio;
+      break;
+    case PayloadKind::kGhostRefresh:
+      r = ghost_ratio;
+      break;
+  }
+  TIDACC_CHECK_MSG(r >= 1.0, "codec ratio below 1 would inflate the wire");
+  return r;
+}
+
+std::uint64_t CodecConfig::wire_bytes(std::uint64_t logical,
+                                      PayloadKind k) const {
+  if (logical == 0) {
+    return 0;
+  }
+  const double r = ratio(k);
+  const double w = static_cast<double>(logical) / r;
+  std::uint64_t wire = static_cast<std::uint64_t>(w);
+  if (static_cast<double>(wire) < w) {
+    ++wire;  // round up: a partial wire byte still crosses the link
+  }
+  if (wire == 0) {
+    wire = 1;
+  }
+  return wire < logical ? wire : logical;
+}
+
+SimTime CodecConfig::codec_time_ns(std::uint64_t logical) const {
+  return 2 * launch_ns + transfer_time_ns(logical, encode_gbps) +
+         transfer_time_ns(logical, decode_gbps);
+}
+
+std::string CodecConfig::summary() const {
+  if (!available) {
+    return "codec: none";
+  }
+  std::ostringstream os;
+  os << "codec: enc " << encode_gbps << " GB/s, dec " << decode_gbps
+     << " GB/s, launch " << format_time(launch_ns) << ", ratio "
+     << interior_ratio << "/" << face_ratio << "/" << ghost_ratio
+     << " (interior/face/ghost)";
+  return os.str();
+}
+
 double DeviceConfig::math_factor(MathClass m) const {
   switch (m) {
     case MathClass::kNone:

@@ -25,6 +25,57 @@ enum class MathClass : int {
 
 const char* to_string(MathClass m);
 
+/// What a compressed transfer is carrying — the achieved ratio of an
+/// on-the-fly codec depends on the payload's structure, not just its size.
+/// Interior regions are smooth bulk field data (best ratio); face shells
+/// are thin boundary slabs (less spatial coherence); ghost refreshes are
+/// freshly updated halo cells (least redundancy, worst ratio).
+enum class PayloadKind : int {
+  kInterior = 0,
+  kFaceShell = 1,
+  kGhostRefresh = 2
+};
+
+const char* to_string(PayloadKind k);
+
+/// Timing/ratio model of an on-the-fly lossless codec attached to a link
+/// (nvcomp-LZ4-class). A compressed transfer is priced as three serial
+/// stages on the discrete-event clock:
+///   encode (launch + logical_bytes / encode_gbps)
+///   wire   (wire_bytes = logical / ratio(payload), at the link's rate)
+///   decode (launch + logical_bytes / decode_gbps)
+/// Throughputs are defined over the *logical* (uncompressed) payload, which
+/// is what the codec kernels actually stream through device memory. The
+/// default constants model a GPU LZ4-class codec on K40m-era hardware; the
+/// ratios follow the compression-for-out-of-core-stencils literature
+/// (smooth interior data compresses best, freshly-written halo cells
+/// worst). `available = false` turns the link codec-less: compressed
+/// transfers on such a config fail loudly instead of pricing nonsense.
+struct CodecConfig {
+  bool available = true;
+  double encode_gbps = 32.0;  ///< encode throughput over logical bytes
+  double decode_gbps = 48.0;  ///< decode throughput over logical bytes
+  SimTime launch_ns = 4000;   ///< per-stage kernel launch/dispatch cost
+  double interior_ratio = 2.6;  ///< achieved ratio on full interior regions
+  double face_ratio = 1.9;      ///< on face-shell slabs
+  double ghost_ratio = 1.6;     ///< on ghost-refresh payloads
+
+  /// Achieved compression ratio for a payload kind (>= 1).
+  double ratio(PayloadKind k) const;
+
+  /// Bytes that cross the link for a `logical`-byte payload (rounded up,
+  /// never 0 for a non-empty payload, never above `logical`).
+  std::uint64_t wire_bytes(std::uint64_t logical, PayloadKind k) const;
+
+  /// Encode+decode stage time (both launches + both passes over the
+  /// logical payload) — everything a compressed transfer pays on top of
+  /// its shrunken wire time.
+  SimTime codec_time_ns(std::uint64_t logical) const;
+
+  /// One-line description for bench headers.
+  std::string summary() const;
+};
+
 /// All tunable constants of the simulated platform.
 struct DeviceConfig {
   std::string name = "K40m-class (simulated)";
@@ -111,6 +162,12 @@ struct DeviceConfig {
   SimTime uvm_page_fault_ns = 15 * kMicrosecond;  ///< per page fault
   double uvm_migrate_gbps = 5.0;  ///< migration bandwidth (pageable-class)
   double uvm_prefetch_gbps = 9.5;  ///< cuemMemPrefetchAsync bandwidth
+
+  // --- host<->device link codec ---
+  /// On-the-fly transfer compression model. Only engaged by the compressed
+  /// copy kinds ({Acc,MultiAcc}Options::compression != kOff); its presence
+  /// here changes nothing about raw-transfer pricing.
+  CodecConfig codec;
 
   /// Returns the math cost factor for a class (kNone → 0).
   double math_factor(MathClass m) const;

@@ -179,11 +179,15 @@ EngineId Platform::copy_engine_for(OpKind kind) const {
     case OpKind::kCopyH2D:
     case OpKind::kPrefetchH2D:
     case OpKind::kMemcpy3DH2D:
+    case OpKind::kMemcpyH2DCompressed:
+    case OpKind::kMemcpy3DH2DCompressed:
     case OpKind::kCopyD2D:
     case OpKind::kUvmMigration:
       return EngineId::kCopyH2D;
     case OpKind::kCopyD2H:
     case OpKind::kMemcpy3DD2H:
+    case OpKind::kMemcpyD2HCompressed:
+    case OpKind::kMemcpy3DD2HCompressed:
       return cfg_.copy_engines == 2 ? EngineId::kCopyD2H : EngineId::kCopyH2D;
     default:
       TIDACC_FAIL("not a copy kind");
@@ -193,7 +197,8 @@ EngineId Platform::copy_engine_for(OpKind kind) const {
 SimTime Platform::schedule(StreamId s, int device, EngineId engine,
                            OpKind kind, SimTime duration, std::uint64_t bytes,
                            std::string label,
-                           const std::function<void()>& action) {
+                           const std::function<void()>& action,
+                           std::uint64_t wire_bytes) {
   const size_t si = static_cast<size_t>(s);
   auto& engine_lanes = lanes(device, engine);
   // The op takes the earliest-available lane of its engine.
@@ -220,9 +225,9 @@ SimTime Platform::schedule(StreamId s, int device, EngineId engine,
   }
   if (trace_.recording()) {
     trace_.add(TraceEvent{engine, s, kind, start, finish, bytes,
-                          std::move(label), device});
+                          std::move(label), device, wire_bytes});
   } else {
-    trace_.note(kind, start, finish, bytes);
+    trace_.note(kind, start, finish, bytes, wire_bytes);
   }
   if (functional_ && action) {
     action();
@@ -254,10 +259,12 @@ SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
   bool host_participates = req.blocking;
   switch (req.kind) {
     case OpKind::kMemcpy3DH2D:
+    case OpKind::kMemcpy3DH2DCompressed:
       setup += cfg_.memcpy3d_overhead_ns(req.bytes, req.chunks);
       [[fallthrough]];
     case OpKind::kCopyH2D:
     case OpKind::kPrefetchH2D:
+    case OpKind::kMemcpyH2DCompressed:
       if (req.host_mem == HostMemKind::kPinned) {
         gbps = cfg_.pinned_h2d_gbps;
       } else {
@@ -267,9 +274,11 @@ SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
       }
       break;
     case OpKind::kMemcpy3DD2H:
+    case OpKind::kMemcpy3DD2HCompressed:
       setup += cfg_.memcpy3d_overhead_ns(req.bytes, req.chunks);
       [[fallthrough]];
     case OpKind::kCopyD2H:
+    case OpKind::kMemcpyD2HCompressed:
       if (req.host_mem == HostMemKind::kPinned) {
         gbps = cfg_.pinned_d2h_gbps;
       } else {
@@ -291,15 +300,32 @@ SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
   if (req.gbps_override > 0.0) {
     gbps = req.gbps_override;
   }
-  const SimTime duration = setup + req.extra_ns +
-                           transfer_time_ns(req.bytes, gbps) + next_jitter();
+  // A compressed copy streams the logical payload through the codec on
+  // each side but only the shrunken wire bytes across the link: its
+  // duration is encode + wire-at-ratio + decode, serialized (the chunked
+  // pipelined codec is future work, so this prices the conservative case).
+  std::uint64_t link_bytes = req.bytes;
+  SimTime codec_ns = 0;
+  if (is_compressed(req.kind)) {
+    TIDACC_CHECK_MSG(cfg_.codec.available,
+                     "compressed copy on a config without a codec "
+                     "(DeviceConfig::codec.available is false)");
+    TIDACC_CHECK_MSG(req.wire_bytes > 0 && req.wire_bytes <= req.bytes,
+                     "compressed copy needs wire_bytes in (0, bytes]");
+    link_bytes = req.wire_bytes;
+    codec_ns = cfg_.codec.codec_time_ns(req.bytes);
+  }
+  const SimTime duration = setup + req.extra_ns + codec_ns +
+                           transfer_time_ns(link_bytes, gbps) + next_jitter();
   const int device = req.device_override >= 0
                          ? req.device_override
                          : stream_device_[static_cast<size_t>(s)];
   check_device(device);
   const SimTime finish = schedule(s, device, copy_engine_for(req.kind),
                                   req.kind, duration, req.bytes, req.label,
-                                  action);
+                                  action, is_compressed(req.kind)
+                                              ? req.wire_bytes
+                                              : 0);
   if (host_participates) {
     host_clock_ = std::max(host_clock_, finish);
     if (hb_enabled_) {
@@ -385,7 +411,8 @@ SimTime Platform::enqueue_external(StreamId s, int device, EngineId engine,
                                    OpKind kind, SimTime duration,
                                    std::uint64_t bytes, std::string label,
                                    const std::vector<SimTime*>& ext_lanes,
-                                   std::function<void()> action) {
+                                   std::function<void()> action,
+                                   std::uint64_t wire_bytes) {
   check_stream(s);
   check_device(device);
   const size_t si = static_cast<size_t>(s);
@@ -416,9 +443,9 @@ SimTime Platform::enqueue_external(StreamId s, int device, EngineId engine,
   }
   if (trace_.recording()) {
     trace_.add(TraceEvent{engine, s, kind, start, finish, bytes,
-                          std::move(label), device});
+                          std::move(label), device, wire_bytes});
   } else {
-    trace_.note(kind, start, finish, bytes);
+    trace_.note(kind, start, finish, bytes, wire_bytes);
   }
   if (functional_ && action) {
     action();

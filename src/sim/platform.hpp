@@ -76,6 +76,11 @@ struct CopyRequest {
   /// device. Used by host-staged peer transfers, where the D2H hop runs on
   /// the source device and the H2D hop on the destination.
   int device_override = -1;
+  /// On-the-wire byte count of a compressed kind (k*Compressed): the link
+  /// carries these bytes while the codec stages stream the full logical
+  /// payload. Must be in (0, bytes] for compressed kinds; ignored (and
+  /// expected 0) for raw kinds.
+  std::uint64_t wire_bytes = 0;
   std::string label;
 };
 
@@ -186,11 +191,15 @@ class Platform {
   /// perturbation applies, so fuzzed schedules explore fabric timing too.
   /// The caller prices host-side submission cost itself (host_advance);
   /// no host_api_overhead is charged here.
+  /// `wire_bytes` records the on-the-wire byte count of a compressed
+  /// operation in the trace (0 for raw operations); it does not affect
+  /// pricing — `duration` is caller-computed here.
   SimTime enqueue_external(StreamId s, int device, EngineId engine,
                            OpKind kind, SimTime duration, std::uint64_t bytes,
                            std::string label,
                            const std::vector<SimTime*>& lanes,
-                           std::function<void()> action);
+                           std::function<void()> action,
+                           std::uint64_t wire_bytes = 0);
 
   /// Records an event on the stream; completes when prior work completes.
   EventId record_event(StreamId s);
@@ -296,7 +305,8 @@ class Platform {
   SimTime next_jitter();
   SimTime schedule(StreamId s, int device, EngineId engine, OpKind kind,
                    SimTime duration, std::uint64_t bytes, std::string label,
-                   const std::function<void()>& action);
+                   const std::function<void()>& action,
+                   std::uint64_t wire_bytes = 0);
   std::vector<SimTime>& lanes(int device, EngineId engine) {
     return device_lanes_[static_cast<size_t>(device)]
         .lanes[static_cast<int>(engine)];

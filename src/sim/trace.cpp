@@ -52,19 +52,39 @@ const char* to_string(OpKind k) {
       return "rdma-read";
     case OpKind::kRdmaWrite:
       return "rdma-write";
+    case OpKind::kMemcpyH2DCompressed:
+      return "zH2D";
+    case OpKind::kMemcpyD2HCompressed:
+      return "zD2H";
+    case OpKind::kMemcpy3DH2DCompressed:
+      return "z3D-H2D";
+    case OpKind::kMemcpy3DD2HCompressed:
+      return "z3D-D2H";
   }
   return "?";
 }
 
+bool is_compressed(OpKind k) {
+  switch (k) {
+    case OpKind::kMemcpyH2DCompressed:
+    case OpKind::kMemcpyD2HCompressed:
+    case OpKind::kMemcpy3DH2DCompressed:
+    case OpKind::kMemcpy3DD2HCompressed:
+      return true;
+    default:
+      return false;
+  }
+}
+
 void Trace::add(TraceEvent ev) {
-  note(ev.kind, ev.start, ev.finish, ev.bytes);
+  note(ev.kind, ev.start, ev.finish, ev.bytes, ev.wire_bytes);
   if (recording_) {
     events_.push_back(std::move(ev));
   }
 }
 
 void Trace::note(OpKind kind, SimTime start, SimTime finish,
-                 std::uint64_t bytes) {
+                 std::uint64_t bytes, std::uint64_t wire_bytes) {
   TIDACC_CHECK(finish >= start);
   const SimTime busy = finish - start;
   switch (kind) {
@@ -114,14 +134,44 @@ void Trace::note(OpKind kind, SimTime start, SimTime finish,
       stats_.net_bytes += bytes;
       stats_.nic_busy += busy;
       break;
+    case OpKind::kMemcpyH2DCompressed:
+    case OpKind::kMemcpy3DH2DCompressed:
+      ++stats_.num_copies;
+      stats_.h2d_bytes += bytes;
+      stats_.comp_h2d_bytes += bytes;
+      stats_.comp_h2d_wire_bytes += wire_bytes;
+      if (kind == OpKind::kMemcpy3DH2DCompressed) {
+        stats_.memcpy3d_h2d_bytes += bytes;
+      }
+      stats_.copy_busy += busy;
+      break;
+    case OpKind::kMemcpyD2HCompressed:
+    case OpKind::kMemcpy3DD2HCompressed:
+      ++stats_.num_copies;
+      stats_.d2h_bytes += bytes;
+      stats_.comp_d2h_bytes += bytes;
+      stats_.comp_d2h_wire_bytes += wire_bytes;
+      if (kind == OpKind::kMemcpy3DD2HCompressed) {
+        stats_.memcpy3d_d2h_bytes += bytes;
+      }
+      stats_.copy_busy += busy;
+      break;
     case OpKind::kEventRecord:
       break;
   }
   stats_.makespan = std::max(stats_.makespan, finish);
 }
 
+void Trace::note_warning(const std::string& message) {
+  ++stats_.num_warnings;
+  if (recording_) {
+    warnings_.push_back(message);
+  }
+}
+
 void Trace::clear() {
   events_.clear();
+  warnings_.clear();
   stats_ = TraceStats{};
 }
 
@@ -142,6 +192,15 @@ void Trace::capture(SnapshotWriter& w) const {
   w.put_u64(stats_.copy_busy);
   w.put_u64(stats_.nic_busy);
   w.put_u64(stats_.makespan);
+  w.put_u64(stats_.comp_h2d_bytes);
+  w.put_u64(stats_.comp_d2h_bytes);
+  w.put_u64(stats_.comp_h2d_wire_bytes);
+  w.put_u64(stats_.comp_d2h_wire_bytes);
+  w.put_u64(stats_.num_warnings);
+  w.put_u64(warnings_.size());
+  for (const std::string& msg : warnings_) {
+    w.put_string(msg);
+  }
   w.put_u64(events_.size());
   for (const TraceEvent& ev : events_) {
     w.put_int(static_cast<int>(ev.engine));
@@ -152,6 +211,7 @@ void Trace::capture(SnapshotWriter& w) const {
     w.put_u64(ev.bytes);
     w.put_string(ev.label);
     w.put_int(ev.device);
+    w.put_u64(ev.wire_bytes);
   }
 }
 
@@ -172,6 +232,17 @@ void Trace::restore(SnapshotReader& r) {
   stats_.copy_busy = r.get_u64();
   stats_.nic_busy = r.get_u64();
   stats_.makespan = r.get_u64();
+  stats_.comp_h2d_bytes = r.get_u64();
+  stats_.comp_d2h_bytes = r.get_u64();
+  stats_.comp_h2d_wire_bytes = r.get_u64();
+  stats_.comp_d2h_wire_bytes = r.get_u64();
+  stats_.num_warnings = r.get_u64();
+  const std::uint64_t nwarn = r.get_u64();
+  warnings_.clear();
+  warnings_.reserve(nwarn);
+  for (std::uint64_t i = 0; i < nwarn; ++i) {
+    warnings_.push_back(r.get_string());
+  }
   const std::uint64_t n = r.get_u64();
   events_.clear();
   events_.reserve(n);
@@ -185,6 +256,7 @@ void Trace::restore(SnapshotReader& r) {
     ev.bytes = r.get_u64();
     ev.label = r.get_string();
     ev.device = r.get_int();
+    ev.wire_bytes = r.get_u64();
     events_.push_back(std::move(ev));
   }
 }
@@ -250,6 +322,14 @@ std::string Trace::render_gantt(int columns) const {
         return 'R';
       case OpKind::kRdmaWrite:
         return 'W';
+      case OpKind::kMemcpyH2DCompressed:
+        return 'z';
+      case OpKind::kMemcpyD2HCompressed:
+        return 'Z';
+      case OpKind::kMemcpy3DH2DCompressed:
+        return 'y';
+      case OpKind::kMemcpy3DD2HCompressed:
+        return 'Y';
       case OpKind::kEventRecord:
         return '|';
     }

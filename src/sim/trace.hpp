@@ -36,8 +36,12 @@ const char* to_string(EngineId e);
 /// kNetSend/kRdmaRead/kRdmaWrite are inter-node fabric operations issued by
 /// sim::Fabric work requests; they occupy NIC lanes (EngineId::kNic), never
 /// the device DMA engines, and are recorded on the initiating node's first
-/// device. New kinds must be appended at the end: the snapshot format
-/// serializes OpKind as an int.
+/// device. The *Compressed kinds are the same transfers routed through an
+/// on-the-fly link codec (DeviceConfig::codec): priced as
+/// encode + wire-at-ratio + decode, routed and happens-before-tracked
+/// exactly like their raw counterparts, and kept distinguishable so
+/// compressed traffic is visible in traces and Gantt charts. New kinds must
+/// be appended at the end: the snapshot format serializes OpKind as an int.
 enum class OpKind : int {
   kKernel = 0,
   kCopyH2D,
@@ -51,10 +55,17 @@ enum class OpKind : int {
   kMemcpy3DD2H,
   kNetSend,
   kRdmaRead,
-  kRdmaWrite
+  kRdmaWrite,
+  kMemcpyH2DCompressed,
+  kMemcpyD2HCompressed,
+  kMemcpy3DH2DCompressed,
+  kMemcpy3DD2HCompressed
 };
 
 const char* to_string(OpKind k);
+
+/// True for the compressed copy kinds (any direction, flat or pitched).
+bool is_compressed(OpKind k);
 
 /// One completed operation in the simulated timeline.
 struct TraceEvent {
@@ -63,9 +74,12 @@ struct TraceEvent {
   OpKind kind;
   SimTime start;
   SimTime finish;
-  std::uint64_t bytes = 0;  ///< transferred bytes (0 for kernels)
+  std::uint64_t bytes = 0;  ///< logical payload bytes (0 for kernels)
   std::string label;
   int device = 0;  ///< device whose engine ran the op (dst for kCopyP2P)
+  /// Bytes that actually crossed the link for compressed kinds; 0 for raw
+  /// operations (wire == bytes).
+  std::uint64_t wire_bytes = 0;
 };
 
 /// Aggregate counters over a trace interval.
@@ -92,6 +106,17 @@ struct TraceStats {
   SimTime copy_busy = 0;     ///< total copy-engine busy time (both engines)
   SimTime nic_busy = 0;      ///< total NIC busy time across all nodes
   SimTime makespan = 0;      ///< last finish - first start
+  /// Compressed-transfer split: logical payload bytes that took a
+  /// compressed kind (also counted into h2d_bytes/d2h_bytes above) and the
+  /// bytes those transfers actually put on the wire.
+  std::uint64_t comp_h2d_bytes = 0;
+  std::uint64_t comp_d2h_bytes = 0;
+  std::uint64_t comp_h2d_wire_bytes = 0;
+  std::uint64_t comp_d2h_wire_bytes = 0;
+  /// One-shot runtime warnings surfaced through the stats path (e.g. the
+  /// cluster out-of-core host-exchange fallback) — visible even when event
+  /// recording is off.
+  std::uint64_t num_warnings = 0;
 };
 
 class SnapshotReader;
@@ -110,8 +135,20 @@ class Trace {
   /// counters without materializing a TraceEvent (no label string, no
   /// vector growth). The platform's hot path takes this branch when
   /// recording is off so schedule fuzzing sustains thousands of restored
-  /// iterations per second.
-  void note(OpKind kind, SimTime start, SimTime finish, std::uint64_t bytes);
+  /// iterations per second. `wire_bytes` is the on-the-wire byte count of
+  /// a compressed kind (0 for raw operations).
+  void note(OpKind kind, SimTime start, SimTime finish, std::uint64_t bytes,
+            std::uint64_t wire_bytes = 0);
+
+  /// One-shot-warning stats path: bumps TraceStats::num_warnings (always —
+  /// this is the recording-off-safe signal) and, when recording, stores
+  /// `message` so renderers can surface it. Callers own the one-shot
+  /// latching; every call here counts.
+  void note_warning(const std::string& message);
+
+  /// Warning messages stored while recording (parallel to num_warnings
+  /// only when recording stayed on throughout).
+  const std::vector<std::string>& warnings() const { return warnings_; }
 
   void clear();
 
@@ -146,6 +183,7 @@ class Trace {
  private:
   bool recording_ = true;
   std::vector<TraceEvent> events_;
+  std::vector<std::string> warnings_;
   TraceStats stats_;
 };
 

@@ -324,6 +324,42 @@ TEST_F(CuemSanTest, OutOfCoreEvictionWorkloadIsClean) {
       << "unexpected findings:\n" << cuem::san::report_json();
 }
 
+TEST_F(CuemSanTest, CompressedEvictionWorkloadIsClean) {
+  // Same eviction-heavy workload through the link codec: compressed copy
+  // kinds carry the same happens-before edges and byte ranges as the raw
+  // ones, so the memcheck and racecheck must stay silent.
+  AccOptions opts;
+  opts.max_slots = 2;
+  opts.delta_transfers = true;
+  opts.compression = core::Compression::kOn;
+  AccTileArray<double> u(Box::cube(8), Index3::uniform(4), 1, opts);
+  u.fill([](const Index3& p) {
+    return std::sin(0.1 * p.i) + 0.5 * std::cos(0.2 * p.j) + 0.01 * p.k;
+  });
+  LoopCost cost;
+  cost.flops_per_iter = 8;
+  cost.dev_bytes_per_iter = 16;
+  for (int s = 0; s < 3; ++s) {
+    u.fill_boundary(Boundary::kPeriodic);
+    for (int r = 0; r < u.num_regions(); ++r) {
+      const tida::Region<double> reg = u.region(r);
+      const core::AccTile<double> tile{
+          &u, tida::Tile<double>{reg, reg.valid}, /*gpu=*/true};
+      compute(tile, cost,
+              [](DeviceView<double> v, int i, int j, int k) {
+                v(i, j, k) = 0.5 * v(i, j, k) +
+                             0.125 * (v(i - 1, j, k) + v(i + 1, j, k) +
+                                      v(i, j - 1, k) + v(i, j + 1, k));
+              });
+    }
+  }
+  u.release_all_to_host();
+  EXPECT_TRUE(cuem::san::clean())
+      << "unexpected findings:\n" << cuem::san::report_json();
+  EXPECT_EQ(cuem::san::count(cuem::san::Severity::kError), 0u);
+  EXPECT_EQ(cuem::san::count(cuem::san::Severity::kWarning), 0u);
+}
+
 TEST_F(CuemSanTest, PrefetchAndHostTouchWorkloadIsClean) {
   AccTileArray<double> arr(Box::cube(8), Index3::uniform(4), 0);
   arr.fill([](const Index3& p) { return 1.0 * p.i; });

@@ -4,7 +4,8 @@
 // checksum + determinism replay as secondary invariants (docs/FUZZING.md).
 //
 // Outer loop: draw *world* knobs (slot policy, delta transfers, slot
-// budget, device count, node count, fabric preset) from the seed, build a
+// budget, device count, node count, fabric preset, transfer compression
+// policy) from the seed, build a
 // fresh world, run a warmup step, and capture one snapshot (world +
 // array). Inner loop: restore the snapshot, draw *dynamic* knobs (transfer
 // jitter, prefetch depth, region visit order, split-phase overlap), and
@@ -83,6 +84,11 @@ struct WorldKnobs {
   int nodes = 1;
   std::string fabric = "infiniband";  ///< FabricConfig::parse input
   core::NetPath path = core::NetPath::kAuto;
+  // core::Compression as an int (0 off, 1 on, 2 auto). A world knob: the
+  // array constructors consume it, and the snapshot pins it. Compressed
+  // copies move the same bytes in functional mode, so the checksum and
+  // sanitizer oracles apply to the codec paths unchanged.
+  int compression = 0;
 };
 
 // Mutated per iteration on top of a restored snapshot.
@@ -107,7 +113,8 @@ const char* policy_name(core::SlotPolicyKind k) {
 
 WorldKnobs draw_world(std::uint64_t seed, std::uint64_t config_index,
                       int n, int regions, int force_nodes,
-                      const std::string& force_fabric) {
+                      const std::string& force_fabric,
+                      int force_compression) {
   Rng rng(seed ^ (0x9e3779b97f4a7c15ull * (config_index + 1)));
   WorldKnobs w;
   w.n = n;
@@ -153,6 +160,13 @@ WorldKnobs draw_world(std::uint64_t seed, std::uint64_t config_index,
       w.max_slots = regions + w.num_devices;
     }
   }
+  // Drawn last on purpose: every seed's pre-compression knobs stay what
+  // they were, so existing repro files and the injected-defect regression
+  // keep their schedules. On cluster worlds the knob drives both the PCIe
+  // legs (MultiAccOptions::compression) and the wire (ClusterOptions).
+  w.compression = force_compression >= 0
+                      ? force_compression
+                      : static_cast<int>(rng.next_below(3));
   return w;
 }
 
@@ -389,6 +403,7 @@ void write_repro(const std::string& path, const WorldKnobs& w,
   f << "nodes=" << w.nodes << "\n";
   f << "fabric=" << w.fabric << "\n";
   f << "net_path=" << core::to_string(w.path) << "\n";
+  f << "compression=" << w.compression << "\n";
   f << "jitter_max=" << d.jitter_max << "\n";
   f << "jitter_seed=" << d.jitter_seed << "\n";
   f << "prefetch_depth=" << d.prefetch_depth << "\n";
@@ -425,6 +440,7 @@ bool parse_repro(const std::string& path, WorldKnobs& w, DynKnobs& d) {
     else if (key == "nodes") w.nodes = static_cast<int>(num);
     else if (key == "fabric") w.fabric = val;
     else if (key == "net_path") w.path = core::parse_net_path(val);
+    else if (key == "compression") w.compression = static_cast<int>(num);
     else if (key == "jitter_max") d.jitter_max = num;
     else if (key == "jitter_seed") d.jitter_seed = num;
     else if (key == "prefetch_depth") d.prefetch_depth = static_cast<int>(num);
@@ -486,7 +502,8 @@ void write_report(const std::string& path, std::uint64_t seed,
       << ", \"nodes\": " << x.world.nodes
       << ", \"fabric\": \"" << json_escape(x.world.fabric)
       << "\", \"net_path\": \"" << core::to_string(x.world.path)
-      << "\", \"jitter_max\": " << x.dyn.jitter_max
+      << "\", \"compression\": " << x.world.compression
+      << ", \"jitter_max\": " << x.dyn.jitter_max
       << ", \"prefetch_depth\": " << x.dyn.prefetch_depth
       << ", \"order_seed\": " << x.dyn.order_seed
       << ", \"stream_perm_seed\": " << x.dyn.stream_perm_seed
@@ -524,6 +541,7 @@ core::AccOptions acc_options(const WorldKnobs& w) {
   o.disable_caching = w.disable_caching;
   o.slot_policy = w.policy;
   o.streaming_guard = w.guard;
+  o.compression = static_cast<core::Compression>(w.compression);
   return o;
 }
 
@@ -539,6 +557,7 @@ core::MultiAccOptions multi_acc_options(const WorldKnobs& w) {
   o.delta_transfers = w.delta;
   o.slot_policy = w.policy;
   o.streaming_guard = w.guard;
+  o.compression = static_cast<core::Compression>(w.compression);
   return o;
 }
 
@@ -550,6 +569,7 @@ core::ClusterOptions cluster_options(const WorldKnobs& w) {
   // kAuto on a GPUDirect-less preset degrades to staged by itself; only
   // kGpuDirect would reject it, and the draw never emits that.
   o.path = w.path;
+  o.compression = static_cast<core::Compression>(w.compression);
   return o;
 }
 
@@ -588,6 +608,10 @@ int main(int argc, char** argv) {
   // cluster of that many nodes (--fabric likewise pins the preset).
   const int force_nodes = static_cast<int>(cli.get_int("nodes", 0));
   const std::string force_fabric = cli.get_string("fabric", "");
+  // -1 = let draw_world choose per config; 0/1/2 pins every world to
+  // Compression::{kOff,kOn,kAuto}.
+  const int force_compression =
+      static_cast<int>(cli.get_int("compression", -1));
   const int steps = static_cast<int>(cli.get_int("steps", 3));
   const std::uint64_t per_config =
       static_cast<std::uint64_t>(cli.get_int("iters-per-config", 32));
@@ -677,7 +701,7 @@ int main(int argc, char** argv) {
     if (i / per_config != config_index) {
       config_index = i / per_config;
       world = draw_world(seed, config_index, n, regions, force_nodes,
-                         force_fabric);
+                         force_fabric, force_compression);
       u.reset();  // free the old world's buffers before reconfiguring
       um.reset();
       uc.reset();
