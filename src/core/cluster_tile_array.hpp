@@ -360,6 +360,32 @@ class ClusterTileArray : public MultiAccTileArray<T> {
                  this->region_bytes(region));
   }
 
+  /// Schedule-lint attribution for a wire op just submitted on `qp`. The
+  /// san_note=false fabric calls record precise strided boxes for the
+  /// sanitizer themselves; the graph gets the conservative whole-slot
+  /// bounding spans instead (over-approximation can only under-report
+  /// independence, never invent it).
+  void graph_note_wire_op(sim::QpId qp, int src_region, int dst_region,
+                          bool device_path) {
+    sim::Platform& p = sim::Platform::instance();
+    if (p.op_graph() == nullptr) {
+      return;
+    }
+    const cuemStream_t s = fabric_->qp_stream(qp);
+    const void* src = device_path
+                          ? static_cast<const void*>(
+                                this->device_region(src_region).data)
+                          : static_cast<const void*>(
+                                this->region(src_region).data);
+    void* dst = device_path
+                    ? static_cast<void*>(this->device_region(dst_region).data)
+                    : static_cast<void*>(this->region(dst_region).data);
+    p.graph_note_stream_access(s, src, this->region_bytes(src_region),
+                               /*write=*/false);
+    p.graph_note_stream_access(s, dst, this->region_bytes(dst_region),
+                               /*write=*/true);
+  }
+
   /// Host-side index bookkeeping for `copies` planned copies. Each node
   /// has its own CPU working its own shard of the plan concurrently (the
   /// cluster analogue of MPI ranks), so the single simulated host thread
@@ -455,6 +481,8 @@ class ClusterTileArray : public MultiAccTileArray<T> {
             device_mr_of(head.src_region), 0, bytes, label,
             std::move(action), /*after_stream=*/-1, /*san_note=*/false,
             wire_bytes_for(bytes, /*gpudirect_path=*/true));
+        graph_note_wire_op(qp, head.src_region, head.dst_region,
+                           /*device_path=*/true);
         for (const std::size_t c : group) {
           if (cuem::san::enabled()) {
             // Precise strided boxes, not the MR-flat note the fabric
@@ -495,6 +523,8 @@ class ClusterTileArray : public MultiAccTileArray<T> {
             std::move(action), /*after_stream=*/sstream,
             /*san_note=*/false,
             wire_bytes_for(bytes, /*gpudirect_path=*/false));
+        graph_note_wire_op(qp, head.src_region, head.dst_region,
+                           /*device_path=*/false);
         for (const std::size_t c : group) {
           if (cuem::san::enabled()) {
             note_ghost_copy_access_host(fabric_->qp_stream(qp), plan[c],
@@ -635,6 +665,8 @@ class ClusterTileArray : public MultiAccTileArray<T> {
               std::to_string(gc.dst_region),
           /*action=*/{}, /*after_stream=*/-1, /*san_note=*/false,
           wire_bytes_for(bytes, /*gpudirect_path=*/false)));
+      graph_note_wire_op(qp, gc.src_region, gc.dst_region,
+                         /*device_path=*/false);
       ++staged_ghost_sends_;
     }
     for (const sim::WrId wr : wrs) {

@@ -172,6 +172,22 @@ void compute_range(const tida::Box& range, const oacc::LoopCost& cost,
     };
     (note_tile(tiles), ...);
   }
+  if (sim::Platform::instance().op_graph() != nullptr) {
+    // Schedule-lint attribution: the same conservative whole-buffer write
+    // claim, but independent of the sanitizer build (the graph is an
+    // opt-in analysis attachment, not a compile-time mode).
+    const auto graph_note_tile = [&](const auto& t) {
+      const auto& reg = t.tile.region;
+      const std::size_t bytes =
+          static_cast<std::size_t>(reg.grown.volume()) *
+          static_cast<std::size_t>(reg.ncomp) *
+          sizeof(*t.array->device_region(reg.id).data);
+      sim::Platform::instance().graph_note_stream_access(
+          kstream, t.array->device_region(reg.id).data, bytes,
+          /*write=*/true);
+    };
+    (graph_note_tile(tiles), ...);
+  }
   // No synchronization after the launch (§IV-B5): stream order protects
   // later operations on the same region. Cross-array ordering needs the
   // mirror of the opening edges, though: the kernel may write the *other*

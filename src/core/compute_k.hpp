@@ -106,6 +106,15 @@ void compute_k_region(A& a, int region, int k, int radius,
       cuem::san::note_kernel_access(kstream, out_ptr, bytes, /*write=*/true,
                                     op.c_str());
     }
+    if (p.op_graph() != nullptr) {
+      // Schedule-lint attribution (sanitizer-independent): same exact
+      // in-read / out-write roles as the san claim above.
+      const std::size_t bytes = static_cast<std::size_t>(reg.grown.volume()) *
+                                static_cast<std::size_t>(reg.ncomp) *
+                                sizeof(T);
+      p.graph_note_stream_access(kstream, in_ptr, bytes, /*write=*/false);
+      p.graph_note_stream_access(kstream, out_ptr, bytes, /*write=*/true);
+    }
     // The swap makes slot_ptr() point at the data this sub-step produced;
     // the next sub-step (or the next transfer) picks it up from there.
     a.swap_region_buffers(region);

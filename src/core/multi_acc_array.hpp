@@ -1289,6 +1289,12 @@ void compute_gpu(MultiAccTileArray<T>& a, int region,
             static_cast<std::size_t>(reg.ncomp) * sizeof(T),
         /*write=*/true, op.c_str());
   }
+  // Schedule-lint attribution (sanitizer-independent whole-buffer claim).
+  p.graph_note_stream_access(kstream, view.data,
+                             static_cast<std::size_t>(reg.grown.volume()) *
+                                 static_cast<std::size_t>(reg.ncomp) *
+                                 sizeof(T),
+                             /*write=*/true);
 }
 
 /// Two-array variant (Jacobi-style in/out). Both arrays must place the
@@ -1356,6 +1362,18 @@ void compute_gpu(MultiAccTileArray<T>& in, MultiAccTileArray<T>& out,
             static_cast<std::size_t>(rout.ncomp) * sizeof(T),
         /*write=*/true, op.c_str());
   }
+  // Schedule-lint attribution (sanitizer-independent): input is read-only,
+  // output is written — the roles the event edges above/below protect.
+  p.graph_note_stream_access(kstream, vin.data,
+                             static_cast<std::size_t>(rin.grown.volume()) *
+                                 static_cast<std::size_t>(rin.ncomp) *
+                                 sizeof(T),
+                             /*write=*/false);
+  p.graph_note_stream_access(kstream, vout.data,
+                             static_cast<std::size_t>(rout.grown.volume()) *
+                                 static_cast<std::size_t>(rout.ncomp) *
+                                 sizeof(T),
+                             /*write=*/true);
   // Close the cross-stream edge: the kernel writes the output array's slot,
   // so later work on the output's stream must wait for this launch.
   if (ostream != kstream) {

@@ -94,6 +94,26 @@ cuemStream_t resolve_stream(cuemStream_t s) {
   return s;
 }
 
+/// Attributes a copy's flat address ranges to the op just enqueued on
+/// `stream` in the attached schedule-analysis graph (sim::OpGraph). The
+/// lint needs op->data attribution to prove two transfers independent;
+/// unlike the san:: notes this is not gated on the sanitizer build. Call
+/// after the enqueue (the note lands on the stream's newest node). Nop
+/// when no graph is attached.
+void graph_note_copy(cuemStream_t stream, const void* dst, const void* src,
+                     std::size_t count) {
+  Platform& p = Platform::instance();
+  if (p.op_graph() == nullptr) {
+    return;
+  }
+  if (src != nullptr) {
+    p.graph_note_stream_access(stream, src, count, /*write=*/false);
+  }
+  if (dst != nullptr) {
+    p.graph_note_stream_access(stream, dst, count, /*write=*/true);
+  }
+}
+
 /// Allocates backing memory (real in functional mode, synthetic otherwise)
 /// and registers it. Returns nullptr on device-capacity exhaustion.
 void* allocate(std::size_t size, MemSpace space) {
@@ -351,6 +371,7 @@ cuemError_t do_memcpy(void* dst, const void* src, std::size_t count,
             std::move(action));
         if (perr == cuemSuccess) {
           san::hook::note_op_access(stream, dst, src, count, op);
+          graph_note_copy(stream, dst, src, count);
         }
         return perr;
       }
@@ -367,6 +388,7 @@ cuemError_t do_memcpy(void* dst, const void* src, std::size_t count,
   }
   p.enqueue_copy(stream, req, std::move(action));
   san::hook::note_op_access(stream, dst, src, count, op);
+  graph_note_copy(stream, dst, src, count);
   return cuemSuccess;
 }
 
@@ -488,6 +510,11 @@ cuemError_t do_memcpy3d(const cuemMemcpy3DParms& parms, cuemStream_t stream,
   src_box.slice_pitch = parms.src_slice_pitch;
   san::hook::note_op_box_access(stream, parms.dst, dst_box, parms.src,
                                 src_box, op.c_str());
+  // Graph attribution uses the bounding flat spans of the pitched boxes:
+  // conservative (over-approximates the touched bytes), so the lint can
+  // only under-report independence, never invent it.
+  graph_note_copy(stream, nullptr, parms.src, src_span);
+  graph_note_copy(stream, parms.dst, nullptr, dst_span);
   return cuemSuccess;
 }
 
@@ -717,6 +744,7 @@ cuemError_t prefetch_h2d_async(void* dst, const void* src, std::size_t count,
   }
   p.enqueue_copy(stream, req, std::move(action));
   san::hook::note_op_access(stream, dst, src, count, op.c_str());
+  graph_note_copy(stream, dst, src, count);
   return cuemSuccess;
 }
 
@@ -785,6 +813,7 @@ cuemError_t compressed_memcpy_async(void* dst, const void* src,
   }
   p.enqueue_copy(stream, req, std::move(action));
   san::hook::note_op_access(stream, dst, src, count, op.c_str());
+  graph_note_copy(stream, dst, src, count);
   return cuemSuccess;
 }
 
@@ -1092,6 +1121,7 @@ cuemError_t do_memset(void* dev_ptr, int value, std::size_t count,
   }
   p.enqueue_copy(stream, req, std::move(action));
   san::hook::note_op_access(stream, dev_ptr, nullptr, count, op);
+  graph_note_copy(stream, dev_ptr, nullptr, count);
   return cuemSuccess;
 }
 
@@ -1471,6 +1501,7 @@ cuemError_t do_memcpy_peer(void* dst, int dst_device, const void* src,
                                          std::move(action));
   if (perr == cuemSuccess && count > 0) {
     san::hook::note_op_access(resolve_stream(stream), dst, src, count, op);
+    graph_note_copy(resolve_stream(stream), dst, src, count);
   }
   return perr;
 }

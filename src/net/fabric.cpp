@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "cuem/cuem.hpp"
 #include "cuem/san.hpp"
+#include "sim/op_graph.hpp"
 #include "sim/snapshot.hpp"
 
 namespace tidacc::sim {
@@ -144,9 +145,14 @@ void Fabric::post_recv(QpId qp, MrId dst_mr, std::size_t dst_off,
   TIDACC_CHECK_MSG(
       mr.node == q.remote,
       "fabric: receive buffer must be registered on the QP's remote node");
-  Platform::instance().host_advance(cfg_.post_wr_ns);
-  qps_[static_cast<size_t>(qp)].recv_queue.push_back(
-      Qp::RecvDesc{dst_mr, dst_off, capacity});
+  Platform& p = Platform::instance();
+  p.host_advance(cfg_.post_wr_ns);
+  Qp::RecvDesc desc{dst_mr, dst_off, capacity, /*graph_node=*/-1};
+  if (OpGraph* g = p.op_graph()) {
+    desc.graph_node =
+        g->on_recv_post("recv@qp" + std::to_string(qp), p.now());
+  }
+  qps_[static_cast<size_t>(qp)].recv_queue.push_back(desc);
 }
 
 WrId Fabric::post_send(QpId qp, MrId src_mr, std::size_t src_off,
@@ -166,6 +172,11 @@ WrId Fabric::post_send(QpId qp, MrId src_mr, std::size_t src_off,
       bytes <= desc.capacity,
       "fabric: send payload overflows the posted receive buffer");
   q.recv_queue.erase(q.recv_queue.begin());
+  if (OpGraph* g = Platform::instance().op_graph()) {
+    // The consumed credit admits exactly the wire op submit() is about to
+    // schedule: kCredit edge from the posting to the send.
+    g->arm_credit_edge(desc.graph_node);
+  }
   return submit(qp, OpKind::kNetSend, src_mr, src_off, desc.mr,
                 static_cast<std::size_t>(desc.off), bytes, std::move(label),
                 std::move(action), after_stream, san_note, wire_bytes);
@@ -246,6 +257,9 @@ WrId Fabric::submit(QpId qp, OpKind kind, MrId src_mr, std::size_t src_off,
   p.enqueue_external(q.stream, first_device(q.local), EngineId::kNic, kind,
                      duration, bytes, std::move(label), lanes,
                      std::move(action), compressed ? wire_bytes : 0);
+  const int graph_node =
+      p.op_graph() != nullptr ? p.op_graph()->last_node_of_stream(q.stream)
+                              : -1;
   if (san_note) {
     const char* op = to_string(kind);
     cuem::san::note_kernel_access(
@@ -254,10 +268,17 @@ WrId Fabric::submit(QpId qp, OpKind kind, MrId src_mr, std::size_t src_off,
     cuem::san::note_kernel_access(
         q.stream, reinterpret_cast<const void*>(dst.base + dst_off), bytes,
         /*write=*/true, op);
+    p.graph_note_stream_access(
+        q.stream, reinterpret_cast<const void*>(src.base + src_off), bytes,
+        /*write=*/false);
+    p.graph_note_stream_access(
+        q.stream, reinterpret_cast<const void*>(dst.base + dst_off), bytes,
+        /*write=*/true);
   }
 
   Wr wr;
   wr.qp = qp;
+  wr.graph_node = graph_node;
   wr.event = p.record_event(q.stream);
   wr.kind = kind;
   wr.bytes = bytes;
@@ -301,6 +322,9 @@ bool Fabric::poll(QpId qp, WrId* out) {
   if (p.event_finish(wr.event) > p.now()) {
     return false;
   }
+  if (OpGraph* g = p.op_graph()) {
+    g->set_join_origin_hint(EdgeOrigin::kCq);
+  }
   p.hb_note_event_query_success(wr.event);
   wr.reaped = true;
   q.outstanding.erase(q.outstanding.begin());
@@ -317,7 +341,11 @@ void Fabric::wait(WrId wr) {
   if (w.reaped) {
     return;
   }
-  Platform::instance().sync_event(w.event);
+  Platform& p = Platform::instance();
+  if (OpGraph* g = p.op_graph()) {
+    g->set_join_origin_hint(EdgeOrigin::kCq);
+  }
+  p.sync_event(w.event);
   w.reaped = true;
   Qp& q = qps_[static_cast<size_t>(w.qp)];
   q.outstanding.erase(

@@ -192,6 +192,10 @@ class Fabric {
       MrId mr = -1;
       std::uint64_t off = 0;
       std::uint64_t capacity = 0;
+      /// OpGraph kRecvPost node backing this credit (kCredit edge source).
+      /// Transient analysis state: deliberately not snapshotted; resets to
+      /// -1 on restore.
+      int graph_node = -1;
     };
     std::vector<RecvDesc> recv_queue;
     /// Outstanding (posted, not yet reaped) work requests, oldest first.
@@ -210,6 +214,9 @@ class Fabric {
     OpKind kind = OpKind::kNetSend;
     std::uint64_t bytes = 0;
     bool reaped = false;
+    /// OpGraph node of the wire op (kCq edge source). Transient analysis
+    /// state: not snapshotted, resets to -1 on restore.
+    int graph_node = -1;
   };
 
   const Qp& checked_qp(QpId qp) const;

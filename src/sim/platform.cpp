@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "sim/op_graph.hpp"
 #include "sim/snapshot.hpp"
 
 namespace tidacc::sim {
@@ -117,11 +118,25 @@ void Platform::hb_note_stream_query_success(StreamId s) {
   if (hb_enabled_ && static_cast<size_t>(s) < hb_streams_.size()) {
     hb_join(hb_host_, hb_streams_[static_cast<size_t>(s)]);
   }
+  if (graph_ != nullptr) {
+    graph_->on_host_join_stream(s);
+  }
 }
 
 void Platform::hb_note_event_query_success(EventId e) {
   if (hb_enabled_ && e >= 0 && static_cast<size_t>(e) < hb_events_.size()) {
     hb_join(hb_host_, hb_events_[static_cast<size_t>(e)]);
+  }
+  if (graph_ != nullptr && e >= 0 &&
+      static_cast<size_t>(e) < events_.size()) {
+    graph_->on_host_join_event(e);
+  }
+}
+
+void Platform::graph_note_stream_access(StreamId s, const void* ptr,
+                                        std::size_t bytes, bool write) {
+  if (graph_ != nullptr) {
+    graph_->note_stream_access(s, ptr, bytes, write);
   }
 }
 
@@ -159,6 +174,9 @@ void Platform::sync_stream(StreamId s) {
   if (hb_enabled_ && static_cast<size_t>(s) < hb_streams_.size()) {
     hb_join(hb_host_, hb_streams_[static_cast<size_t>(s)]);
   }
+  if (graph_ != nullptr) {
+    graph_->on_host_join_stream(s);
+  }
 }
 
 void Platform::sync_all() {
@@ -171,6 +189,9 @@ void Platform::sync_all() {
     for (const HbClock& c : hb_streams_) {
       hb_join(hb_host_, c);
     }
+  }
+  if (graph_ != nullptr) {
+    graph_->on_host_join_all();
   }
 }
 
@@ -193,6 +214,19 @@ EngineId Platform::copy_engine_for(OpKind kind) const {
       TIDACC_FAIL("not a copy kind");
   }
 }
+
+namespace {
+
+/// Packed identity of a device-table engine lane for OpGraph bookkeeping
+/// (external lanes — fabric NIC timelines — key by pointer instead).
+std::uint64_t graph_lane_key(int device, EngineId engine,
+                             std::ptrdiff_t lane) {
+  return (static_cast<std::uint64_t>(device) << 32) |
+         (static_cast<std::uint64_t>(static_cast<int>(engine)) << 16) |
+         static_cast<std::uint64_t>(lane);
+}
+
+}  // namespace
 
 SimTime Platform::schedule(StreamId s, int device, EngineId engine,
                            OpKind kind, SimTime duration, std::uint64_t bytes,
@@ -222,6 +256,21 @@ SimTime Platform::schedule(StreamId s, int device, EngineId engine,
     }
     ++sc[si + 1];
     hb_last_op_ = sc;
+  }
+  if (graph_ != nullptr) {
+    OpGraph::SchedRecord rec;
+    rec.stream = s;
+    rec.device = device;
+    rec.engine = engine;
+    rec.kind = kind;
+    rec.start = start;
+    rec.finish = finish;
+    rec.bytes = bytes;
+    rec.label = &label;
+    rec.hb = hb_enabled_ ? &hb_last_op_ : nullptr;
+    graph_->on_scheduled(
+        rec, {graph_lane_key(device, engine,
+                             lane - engine_lanes.begin())});
   }
   if (trace_.recording()) {
     trace_.add(TraceEvent{engine, s, kind, start, finish, bytes,
@@ -333,6 +382,9 @@ SimTime Platform::enqueue_copy(StreamId s, const CopyRequest& req,
       // has observed the op complete.
       hb_join(hb_host_, hb_last_op_);
     }
+    if (graph_ != nullptr) {
+      graph_->on_host_join_last_op();
+    }
   }
   return finish;
 }
@@ -395,6 +447,23 @@ SimTime Platform::enqueue_peer_copy(StreamId s, int src_device,
     ++sc[si + 1];
     hb_last_op_ = sc;
   }
+  if (graph_ != nullptr) {
+    OpGraph::SchedRecord rec;
+    rec.stream = s;
+    rec.device = dst_device;
+    rec.engine = EngineId::kCopyH2D;
+    rec.kind = OpKind::kCopyP2P;
+    rec.start = start;
+    rec.finish = finish;
+    rec.bytes = bytes;
+    rec.label = &label;
+    rec.hb = hb_enabled_ ? &hb_last_op_ : nullptr;
+    graph_->on_scheduled(
+        rec, {graph_lane_key(src_device, copy_engine_for(OpKind::kCopyD2H),
+                             src_lane - src_lanes.begin()),
+              graph_lane_key(dst_device, EngineId::kCopyH2D,
+                             dst_lane - dst_lanes.begin())});
+  }
   if (trace_.recording()) {
     trace_.add(TraceEvent{EngineId::kCopyH2D, s, OpKind::kCopyP2P, start,
                           finish, bytes, std::move(label), dst_device});
@@ -441,6 +510,24 @@ SimTime Platform::enqueue_external(StreamId s, int device, EngineId engine,
     ++sc[si + 1];
     hb_last_op_ = sc;
   }
+  if (graph_ != nullptr) {
+    OpGraph::SchedRecord rec;
+    rec.stream = s;
+    rec.device = device;
+    rec.engine = engine;
+    rec.kind = kind;
+    rec.start = start;
+    rec.finish = finish;
+    rec.bytes = bytes;
+    rec.label = &label;
+    rec.hb = hb_enabled_ ? &hb_last_op_ : nullptr;
+    std::vector<const void*> lane_ids;
+    lane_ids.reserve(ext_lanes.size());
+    for (const SimTime* lane : ext_lanes) {
+      lane_ids.push_back(lane);
+    }
+    graph_->on_scheduled(rec, {}, lane_ids);
+  }
   if (trace_.recording()) {
     trace_.add(TraceEvent{engine, s, kind, start, finish, bytes,
                           std::move(label), device, wire_bytes});
@@ -469,6 +556,11 @@ EventId Platform::record_event(StreamId s) {
     hb_events_.resize(events_.size());
     hb_events_.back() = hb_streams_[si];
   }
+  if (graph_ != nullptr) {
+    graph_->on_event_record(s, static_cast<EventId>(events_.size() - 1), t,
+                            stream_device_[static_cast<size_t>(s)],
+                            hb_enabled_ ? &hb_events_.back() : nullptr);
+  }
   if (trace_.recording()) {
     trace_.add(TraceEvent{EngineId::kCompute, s, OpKind::kEventRecord, t, t,
                           0, "event", stream_device_[static_cast<size_t>(s)]});
@@ -494,6 +586,9 @@ void Platform::stream_wait_event(StreamId s, EventId e) {
       hb_join(hb_streams_[si], hb_events_[static_cast<size_t>(e)]);
     }
   }
+  if (graph_ != nullptr) {
+    graph_->on_stream_wait_event(s, e);
+  }
 }
 
 SimTime Platform::event_finish(EventId e) const {
@@ -506,6 +601,9 @@ void Platform::sync_event(EventId e) {
       std::max(host_clock_ + cfg_.sync_overhead_ns, event_finish(e));
   if (hb_enabled_ && static_cast<size_t>(e) < hb_events_.size()) {
     hb_join(hb_host_, hb_events_[static_cast<size_t>(e)]);
+  }
+  if (graph_ != nullptr) {
+    graph_->on_host_join_event(e);
   }
 }
 

@@ -34,6 +34,7 @@
 
 namespace tidacc::sim {
 
+class OpGraph;
 class SnapshotReader;
 class SnapshotWriter;
 
@@ -250,6 +251,26 @@ class Platform {
   SimTime last_op_start() const { return last_op_start_; }
   SimTime last_op_finish() const { return last_op_finish_; }
 
+  // --- op-dependency graph extraction (sim/op_graph.hpp) ---
+  //
+  // While a graph is attached, every scheduled op becomes a node and every
+  // ordering the scheduler enforces becomes a typed edge (stream FIFO,
+  // engine lanes, event waits, host observation; the fabric adds credit/CQ
+  // edges through the same attachment). Zero cost when detached (one
+  // pointer check per op). The graph is NOT part of snapshots: attach a
+  // fresh one after any restore.
+
+  /// Attaches `g` (or detaches with nullptr). The graph only sees ops
+  /// scheduled while attached, so attach before the work of interest.
+  void set_op_graph(OpGraph* g) { graph_ = g; }
+  OpGraph* op_graph() const { return graph_; }
+
+  /// Forwards a byte-range access of the newest op on `s` to the attached
+  /// graph (data-dependence attribution for the false-serialization lint).
+  /// No-op when no graph is attached.
+  void graph_note_stream_access(StreamId s, const void* ptr,
+                                std::size_t bytes, bool write);
+
   /// Live non-default streams (leak sweep at device reset).
   std::vector<StreamId> live_user_streams() const;
 
@@ -337,6 +358,10 @@ class Platform {
   HbClock hb_last_op_;
   SimTime last_op_start_ = 0;
   SimTime last_op_finish_ = 0;
+
+  // Attached op-dependency graph (nullptr = extraction off; not owned,
+  // not snapshotted).
+  OpGraph* graph_ = nullptr;
 
   // Transfer-jitter perturbation stream (LCG; 0 max = off).
   SimTime jitter_max_ns_ = 0;

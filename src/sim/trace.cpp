@@ -76,6 +76,33 @@ bool is_compressed(OpKind k) {
   }
 }
 
+bool is_transfer(OpKind k) {
+  // Default-less on purpose: adding an OpKind without classifying it here
+  // is a compile error under -Wswitch (see kNumOpKinds).
+  switch (k) {
+    case OpKind::kKernel:
+    case OpKind::kEventRecord:
+      return false;
+    case OpKind::kCopyH2D:
+    case OpKind::kCopyD2H:
+    case OpKind::kCopyD2D:
+    case OpKind::kUvmMigration:
+    case OpKind::kPrefetchH2D:
+    case OpKind::kCopyP2P:
+    case OpKind::kMemcpy3DH2D:
+    case OpKind::kMemcpy3DD2H:
+    case OpKind::kNetSend:
+    case OpKind::kRdmaRead:
+    case OpKind::kRdmaWrite:
+    case OpKind::kMemcpyH2DCompressed:
+    case OpKind::kMemcpyD2HCompressed:
+    case OpKind::kMemcpy3DH2DCompressed:
+    case OpKind::kMemcpy3DD2HCompressed:
+      return true;
+  }
+  return false;
+}
+
 void Trace::add(TraceEvent ev) {
   note(ev.kind, ev.start, ev.finish, ev.bytes, ev.wire_bytes);
   if (recording_) {

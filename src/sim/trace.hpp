@@ -62,10 +62,22 @@ enum class OpKind : int {
   kMemcpy3DD2HCompressed
 };
 
+/// Number of OpKind enumerators. Every switch over OpKind in this module
+/// is default-less, so -Wswitch makes omissions a compile error; this
+/// constant lets tests sweep the full range (to_string/is_transfer/
+/// is_compressed completeness) and must track the last enumerator above.
+inline constexpr int kNumOpKinds =
+    static_cast<int>(OpKind::kMemcpy3DD2HCompressed) + 1;
+
 const char* to_string(OpKind k);
 
 /// True for the compressed copy kinds (any direction, flat or pitched).
 bool is_compressed(OpKind k);
+
+/// True for every kind that moves bytes over a link or engine (PCIe DMA,
+/// peer interconnect, UVM, fabric wire) — the "transfer" side of the
+/// overlap analyses. False only for kKernel and kEventRecord.
+bool is_transfer(OpKind k);
 
 /// One completed operation in the simulated timeline.
 struct TraceEvent {

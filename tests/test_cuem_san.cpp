@@ -14,6 +14,7 @@
 #include "core/tidacc.hpp"
 #include "cuem/cuem.hpp"
 #include "cuem/san.hpp"
+#include "sim/op_graph.hpp"
 
 #ifndef TIDACC_CUEM_SANITIZER
 
@@ -427,6 +428,25 @@ TEST_F(CuemSanTest, TemporalBlockingEvictionIsClean) {
                        /*k=*/2);
   EXPECT_TRUE(cuem::san::clean())
       << "unexpected findings:\n" << cuem::san::report_json();
+}
+
+TEST_F(CuemSanTest, StaticMhpAgreesWithDynamicRacecheck) {
+  // The schedule analyzer's static may-happen-in-parallel relation
+  // (op-graph reachability, engine edges excluded) must coincide with the
+  // dynamic vector clocks the racecheck maintains — on a workload with
+  // cross-stream event edges, eviction D2H traffic and host joins.
+  sim::OpGraph g;
+  cuem::platform().set_op_graph(&g);
+  run_heat_workload(/*n=*/8, /*region=*/4, /*max_slots=*/2, /*steps=*/3);
+  cuem::platform().set_op_graph(nullptr);
+  EXPECT_TRUE(cuem::san::clean())
+      << "unexpected findings:\n" << cuem::san::report_json();
+  ASSERT_TRUE(g.mhp_checkable());
+  const std::vector<sim::MhpMismatch> mm = g.mhp_crosscheck();
+  EXPECT_TRUE(mm.empty()) << mm.size() << " static/dynamic MHP mismatches, "
+                          << "first: nodes " << mm[0].a << " and " << mm[0].b;
+  EXPECT_TRUE(g.find_cycle().empty());
+  EXPECT_TRUE(g.deadlock_cycle().empty());
 }
 
 TEST_F(CuemSanTest, JsonReportIsWellFormedOnCleanRun) {

@@ -556,5 +556,29 @@ TEST(Trace, MakespanTracksLastFinish) {
   EXPECT_EQ(p.trace().stats().makespan, f);
 }
 
+// --- OpKind completeness (see kNumOpKinds in trace.hpp) ---
+
+TEST(OpKindEnum, EveryKindIsNamedAndClassified) {
+  // The compile-time guard is -Wswitch over the default-less switches in
+  // to_string/is_transfer; this sweep is the test-time backstop that also
+  // catches kNumOpKinds itself going stale (a new enumerator past the
+  // recorded last one would map to "?" here).
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    const auto k = static_cast<OpKind>(i);
+    EXPECT_STRNE(to_string(k), "?") << "OpKind " << i << " is unnamed";
+  }
+  int transfers = 0;
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    transfers += is_transfer(static_cast<OpKind>(i)) ? 1 : 0;
+  }
+  // Every kind except kKernel and kEventRecord moves bytes.
+  EXPECT_EQ(transfers, kNumOpKinds - 2);
+  EXPECT_FALSE(is_transfer(OpKind::kKernel));
+  EXPECT_FALSE(is_transfer(OpKind::kEventRecord));
+  EXPECT_TRUE(is_transfer(OpKind::kCopyH2D));
+  EXPECT_TRUE(is_transfer(OpKind::kNetSend));
+  EXPECT_TRUE(is_transfer(OpKind::kMemcpy3DD2HCompressed));
+}
+
 }  // namespace
 }  // namespace tidacc::sim

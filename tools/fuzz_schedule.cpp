@@ -56,6 +56,7 @@
 #include "cuem/san.hpp"
 #include "kernels/stencil27.hpp"
 #include "oacc/oacc.hpp"
+#include "sim/op_graph.hpp"
 #include "sim/platform.hpp"
 
 namespace {
@@ -351,13 +352,73 @@ std::uint64_t checksum(const Array& u) {
 
 struct Outcome {
   bool failed = false;
-  std::string kind;    ///< "sanitizer" | "checksum" | "nondeterminism"
+  std::string kind;  ///< "sanitizer" | "checksum" | "nondeterminism" | "lint"
   std::string detail;
   std::uint64_t sum = 0;
   std::uint64_t h2d = 0;
   std::uint64_t d2h = 0;
   SimTime makespan = 0;
+  bool linted = false;  ///< the schedule-lint oracle ran on this replay
 };
+
+/// Attaches a fresh OpGraph to the live platform for one replay (--lint);
+/// detaches in the destructor so an oracle throw cannot leave a dangling
+/// graph pointer on the shared platform instance.
+struct LintAttach {
+  sim::OpGraph g;
+  bool active;
+  explicit LintAttach(bool on) : active(on) {
+    if (active) {
+      sim::Platform::instance().set_op_graph(&g);
+    }
+  }
+  ~LintAttach() { detach(); }
+  LintAttach(const LintAttach&) = delete;
+  LintAttach& operator=(const LintAttach&) = delete;
+  void detach() {
+    if (active) {
+      sim::Platform::instance().set_op_graph(nullptr);
+      active = false;
+    }
+  }
+};
+
+/// Second oracle beside the sanitizer: static schedule analysis of the
+/// replay's extracted op graph. Flags a wait-for-graph cycle (a schedule
+/// that could deadlock on real hardware), a critical path longer than the
+/// achieved makespan (the CPM lower bound is broken, i.e. the graph claims
+/// an ordering the run violated), and — when every waited event was seen by
+/// the graph — any static/dynamic MHP disagreement.
+void lint_replay(const sim::OpGraph& g, Outcome* out) {
+  out->linted = true;
+  const std::vector<int> cyc = g.deadlock_cycle();
+  if (!cyc.empty()) {
+    out->failed = true;
+    out->kind = "lint";
+    out->detail = "wait-for-graph cycle over " +
+                  std::to_string(cyc.size()) + " ops";
+    return;
+  }
+  if (g.find_cycle().empty()) {
+    const sim::CriticalPathReport cp = g.critical_path();
+    if (cp.length > cp.makespan) {
+      out->failed = true;
+      out->kind = "lint";
+      out->detail = "critical path " + std::to_string(cp.length) +
+                    " ns exceeds makespan " + std::to_string(cp.makespan) +
+                    " ns";
+      return;
+    }
+  }
+  if (g.mhp_checkable()) {
+    const std::vector<sim::MhpMismatch> mm = g.mhp_crosscheck(1);
+    if (!mm.empty()) {
+      out->failed = true;
+      out->kind = "lint";
+      out->detail = "static MHP disagrees with dynamic vector clocks";
+    }
+  }
+}
 
 /// Restores `snap` into the live world (same process, `u` still alive) and
 /// replays the tail under `d`. Any tidacc::Error — a fatal sanitizer
@@ -365,14 +426,24 @@ struct Outcome {
 template <typename Array>
 Outcome run_case(const std::vector<std::uint8_t>& snap, Array& u,
                  core::SlotPolicyKind policy, const DynKnobs& d,
-                 const oacc::LoopCost& cost) {
+                 const oacc::LoopCost& cost, bool lint = false) {
   Outcome out;
   try {
     sim::SnapshotReader r(snap);
     core::world_restore(r);
     u.restore(r);
     TIDACC_CHECK_MSG(r.at_end(), "trailing bytes after the array snapshot");
+    // The graph attaches AFTER the restore (graph state is transient
+    // analysis state, never part of snapshots) and sees only the tail.
+    LintAttach la(lint);
     run_tail(u, policy, d, cost);
+    la.detach();
+    if (lint) {
+      lint_replay(la.g, &out);
+      if (out.failed) {
+        return out;
+      }
+    }
     out.sum = checksum(u);
     out.h2d = u.h2d_bytes();
     out.d2h = u.d2h_bytes();
@@ -476,6 +547,7 @@ std::string json_escape(const std::string& s) {
 
 void write_report(const std::string& path, std::uint64_t seed,
                   std::uint64_t iters_done, double iters_per_sec,
+                  bool lint_enabled, std::uint64_t linted_iters,
                   const std::vector<Failure>& failures) {
   std::ofstream f(path);
   f << "{\n  \"tool\": \"fuzz_schedule\",\n";
@@ -483,6 +555,8 @@ void write_report(const std::string& path, std::uint64_t seed,
   f << "  \"iterations\": " << iters_done << ",\n";
   f << "  \"iters_per_sec\": " << static_cast<std::uint64_t>(iters_per_sec)
     << ",\n";
+  f << "  \"lint_enabled\": " << (lint_enabled ? "true" : "false") << ",\n";
+  f << "  \"linted_iterations\": " << linted_iters << ",\n";
   f << "  \"sanitizer_compiled_in\": "
 #ifdef TIDACC_CUEM_SANITIZER
     << "true"
@@ -619,6 +693,9 @@ int main(int argc, char** argv) {
   const std::string repro_path = cli.get_string("repro", "");
   const std::string repro_dir = cli.get_string("repro-dir", ".");
   const bool expect_failure = cli.get_bool("expect-failure", false);
+  // Second oracle: extract the op graph of every replay and run the
+  // static schedule checks (deadlock cycle, CPM bound, MHP cross-check).
+  const bool lint = cli.get_bool("lint", false);
   const int max_failures = static_cast<int>(cli.get_int("max-failures", 5));
 
 #ifndef TIDACC_CUEM_SANITIZER
@@ -642,7 +719,7 @@ int main(int argc, char** argv) {
     const int slab = (w.n + w.regions - 1) / w.regions;
     const auto replay = [&](auto& u) {
       const std::vector<std::uint8_t> snap = build_and_snapshot(w, u, cost);
-      return run_case(snap, u, w.policy, d, cost);
+      return run_case(snap, u, w.policy, d, cost, lint);
     };
     Outcome o;
     if (w.nodes > 1) {
@@ -676,6 +753,7 @@ int main(int argc, char** argv) {
   // --- fuzz loop ---
   std::vector<Failure> failures;
   std::uint64_t iters_done = 0;
+  std::uint64_t linted_iters = 0;
   const auto t0 = std::chrono::steady_clock::now();
 
   std::uint64_t config_index = static_cast<std::uint64_t>(-1);
@@ -692,9 +770,9 @@ int main(int argc, char** argv) {
   std::vector<std::uint8_t> snap;
   std::optional<Outcome> reference;
   const auto run_one = [&](const DynKnobs& d) {
-    return uc   ? run_case(snap, *uc, world->policy, d, cost)
-           : um ? run_case(snap, *um, world->policy, d, cost)
-                : run_case(snap, *u, world->policy, d, cost);
+    return uc   ? run_case(snap, *uc, world->policy, d, cost, lint)
+           : um ? run_case(snap, *um, world->policy, d, cost, lint)
+                : run_case(snap, *u, world->policy, d, cost, lint);
   };
 
   for (std::uint64_t i = 0; i < iters; ++i) {
@@ -769,6 +847,7 @@ int main(int argc, char** argv) {
     DynKnobs d = draw_dyn(seed, i, world->regions, steps);
     Outcome o = run_one(d);
     ++iters_done;
+    linted_iters += o.linted ? 1 : 0;
 
     if (!o.failed && o.sum != reference->sum) {
       o.failed = true;
@@ -842,9 +921,14 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(iters_done),
               static_cast<unsigned long long>(failures.size()), ips,
               static_cast<unsigned long long>(seed));
+  if (lint) {
+    std::printf("fuzz_schedule: schedule-lint oracle ran on %llu replays\n",
+                static_cast<unsigned long long>(linted_iters));
+  }
 
   if (!out_path.empty()) {
-    write_report(out_path, seed, iters_done, ips, failures);
+    write_report(out_path, seed, iters_done, ips, lint, linted_iters,
+                 failures);
   }
   if (expect_failure) {
     if (failures.empty()) {
